@@ -1,0 +1,144 @@
+"""E2 — shot-boundary detection quality and speed.
+
+Regenerates the boundary-detection tables:
+
+- precision/recall/F1 of the paper's fixed-threshold histogram method
+  over a threshold sweep (cuts only, and against all transitions);
+- the twin-comparison detector on cuts *and* gradual transitions;
+- E2a ablation: histogram bin count.
+
+Expected shape: the threshold method has near-perfect cut recall with
+precision degrading as gradual transitions increase; twin-comparison
+recovers precision and finds the gradual transitions.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.shots.boundary import ThresholdCutDetector, TwinComparisonDetector, frame_distances
+from repro.shots.evaluate import boundary_scores, transition_scores
+from repro.video.generator import BroadcastConfig, BroadcastGenerator
+
+THRESHOLDS = (0.2, 0.35, 0.5, 0.65)
+
+
+def test_e2_threshold_sweep(benchmark, bench_broadcast):
+    clip, truth = bench_broadcast
+
+    def sweep():
+        out = []
+        for threshold in THRESHOLDS:
+            detector = ThresholdCutDetector(threshold)
+            detected = detector.detect(clip)
+            out.append((threshold, boundary_scores(detected, truth.cut_frames),
+                        transition_scores(detected, truth)))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for threshold, cut_result, trans_result in results:
+        rows.append(
+            [
+                f"{threshold:.2f}",
+                f"{cut_result.precision:.2f}",
+                f"{cut_result.recall:.2f}",
+                f"{cut_result.f1:.2f}",
+                f"{trans_result.precision:.2f}",
+                f"{trans_result.recall:.2f}",
+            ]
+        )
+    print_table(
+        "E2: fixed-threshold boundary detection vs threshold",
+        ["threshold", "cut P", "cut R", "cut F1", "trans P", "trans R"],
+        rows,
+    )
+    # At the paper-style operating point, cut recall is essentially perfect.
+    detector = ThresholdCutDetector(0.35)
+    result = boundary_scores(detector.detect(clip), truth.cut_frames)
+    assert result.recall >= 0.9
+
+
+def test_e2_twin_comparison(benchmark, bench_broadcast):
+    clip, truth = bench_broadcast
+    rows = []
+    twin = TwinComparisonDetector()
+    boundaries = benchmark.pedantic(twin.detect, args=(clip,), rounds=1, iterations=1)
+    cuts = [b for b in boundaries if b.kind == "cut"]
+    gradual = [b for b in boundaries if b.kind == "gradual"]
+    cut_result = boundary_scores(cuts, truth.cut_frames)
+    grad_result = boundary_scores(
+        gradual, [start for start, _stop in truth.gradual_spans], tolerance=4
+    )
+    threshold_result = boundary_scores(
+        ThresholdCutDetector(0.35).detect(clip), truth.cut_frames
+    )
+    rows.append(
+        ["threshold(0.35)", f"{threshold_result.precision:.2f}",
+         f"{threshold_result.recall:.2f}", "-", "-"]
+    )
+    rows.append(
+        ["twin-comparison", f"{cut_result.precision:.2f}", f"{cut_result.recall:.2f}",
+         f"{grad_result.precision:.2f}", f"{grad_result.recall:.2f}"]
+    )
+    print_table(
+        "E2: cut vs gradual detection (threshold vs twin-comparison)",
+        ["detector", "cut P", "cut R", "grad P", "grad R"],
+        rows,
+    )
+    assert cut_result.precision >= threshold_result.precision
+    if truth.gradual_spans:
+        assert grad_result.recall >= 0.5
+
+
+def test_e2a_bin_count_ablation(benchmark, bench_broadcast):
+    clip, truth = bench_broadcast
+
+    def sweep():
+        out = []
+        for bins in (4, 8, 16):
+            for color_space in ("rgb", "hsv"):
+                detector = ThresholdCutDetector(0.35, bins=bins, color_space=color_space)
+                out.append(
+                    (bins, color_space, boundary_scores(detector.detect(clip), truth.cut_frames))
+                )
+        return out
+
+    rows = [
+        [bins, color_space, f"{r.precision:.2f}", f"{r.recall:.2f}", f"{r.f1:.2f}"]
+        for bins, color_space, r in benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ]
+    print_table(
+        "E2a: histogram bins x colour space vs cut detection",
+        ["bins", "space", "P", "R", "F1"],
+        rows,
+    )
+
+
+def test_e2_noise_sweep(benchmark):
+    """Boundary quality as broadcast noise grows."""
+
+    def sweep():
+        out = []
+        for sigma in (2.0, 6.0, 12.0):
+            generator = BroadcastGenerator(
+                BroadcastConfig(noise_sigma=sigma, gradual_fraction=0.0), seed=555
+            )
+            clip, truth = generator.generate(10)
+            out.append(
+                (sigma, boundary_scores(ThresholdCutDetector(0.35).detect(clip), truth.cut_frames))
+            )
+        return out
+
+    rows = [
+        [sigma, f"{r.precision:.2f}", f"{r.recall:.2f}"]
+        for sigma, r in benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ]
+    print_table("E2: noise sensitivity (cuts only)", ["sigma", "P", "R"], rows)
+
+
+def test_e2_distance_kernel_speed(benchmark, bench_broadcast):
+    """Timed kernel: the per-frame histogram difference pass."""
+    clip, _truth = bench_broadcast
+    frames = [clip[i] for i in range(60)]
+    distances = benchmark(frame_distances, frames)
+    assert len(distances) == 60

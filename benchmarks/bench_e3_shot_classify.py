@@ -1,0 +1,116 @@
+"""E3 — shot classification.
+
+Regenerates the 4x4 confusion matrix of the segment detector's
+classifier (rule-based, the paper's method) on labelled synthetic shots,
+compares against the Gaussian naive-Bayes variant, and runs the E3a
+feature ablation (dropping one classification cue at a time).
+
+Expected shape: near-diagonal confusion for the rule classifier; each
+dropped cue costs accuracy for exactly the category it separates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.shots.boundary import TwinComparisonDetector
+from repro.shots.classify import (
+    NaiveBayesShotClassifier,
+    RuleBasedShotClassifier,
+    ShotFeatureExtractor,
+)
+from repro.shots.evaluate import category_accuracy, confusion_matrix
+from repro.shots.segmenter import SegmentDetector
+from repro.video.generator import BroadcastConfig, BroadcastGenerator
+from repro.video.shots import ShotCategory
+
+
+def _labelled_features(seed, n_broadcasts=3, shots_per=10):
+    """Shot features + truth labels from generated broadcasts."""
+    extractor = ShotFeatureExtractor()
+    features, labels = [], []
+    for b in range(n_broadcasts):
+        generator = BroadcastGenerator(
+            BroadcastConfig(gradual_fraction=0.0), seed=seed + b
+        )
+        clip, truth = generator.generate(shots_per)
+        for shot in truth.shots:
+            features.append(extractor.extract_from_clip(clip, shot.start, shot.stop))
+            labels.append(shot.category)
+    return features, labels
+
+
+def test_e3_confusion_matrix(benchmark, bench_broadcast):
+    clip, truth = bench_broadcast
+    segmenter = SegmentDetector(boundary_detector=TwinComparisonDetector())
+    detected = benchmark.pedantic(segmenter.detect, args=(clip,), rounds=1, iterations=1)
+    matrix = confusion_matrix(detected, truth, ShotCategory.ALL)
+    rows = [
+        [truth_cat] + list(matrix[i])
+        for i, truth_cat in enumerate(ShotCategory.ALL)
+    ]
+    print_table(
+        "E3: frame-level confusion matrix (rule classifier), rows = truth",
+        ["truth \\ predicted"] + list(ShotCategory.ALL),
+        rows,
+    )
+    accuracy = category_accuracy(matrix)
+    print(f"overall frame accuracy: {accuracy:.3f}")
+    assert accuracy > 0.9
+
+
+def test_e3_rule_vs_naive_bayes(benchmark):
+    def build():
+        return (
+            _labelled_features(seed=7000, n_broadcasts=4),
+            _labelled_features(seed=8000, n_broadcasts=2),
+        )
+
+    (train_x, train_y), (test_x, test_y) = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rule = RuleBasedShotClassifier()
+    bayes = NaiveBayesShotClassifier().fit(train_x, train_y)
+
+    rows = []
+    for name, classify in (("rule-based", rule.classify), ("naive-bayes", bayes.classify)):
+        correct = sum(classify(x) == y for x, y in zip(test_x, test_y))
+        rows.append([name, len(test_x), f"{correct / len(test_x):.3f}"])
+    print_table("E3: classifier comparison (shot accuracy)", ["classifier", "shots", "accuracy"], rows)
+
+    rule_acc = sum(rule.classify(x) == y for x, y in zip(test_x, test_y)) / len(test_x)
+    bayes_acc = sum(bayes.classify(x) == y for x, y in zip(test_x, test_y)) / len(test_x)
+    assert rule_acc > 0.9
+    assert bayes_acc >= 0.75
+
+
+def test_e3a_feature_ablation(benchmark):
+    """Dropping a rule removes exactly the categories it separates."""
+    test_x, test_y = benchmark.pedantic(
+        _labelled_features, kwargs={"seed": 9000, "n_broadcasts": 2}, rounds=1, iterations=1
+    )
+    variants = {
+        "full": RuleBasedShotClassifier(),
+        "no court rule": RuleBasedShotClassifier(court_coverage_min=None),
+        "no skin rule": RuleBasedShotClassifier(skin_ratio_min=None),
+        "no entropy rule": RuleBasedShotClassifier(entropy_min=None),
+    }
+    rows = []
+    accuracies = {}
+    for name, classifier in variants.items():
+        correct = sum(classifier.classify(x) == y for x, y in zip(test_x, test_y))
+        accuracies[name] = correct / len(test_x)
+        rows.append([name, f"{accuracies[name]:.3f}"])
+    print_table("E3a: rule ablation (shot accuracy)", ["variant", "accuracy"], rows)
+    assert accuracies["full"] >= max(
+        accuracies["no court rule"], accuracies["no skin rule"], accuracies["no entropy rule"]
+    )
+    # Each category's cue matters: every ablation hurts on a mixed corpus.
+    assert accuracies["no court rule"] < accuracies["full"]
+
+
+def test_e3_feature_extraction_speed(benchmark, bench_broadcast):
+    """Timed kernel: feature extraction for one 50-frame shot."""
+    clip, truth = bench_broadcast
+    shot = next(s for s in truth.shots if s.length >= 30)
+    extractor = ShotFeatureExtractor()
+    features = benchmark(extractor.extract_from_clip, clip, shot.start, shot.stop)
+    assert features.entropy > 0

@@ -1,0 +1,147 @@
+"""E6 — IR top-N optimization (Blok et al., BNCOD 2001).
+
+Regenerates the top-N trade-off tables on the tournament text corpus:
+
+- speedup (postings-processed ratio and wall time) and precision@N of
+  fragment-at-a-time early termination vs the full evaluation, for
+  N in {10, 20, 50} and fragments-processed in {1, 2, all};
+- E6a: fragment-count sweep at fixed work budget.
+
+Expected shape: large work reduction at modest quality loss; quality
+rises toward 1.0 as more fragments are processed; deeper result lists
+(larger N) lose more quality at the same work budget.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.ranking import rank_full_scan
+from repro.ir.topn import FragmentedIndex
+
+QUERIES = [
+    "net volley approach",
+    "long rallies baseline",
+    "serve percentage first",
+    "Australian Open champion dream",
+    "crowd Melbourne press conference",
+]
+
+
+@pytest.fixture(scope="module")
+def text_index(bench_dataset):
+    return InvertedIndex(bench_dataset.pages)
+
+
+def _precision_at(approx_ids, exact_ids):
+    if not exact_ids:
+        return 1.0
+    return len(set(approx_ids) & set(exact_ids)) / len(exact_ids)
+
+
+def test_e6_speed_quality_tradeoff(benchmark, text_index, bench_dataset):
+    fragmented = FragmentedIndex(text_index, n_fragments=4)
+    queries = [bench_dataset.pages.query_terms(q) for q in QUERIES]
+
+    def sweep():
+        out = []
+        for n in (10, 20, 50):
+            exact = {
+                i: [h.doc_id for h in rank_full_scan(text_index, q, n)]
+                for i, q in enumerate(queries)
+            }
+            for max_fragments in (1, 2, None):
+                quality, work = [], []
+                for i, q in enumerate(queries):
+                    result = fragmented.search(q, n, max_fragments=max_fragments)
+                    quality.append(_precision_at(result.doc_ids(), exact[i]))
+                    work.append(result.work_fraction)
+                out.append(
+                    (
+                        n,
+                        "all" if max_fragments is None else max_fragments,
+                        float(np.mean(work)),
+                        float(np.mean(quality)),
+                    )
+                )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [n, frags, f"{work:.2f}", f"{1.0 / max(work, 1e-9):.1f}x", f"{quality:.2f}"]
+        for n, frags, work, quality in results
+    ]
+    print_table(
+        "E6: top-N early termination (work fraction, speedup, precision@N)",
+        ["N", "fragments", "work", "speedup", "P@N"],
+        rows,
+    )
+    by_key = {(n, f): (w, q) for n, f, w, q in results}
+    # Full processing is exact.
+    for n in (10, 20, 50):
+        assert by_key[(n, "all")][1] == pytest.approx(1.0)
+    # One fragment processes ~1/4 the postings.
+    assert by_key[(10, 1)][0] < 0.4
+    # And keeps useful quality.
+    assert by_key[(10, 1)][1] >= 0.5
+
+
+def test_e6a_fragment_count_sweep(benchmark, text_index, bench_dataset):
+    """Finer fragmentation: same work budget, finer early termination."""
+    queries = [bench_dataset.pages.query_terms(q) for q in QUERIES]
+
+    def sweep():
+        out = []
+        for n_fragments in (2, 4, 8, 16):
+            fragmented = FragmentedIndex(text_index, n_fragments=n_fragments)
+            # Process ~half the postings.
+            budget = max(1, n_fragments // 2)
+            quality, work = [], []
+            for q in queries:
+                exact = [h.doc_id for h in rank_full_scan(text_index, q, 10)]
+                result = fragmented.search(q, 10, max_fragments=budget)
+                quality.append(_precision_at(result.doc_ids(), exact))
+                work.append(result.work_fraction)
+            out.append([n_fragments, budget, f"{np.mean(work):.2f}", f"{np.mean(quality):.2f}"])
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E6a: fragment count at ~50% work budget",
+        ["fragments", "processed", "work", "P@10"],
+        rows,
+    )
+
+
+def test_e6_wall_time_speedup(benchmark, text_index, bench_dataset):
+    """Wall-clock comparison of full vs early-terminated evaluation."""
+    fragmented = FragmentedIndex(text_index, n_fragments=4)
+    queries = [bench_dataset.pages.query_terms(q) for q in QUERIES]
+
+    def timed(fn):
+        start = time.perf_counter()
+        for _ in range(20):
+            for q in queries:
+                fn(q)
+        return time.perf_counter() - start
+
+    full_time = timed(lambda q: fragmented.search(q, 10))
+    fast_time = timed(lambda q: fragmented.search(q, 10, max_fragments=1))
+    print(
+        f"\nE6 wall time: full={full_time * 1e3:.1f}ms, "
+        f"1-fragment={fast_time * 1e3:.1f}ms, "
+        f"speedup={full_time / fast_time:.2f}x"
+    )
+    result = benchmark(lambda: fragmented.search(queries[0], 10, max_fragments=1))
+    assert fast_time < full_time
+
+
+def test_e6_index_build_speed(benchmark, bench_dataset):
+    """Timed kernel: building the inverted index over all pages."""
+    index = benchmark.pedantic(
+        lambda: InvertedIndex(bench_dataset.pages), rounds=1, iterations=1
+    )
+    assert index.n_documents == len(bench_dataset.pages)

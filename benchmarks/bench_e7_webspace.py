@@ -1,0 +1,179 @@
+"""E7 — webspace conceptual queries vs keyword search.
+
+Regenerates the van Zwol & Apers comparison on the tournament site:
+ten query templates with known concept-level answers, answered (a) by
+conceptual queries over the webspace and (b) by keyword search over the
+lossy HTML rendering.  Reported: answer precision/recall per method.
+
+Expected shape: conceptual queries are exact (the schema preserves the
+hidden semantics); keyword search misses answers whose facts are spread
+across pages and returns pages that merely mention the words.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.ranking import rank_full_scan
+from repro.webspace.query import ConceptQuery
+
+
+def _queries(dataset):
+    """(name, concept query, keyword text, truth player-name set)."""
+    instance = dataset.instance
+
+    def players(predicate):
+        return {p.name for p in dataset.players if predicate(p)}
+
+    return [
+        (
+            "left-handed women",
+            ConceptQuery("Player").where("handedness", "=", "left").where("gender", "=", "female"),
+            "left-handed women's singles player",
+            players(lambda p: p.handedness == "left" and p.gender == "female"),
+        ),
+        (
+            "past champions",
+            ConceptQuery("Player").where("titles", ">", 0),
+            "won the Australian Open",
+            players(lambda p: p.titles > 0),
+        ),
+        (
+            "female champions",
+            ConceptQuery("Player").where("titles", ">", 0).where("gender", "=", "female"),
+            "women's singles won Australian Open champion",
+            players(lambda p: p.titles > 0 and p.gender == "female"),
+        ),
+        (
+            "australian players",
+            ConceptQuery("Player").where("country", "=", "Australia"),
+            "player of Australia",
+            players(lambda p: p.country == "Australia"),
+        ),
+        (
+            "top seeds",
+            ConceptQuery("Player").where("seed", "<=", 2),
+            "seeded 1 or 2",
+            players(lambda p: p.seed <= 2),
+        ),
+        (
+            "left-handed champions",
+            ConceptQuery("Player").where("handedness", "=", "left").where("titles", ">", 0),
+            "left-handed Australian Open winner",
+            players(lambda p: p.handedness == "left" and p.titles > 0),
+        ),
+    ]
+
+
+def _keyword_answer(dataset, index, text, k=10):
+    """Player names inferred from the top-k keyword hits (crawler view)."""
+    terms = dataset.pages.query_terms(text)
+    names = set()
+    for hit in rank_full_scan(index, terms, k):
+        doc = dataset.pages.document(hit.doc_id)
+        if doc.metadata.get("class") == "Player":
+            player = dataset.instance.object(doc.metadata["oid"])
+            names.add(player.get("name"))
+    return names
+
+
+def test_e7_concept_vs_keyword(benchmark, bench_dataset):
+    dataset = bench_dataset
+    index = InvertedIndex(dataset.pages)
+    queries = _queries(dataset)
+
+    def evaluate():
+        out = []
+        for name, concept, keywords, truth in queries:
+            concept_names = {
+                p.get("name") for p in concept.run_distinct_roots(dataset.instance)
+            }
+            keyword_names = _keyword_answer(dataset, index, keywords)
+
+            def pr(answer):
+                if not answer:
+                    return (1.0 if not truth else 0.0), 0.0
+                precision = len(answer & truth) / len(answer)
+                recall = len(answer & truth) / len(truth) if truth else 1.0
+                return precision, recall
+
+            cp, cr = pr(concept_names)
+            kp, kr = pr(keyword_names)
+            out.append((name, cp, cr, kp, kr))
+        return out
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = [
+        [name, f"{cp:.2f}", f"{cr:.2f}", f"{kp:.2f}", f"{kr:.2f}"]
+        for name, cp, cr, kp, kr in results
+    ]
+    print_table(
+        "E7: conceptual (webspace) vs keyword search, player-set answers",
+        ["query", "concept P", "concept R", "keyword P", "keyword R"],
+        rows,
+    )
+    concept_f1 = np.mean(
+        [2 * cp * cr / (cp + cr) if cp + cr else 0.0 for _n, cp, cr, _kp, _kr in results]
+    )
+    keyword_f1 = np.mean(
+        [2 * kp * kr / (kp + kr) if kp + kr else 0.0 for _n, _cp, _cr, kp, kr in results]
+    )
+    print(f"mean F1: concept={concept_f1:.2f}, keyword={keyword_f1:.2f}")
+    # Conceptual queries are exact on the schema.
+    assert all(cp == 1.0 and cr == 1.0 for _n, cp, cr, _kp, _kr in results)
+    # And clearly beat the crawler view overall.
+    assert concept_f1 > keyword_f1
+
+
+def test_e7_concept_query_speed(benchmark, bench_dataset):
+    """Timed kernel: a two-hop conceptual query over the instance."""
+    query = (
+        ConceptQuery("Player")
+        .where("titles", ">", 0)
+        .follow("won", "Match")
+        .where("round", "=", "final")
+    )
+    bindings = benchmark(query.run, bench_dataset.instance)
+    assert bindings
+
+
+def test_e7a_relational_compilation(benchmark, bench_dataset):
+    """Ablation: object-graph vs relational (column-store) evaluation."""
+    import time
+
+    from repro.webspace.relational import RelationalConceptEvaluator
+
+    evaluator = RelationalConceptEvaluator(bench_dataset.instance)
+    query = (
+        ConceptQuery("Player")
+        .where("titles", ">", 0)
+        .follow("won", "Match")
+        .where("round", "=", "final")
+    )
+
+    def compare():
+        start = time.perf_counter()
+        for _ in range(50):
+            graph = query.run(bench_dataset.instance)
+        graph_time = (time.perf_counter() - start) / 50
+        start = time.perf_counter()
+        for _ in range(50):
+            relational = evaluator.run(query)
+        relational_time = (time.perf_counter() - start) / 50
+        return graph, relational, graph_time, relational_time
+
+    graph, relational, graph_time, relational_time = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    print_table(
+        "E7a: conceptual query — object graph vs relational compilation",
+        ["path", "bindings", "latency"],
+        [
+            ["object graph", len(graph), f"{graph_time * 1e6:.0f}us"],
+            ["relational (column store)", len(relational), f"{relational_time * 1e6:.0f}us"],
+        ],
+    )
+    graph_keys = sorted(tuple(o.oid for o in b) for b in graph)
+    relational_keys = sorted(tuple(o.oid for o in b) for b in relational)
+    assert relational_keys == graph_keys

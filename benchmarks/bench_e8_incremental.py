@@ -1,0 +1,119 @@
+"""E8 — FDE incremental revalidation (Acoi's pay-off).
+
+Regenerates the incremental-maintenance table: after a detector
+implementation changes, how many detector invocations (and how much
+wall time) does bringing the meta-index up to date cost, incremental vs
+full re-extraction, as a function of *which* detector changed?
+
+Expected shape: changing the leaf (rules) detector costs a tiny
+fraction of a full re-run; changing the root (segment) detector
+degenerates to the full cost — exactly the dependency-driven behaviour
+the feature grammar enables.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.grammar.tennis import build_tennis_fde
+from repro.video.generator import BroadcastConfig, BroadcastGenerator
+
+N_VIDEOS = 4
+DETECTORS = ("rules", "shape", "tennis", "segment")
+
+
+@pytest.fixture(scope="module")
+def clips():
+    generator = BroadcastGenerator(BroadcastConfig(), seed=8008)
+    return [generator.generate(6, name=f"e8_video_{i}")[0] for i in range(N_VIDEOS)]
+
+
+def _fresh_indexed_fde(clips):
+    fde = build_tennis_fde()
+    for clip in clips:
+        fde.index_video(clip)
+    return fde
+
+
+def test_e8_invocations_per_changed_detector(benchmark, clips):
+    def evaluate():
+        out = []
+        for changed in DETECTORS:
+            fde = _fresh_indexed_fde(clips)
+            fde.registry.bump_version(changed)
+            start = time.perf_counter()
+            report = fde.revalidate_all()
+            elapsed = time.perf_counter() - start
+            out.append(
+                (
+                    changed,
+                    report.total_executed,
+                    report.total_reused,
+                    len(DETECTORS) * N_VIDEOS,
+                    elapsed,
+                )
+            )
+        return out
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = [
+        [
+            changed,
+            executed,
+            reused,
+            f"{executed / full:.0%}",
+            f"{elapsed * 1e3:.0f}ms",
+        ]
+        for changed, executed, reused, full, elapsed in results
+    ]
+    print_table(
+        "E8: revalidation cost after changing one detector "
+        f"({N_VIDEOS} videos, full run = {len(DETECTORS) * N_VIDEOS} invocations)",
+        ["changed detector", "invocations", "reused", "of full", "wall time"],
+        rows,
+    )
+    by_name = {r[0]: r for r in results}
+    # Leaf change: one invocation per video.
+    assert by_name["rules"][1] == N_VIDEOS
+    # Root change: everything re-runs.
+    assert by_name["segment"][1] == len(DETECTORS) * N_VIDEOS
+    # Monotone in dependency depth.
+    assert (
+        by_name["rules"][1]
+        <= by_name["shape"][1]
+        <= by_name["tennis"][1]
+        <= by_name["segment"][1]
+    )
+
+
+def test_e8_incremental_vs_full_walltime(benchmark, clips):
+    """Wall-time: leaf revalidation vs indexing everything again."""
+
+    def evaluate():
+        fde = _fresh_indexed_fde(clips)
+
+        start = time.perf_counter()
+        fde.registry.bump_version("rules")
+        fde.revalidate_all()
+        incremental = time.perf_counter() - start
+
+        start = time.perf_counter()
+        _fresh_indexed_fde(clips)
+        full = time.perf_counter() - start
+        return incremental, full
+
+    incremental, full = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(
+        f"\nE8 wall time: incremental(rules)={incremental * 1e3:.0f}ms, "
+        f"full re-extraction={full * 1e3:.0f}ms, "
+        f"speedup={full / max(incremental, 1e-9):.1f}x"
+    )
+    assert incremental < full / 3
+
+
+def test_e8_noop_revalidation_speed(benchmark, clips):
+    """Timed kernel: revalidation when nothing changed (pure overhead)."""
+    fde = _fresh_indexed_fde(clips)
+    report = benchmark(fde.revalidate_all)
+    assert report.total_executed == 0

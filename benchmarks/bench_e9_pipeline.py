@@ -1,0 +1,70 @@
+"""E9 — end-to-end indexing throughput.
+
+Regenerates the per-stage cost breakdown of the tennis FDE pipeline:
+frames/second of each detector stage and of the full pipeline on the
+reference broadcast — the operational number a digital library cares
+about when ingesting a tournament's footage.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.grammar.tennis import build_tennis_fde
+
+
+def test_e9_stage_breakdown(benchmark, bench_broadcast):
+    clip, _truth = bench_broadcast
+
+    def run():
+        fde = build_tennis_fde()
+        timings = {}
+        original_run = fde.registry.run
+
+        def timed_run(name, context):
+            start = time.perf_counter()
+            original_run(name, context)
+            timings[name] = timings.get(name, 0.0) + time.perf_counter() - start
+
+        fde.registry.run = timed_run
+        start = time.perf_counter()
+        fde.index_video(clip)
+        total = time.perf_counter() - start
+        return timings, total, fde
+
+    timings, total, fde = benchmark.pedantic(run, rounds=1, iterations=1)
+    n_frames = len(clip)
+    rows = [
+        [
+            stage,
+            f"{seconds * 1e3:.0f}ms",
+            f"{seconds / total:.0%}",
+            f"{n_frames / seconds:.0f}" if seconds > 0 else "-",
+        ]
+        for stage, seconds in timings.items()
+    ]
+    rows.append(["TOTAL", f"{total * 1e3:.0f}ms", "100%", f"{n_frames / total:.0f}"])
+    print_table(
+        f"E9: indexing cost per stage ({n_frames} frames @ {clip.fps:.0f} fps)",
+        ["stage", "time", "share", "frames/s"],
+        rows,
+    )
+    # The pipeline indexes faster than a realtime 25fps broadcast plays.
+    assert n_frames / total > 25
+    # All four layers were populated.
+    counts = fde.model.counts()
+    assert min(counts.values()) >= 1
+
+
+def test_e9_full_pipeline_speed(benchmark, bench_broadcast):
+    """Timed kernel: the complete FDE run on the reference broadcast."""
+    clip, _truth = bench_broadcast
+
+    def run():
+        fde = build_tennis_fde()
+        fde.index_video(clip)
+        return fde
+
+    fde = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert fde.model.counts()["raw"] == 1

@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the experiment tables of EXPERIMENTS.md; each
+module prints its rows (run with ``-s`` to see them) and times its
+central kernel with pytest-benchmark.  Expensive inputs (broadcasts,
+the tournament dataset) are built once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.video.generator import BroadcastConfig, BroadcastGenerator
+
+
+@pytest.fixture(scope="session")
+def bench_broadcast():
+    """The reference broadcast used by E2/E3/E9: 16 shots, 25% gradual."""
+    generator = BroadcastGenerator(BroadcastConfig(gradual_fraction=0.25), seed=1001)
+    return generator.generate(16, name="bench_broadcast")
+
+
+@pytest.fixture(scope="session")
+def bench_tennis_clips():
+    """Per-script tennis clips for E4/E5."""
+    generator = BroadcastGenerator(seed=2002)
+    return {
+        kind: generator.tennis_clip(script=kind, n_frames=60, name=f"bench_{kind}")
+        for kind in ("rally", "net_approach", "service", "baseline_play")
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The tournament dataset for E6/E7/E10."""
+    return build_australian_open(seed=1234, video_shots=6)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render one experiment table to stdout."""
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

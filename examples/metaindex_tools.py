@@ -1,0 +1,68 @@
+"""Meta-index tooling: persistence, the query language, MPEG-7 export.
+
+The "adopt this library" workflow: index once, save the meta-index,
+restore it in a later session (no re-extraction), answer typed queries
+written in the query language, and hand the meta-data to other tools as
+MPEG-7-style XML.
+
+Usage::
+
+    python examples/metaindex_tools.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.mpeg7 import export_mpeg7, import_mpeg7
+from repro.dataset import build_australian_open
+from repro.library import DigitalLibraryEngine, parse_query
+from repro.library.persistence import load_model, save_model
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_"))
+
+    # ---- session 1: index and save --------------------------------------
+    dataset = build_australian_open(seed=7)
+    engine = DigitalLibraryEngine(dataset)
+    for plan in dataset.video_plans[:2]:
+        print(f"indexing {plan.name} ...")
+        engine.indexer.index_plan(plan)
+
+    meta_path = workdir / "metaindex.json"
+    save_model(engine.indexer.model, meta_path)
+    print(f"saved meta-index -> {meta_path} ({meta_path.stat().st_size} bytes)")
+
+    # ---- session 2: restore without re-extraction -----------------------
+    dataset2 = build_australian_open(seed=7)  # same seed, same library
+    engine2 = DigitalLibraryEngine(dataset2)
+    restored = engine2.indexer.restore(load_model(meta_path))
+    print(f"restored {restored} video(s) in a fresh session (no pixels touched)")
+
+    # ---- typed queries in the query language -----------------------------
+    for text in (
+        "SCENES WHERE event = net_play",
+        "SCENES WHERE event = rally LIMIT 3",
+        'SCENES WHERE player.gender = female AND event = service',
+        "SCENES WHERE event = service THEN rally WITHIN 120",
+    ):
+        query = parse_query(text)
+        results = engine2.search(query)
+        print(f"\n{text}\n  -> {len(results)} scene(s)")
+        for scene in results[:3]:
+            print(
+                f"     {scene.video_name}  [{scene.start},{scene.stop})  "
+                f"{scene.event_label}"
+            )
+
+    # ---- MPEG-7 export ----------------------------------------------------
+    xml_text = export_mpeg7(engine2.indexer.model)
+    xml_path = workdir / "metaindex.xml"
+    xml_path.write_text(xml_text)
+    print(f"\nMPEG-7 export -> {xml_path} ({len(xml_text)} chars)")
+    round_tripped = import_mpeg7(xml_text)
+    print(f"round-trip check: {round_tripped.counts()} == {engine2.indexer.model.counts()}")
+
+
+if __name__ == "__main__":
+    main()

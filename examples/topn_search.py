@@ -1,0 +1,62 @@
+"""Full-text search with top-N optimization over the interview corpus.
+
+Reproduces the Blok et al. trade-off on the library's own text: build
+the inverted index over all pages and transcripts, fragment it on
+descending term frequency, and compare exact evaluation against
+early-terminated evaluation at several work budgets.
+
+Usage::
+
+    python examples/topn_search.py
+"""
+
+import time
+
+from repro.dataset import build_australian_open
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.ranking import rank_full_scan
+from repro.ir.topn import FragmentedIndex
+
+QUERY = "approaching the net after long rallies"
+
+
+def main() -> None:
+    dataset = build_australian_open(seed=7)
+    print(f"corpus: {len(dataset.pages)} documents")
+
+    index = InvertedIndex(dataset.pages)
+    print(
+        f"index: {len(index.vocabulary)} terms, {index.total_postings()} postings, "
+        f"avg doc length {index.average_doc_length:.1f}"
+    )
+
+    terms = dataset.pages.query_terms(QUERY)
+    print(f"\nquery: {QUERY!r} -> terms {terms}")
+
+    exact = rank_full_scan(index, terms, 10)
+    print("\nexact top-10:")
+    for hit in exact:
+        print(f"  {hit.score:6.2f}  {dataset.pages.document(hit.doc_id).name}")
+
+    fragmented = FragmentedIndex(index, n_fragments=8)
+    exact_ids = [h.doc_id for h in exact]
+    print(f"\n{'fragments':>9} {'work':>6} {'P@10':>6} {'time':>9}")
+    for k in (1, 2, 4, 8):
+        start = time.perf_counter()
+        for _ in range(50):
+            result = fragmented.search(terms, 10, max_fragments=k)
+        elapsed = (time.perf_counter() - start) / 50
+        overlap = len(set(result.doc_ids()) & set(exact_ids)) / 10
+        print(
+            f"{k:9d} {result.work_fraction:6.2f} {overlap:6.2f} {elapsed * 1e6:7.0f}us"
+        )
+
+    print(
+        "\nshape: processing only the high-tf fragments does a fraction of "
+        "the work while keeping most of the exact top-10 — the Blok et al. "
+        "quality/speed dial."
+    )
+
+
+if __name__ == "__main__":
+    main()

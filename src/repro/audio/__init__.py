@@ -1,0 +1,40 @@
+"""Synthetic audio interviews and keyword spotting.
+
+The demo site "contains multimedia fragments, like audio files of
+interviews" whose hidden content the system makes searchable.  The 2002
+audio is gone, so this package synthesises it: each vocabulary word has
+a deterministic spectral signature (a formant triple), utterances are
+word signals separated by silence, and a keyword spotter recovers the
+words from the waveform — the audio analogue of the video pipeline.
+
+- :mod:`repro.audio.signal` — the :class:`AudioSignal` container,
+- :mod:`repro.audio.synth` — word signatures and utterance synthesis,
+- :mod:`repro.audio.features` — frame energy and spectral features,
+- :mod:`repro.audio.segmenter` — energy-based word segmentation,
+- :mod:`repro.audio.spotting` — template-matching keyword spotting.
+
+The interview feature grammar in :mod:`repro.grammar.interview` drives
+this pipeline through the same FDE as the tennis video grammar — the
+Acoi claim that the approach handles "multimedia documents in general".
+"""
+
+from repro.audio.signal import AudioSignal, SAMPLE_RATE
+from repro.audio.synth import WordSignature, word_signature, synthesize_word, synthesize_utterance
+from repro.audio.features import frame_energy, power_spectrum, spectral_peaks
+from repro.audio.segmenter import WordSegment, segment_words
+from repro.audio.spotting import KeywordSpotter
+
+__all__ = [
+    "AudioSignal",
+    "SAMPLE_RATE",
+    "WordSignature",
+    "word_signature",
+    "synthesize_word",
+    "synthesize_utterance",
+    "frame_energy",
+    "power_spectrum",
+    "spectral_peaks",
+    "WordSegment",
+    "segment_words",
+    "KeywordSpotter",
+]

@@ -1,0 +1,71 @@
+"""Audio features: frame energy and spectra."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["frame_energy", "power_spectrum", "spectral_peaks"]
+
+
+def frame_energy(samples: np.ndarray, frame: int = 80, hop: int = 40) -> np.ndarray:
+    """Short-time energy: mean square per frame of *frame* samples.
+
+    Args:
+        samples: the waveform.
+        frame: frame length in samples (80 = 10 ms at 8 kHz).
+        hop: hop size in samples.
+
+    Returns:
+        One energy value per frame position.
+    """
+    if frame < 1 or hop < 1:
+        raise ValueError("frame and hop must be >= 1")
+    arr = np.asarray(samples, dtype=np.float64)
+    if len(arr) < frame:
+        return np.array([float(np.mean(arr**2))]) if len(arr) else np.zeros(0)
+    n_frames = 1 + (len(arr) - frame) // hop
+    out = np.empty(n_frames)
+    for i in range(n_frames):
+        window = arr[i * hop : i * hop + frame]
+        out[i] = float(np.mean(window**2))
+    return out
+
+
+def power_spectrum(samples: np.ndarray, sample_rate: int) -> tuple[np.ndarray, np.ndarray]:
+    """Windowed power spectrum of a segment.
+
+    Returns:
+        ``(frequencies, power)`` — rFFT bins in Hz and their power.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("cannot take the spectrum of an empty segment")
+    windowed = arr * np.hanning(len(arr))
+    spectrum = np.abs(np.fft.rfft(windowed)) ** 2
+    frequencies = np.fft.rfftfreq(len(arr), d=1.0 / sample_rate)
+    return frequencies, spectrum
+
+
+def spectral_peaks(
+    samples: np.ndarray, sample_rate: int, n_peaks: int = 3, min_separation: float = 150.0
+) -> list[float]:
+    """The *n_peaks* strongest well-separated spectral peaks (Hz).
+
+    Greedy selection by power with a minimum frequency separation — the
+    segment-level formant estimate the keyword spotter matches against
+    word signatures.
+    """
+    if n_peaks < 1:
+        raise ValueError("n_peaks must be >= 1")
+    frequencies, power = power_spectrum(samples, sample_rate)
+    order = np.argsort(power)[::-1]
+    peaks: list[float] = []
+    for index in order:
+        frequency = float(frequencies[index])
+        if frequency < 100.0:
+            continue  # DC / rumble
+        if all(abs(frequency - p) >= min_separation for p in peaks):
+            peaks.append(frequency)
+        if len(peaks) == n_peaks:
+            break
+    return sorted(peaks)

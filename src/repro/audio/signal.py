@@ -1,0 +1,68 @@
+"""The audio signal container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AudioSignal", "SAMPLE_RATE"]
+
+#: Default sample rate: 8 kHz telephone quality, plenty for formants.
+SAMPLE_RATE = 8000
+
+
+class AudioSignal:
+    """Mono audio: float64 samples in [-1, 1] plus a sample rate.
+
+    Exposes ``name``, ``fps`` (the sample rate) and ``__len__`` so it can
+    serve as the raw-layer axiom object of an audio feature grammar.
+    """
+
+    def __init__(self, samples: np.ndarray, sample_rate: int = SAMPLE_RATE, name: str = "audio"):
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"expected mono samples, got shape {arr.shape}")
+        if len(arr) == 0:
+            raise ValueError("an AudioSignal needs at least one sample")
+        if sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+        self.samples = arr
+        self.sample_rate = int(sample_rate)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def fps(self) -> float:
+        """Sample rate, under the raw-layer interface name."""
+        return float(self.sample_rate)
+
+    @property
+    def duration(self) -> float:
+        """Length in seconds."""
+        return len(self.samples) / self.sample_rate
+
+    def slice_seconds(self, start: float, stop: float) -> "AudioSignal":
+        """A new signal covering ``[start, stop)`` seconds."""
+        i0 = max(0, int(start * self.sample_rate))
+        i1 = min(len(self.samples), int(stop * self.sample_rate))
+        if i0 >= i1:
+            raise ValueError(f"empty slice [{start}, {stop})s")
+        return AudioSignal(
+            self.samples[i0:i1], self.sample_rate, name=f"{self.name}[{start}:{stop}]"
+        )
+
+    def with_noise(self, snr_db: float, rng: np.random.Generator) -> "AudioSignal":
+        """A copy with white noise at the given signal-to-noise ratio."""
+        power = float(np.mean(self.samples**2))
+        if power == 0:
+            return AudioSignal(self.samples.copy(), self.sample_rate, self.name)
+        noise_power = power / (10.0 ** (snr_db / 10.0))
+        noise = rng.normal(0.0, np.sqrt(noise_power), len(self.samples))
+        return AudioSignal(self.samples + noise, self.sample_rate, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AudioSignal(name={self.name!r}, {self.duration:.2f}s "
+            f"@ {self.sample_rate}Hz)"
+        )

@@ -1,0 +1,211 @@
+"""Command-line interface for the digital library.
+
+Subcommands::
+
+    repro figure1
+        Print the paper's Figure 1 (tennis FDE detector dependencies)
+        as Graphviz DOT.
+
+    repro index --seed S --videos N --out META.json
+        Build the synthetic tournament (seed S), index the first N
+        planned videos through the tennis FDE, and save the meta-index.
+
+    repro query --seed S --metaindex META.json "SCENES WHERE ..."
+        Rebuild the tournament from the same seed, restore the saved
+        meta-index, and answer a combined query written in the query
+        language of :mod:`repro.library.parser`.
+
+    repro demo --seed S
+        The motivating query of the paper, end to end (indexes the
+        qualifying videos on the fly).
+
+    repro export-mpeg7 --metaindex META.json --out DOC.xml
+        Convert a saved meta-index to MPEG-7-style XML.
+
+    repro build-site --seed S --out DIR
+        Write the generated tournament web site as HTML files.
+
+    repro stats --metaindex META.json
+        Summarise a saved meta-index (shots per category, events per
+        label, track coverage, event density).
+
+All commands are deterministic in their seeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Content-based video indexing for digital library search (ICDE 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure1", help="print Figure 1 as Graphviz DOT")
+
+    index_cmd = sub.add_parser("index", help="index tournament videos into a meta-index file")
+    index_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
+    index_cmd.add_argument("--videos", type=int, default=2, help="how many planned videos to index")
+    index_cmd.add_argument("--out", required=True, help="output meta-index JSON path")
+
+    query_cmd = sub.add_parser("query", help="answer a combined query against a saved meta-index")
+    query_cmd.add_argument("--seed", type=int, default=7, help="dataset seed (must match index run)")
+    query_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+    query_cmd.add_argument("text", help='query, e.g. \'SCENES WHERE event = net_play\'')
+
+    demo_cmd = sub.add_parser("demo", help="run the paper's motivating query end to end")
+    demo_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
+
+    export_cmd = sub.add_parser("export-mpeg7", help="convert a saved meta-index to MPEG-7 XML")
+    export_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+    export_cmd.add_argument("--out", required=True, help="output XML path")
+
+    site_cmd = sub.add_parser("build-site", help="write the tournament web site as HTML files")
+    site_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
+    site_cmd.add_argument("--out", required=True, help="output directory")
+
+    stats_cmd = sub.add_parser("stats", help="summarise a saved meta-index")
+    stats_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+
+    return parser
+
+
+def _cmd_figure1(_args) -> int:
+    from repro.grammar.dot import figure_one
+
+    print(figure_one())
+    return 0
+
+
+def _cmd_index(args) -> int:
+    from repro.dataset import build_australian_open
+    from repro.library import DigitalLibraryEngine
+    from repro.library.persistence import save_model
+
+    dataset = build_australian_open(seed=args.seed)
+    engine = DigitalLibraryEngine(dataset)
+    for plan in dataset.video_plans[: args.videos]:
+        print(f"indexing {plan.name} ...")
+        engine.indexer.index_plan(plan)
+    save_model(engine.indexer.model, args.out)
+    counts = engine.indexer.model.counts()
+    print(
+        f"saved {args.out}: {counts['raw']} videos, {counts['feature']} shots, "
+        f"{counts['object']} objects, {counts['event']} events"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.dataset import build_australian_open
+    from repro.library import DigitalLibraryEngine, parse_query
+    from repro.library.persistence import load_model
+
+    dataset = build_australian_open(seed=args.seed)
+    engine = DigitalLibraryEngine(dataset)
+    restored = engine.indexer.restore(load_model(args.metaindex))
+    print(f"restored {restored} indexed video(s)")
+    query = parse_query(args.text)
+    results = engine.search(query)
+    if not results:
+        print("no scenes found")
+        return 1
+    for scene in results:
+        players = ", ".join(scene.players) if scene.players else "-"
+        print(
+            f"{scene.video_name}  frames [{scene.start},{scene.stop})  "
+            f"{scene.event_label or 'whole video'}  score={scene.score:.2f}  {players}"
+        )
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.dataset import build_australian_open
+    from repro.library import DigitalLibraryEngine, LibraryQuery
+
+    dataset = build_australian_open(seed=args.seed)
+    engine = DigitalLibraryEngine(dataset)
+    qualifying = engine.concept_players(
+        {"handedness": "left", "gender": "female", "past_winner": True}
+    )
+    names = [p.get("name") for p in qualifying]
+    print(f"left-handed female past champions: {names}")
+    plans = [
+        plan
+        for plan in dataset.video_plans
+        if any(name in plan.match_title for name in names)
+    ][:2]
+    for plan in plans:
+        print(f"indexing {plan.name} ...")
+        engine.indexer.index_plan(plan)
+    query = LibraryQuery(
+        player={"handedness": "left", "gender": "female", "past_winner": True},
+        event="net_play",
+    )
+    results = engine.search(query)
+    print(f"\n{len(results)} scene(s):")
+    for scene in results:
+        print(
+            f"  {scene.video_name}  frames [{scene.start},{scene.stop})  "
+            f"{', '.join(scene.players)}"
+        )
+    return 0
+
+
+def _cmd_export_mpeg7(args) -> int:
+    from pathlib import Path
+
+    from repro.core.mpeg7 import export_mpeg7
+    from repro.library.persistence import load_model
+
+    model = load_model(args.metaindex)
+    Path(args.out).write_text(export_mpeg7(model))
+    print(f"wrote {args.out} ({model.counts()})")
+    return 0
+
+
+def _cmd_build_site(args) -> int:
+    from repro.dataset import build_australian_open
+    from repro.dataset.site import write_site
+
+    dataset = build_australian_open(seed=args.seed)
+    paths = write_site(dataset, args.out)
+    print(f"wrote {len(paths)} pages under {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.library.persistence import load_model
+    from repro.library.stats import collect_stats, format_stats
+
+    model = load_model(args.metaindex)
+    print(format_stats(collect_stats(model)))
+    return 0
+
+
+_COMMANDS = {
+    "figure1": _cmd_figure1,
+    "index": _cmd_index,
+    "query": _cmd_query,
+    "demo": _cmd_demo,
+    "export-mpeg7": _cmd_export_mpeg7,
+    "build-site": _cmd_build_site,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

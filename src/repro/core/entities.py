@@ -1,0 +1,134 @@
+"""COBRA entities: the things the meta-index stores.
+
+Identifiers are plain ints assigned by the meta-index; entities
+themselves are immutable records, so layers can be rebuilt incrementally
+without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.temporal import Interval
+
+__all__ = ["Video", "ShotRecord", "VideoObject", "Event"]
+
+
+@dataclass(frozen=True)
+class Video:
+    """Raw-data layer: one video in the library.
+
+    Attributes:
+        video_id: meta-index identifier.
+        name: human-readable name (e.g. ``"final_2001_set3"``).
+        fps: frames per second.
+        n_frames: total frame count.
+        match_id: optional link into the conceptual (webspace) layer —
+            which tournament match this video records.
+    """
+
+    video_id: int
+    name: str
+    fps: float
+    n_frames: int
+    match_id: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.n_frames / self.fps
+
+
+@dataclass(frozen=True)
+class ShotRecord:
+    """Feature layer: one classified shot with its features.
+
+    Attributes:
+        shot_id: meta-index identifier.
+        video_id: owning video.
+        start: first frame (inclusive).
+        stop: one past the last frame.
+        category: tennis/closeup/audience/other.
+        features: flat name -> value mapping of the extracted shot
+            features (court coverage, skin ratio, entropy, ...).
+    """
+
+    shot_id: int
+    video_id: int
+    start: int
+    stop: int
+    category: str
+    features: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(f"invalid shot range [{self.start}, {self.stop})")
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.stop)
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class VideoObject:
+    """Object layer: a spatial entity tracked through a shot.
+
+    Attributes:
+        object_id: meta-index identifier.
+        shot_id: the shot the object lives in.
+        label: object class (``"player"``).
+        trajectory: per-frame ``(row, col)`` centroids, shot-relative,
+            ``None`` where the tracker lost the object.
+        dominant_color: mean RGB of the object's pixels.
+        mean_area: average blob area over found frames.
+    """
+
+    object_id: int
+    shot_id: int
+    label: str
+    trajectory: tuple[tuple[float, float] | None, ...]
+    dominant_color: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    mean_area: float = 0.0
+
+    @property
+    def found_fraction(self) -> float:
+        if not self.trajectory:
+            return 0.0
+        return sum(p is not None for p in self.trajectory) / len(self.trajectory)
+
+
+@dataclass(frozen=True)
+class Event:
+    """Event layer: a temporal entity recognised in a shot.
+
+    Attributes:
+        event_id: meta-index identifier.
+        shot_id: the shot the event occurs in.
+        label: event class (``"net_play"``, ``"rally"``, ...).
+        start: first frame, *video*-relative (so events from different
+            shots are directly comparable on the video timeline).
+        stop: one past the last frame, video-relative.
+        confidence: recogniser confidence in ``(0, 1]``.
+        object_id: the object realising the event, if any.
+    """
+
+    event_id: int
+    shot_id: int
+    label: str
+    start: int
+    stop: int
+    confidence: float = 1.0
+    object_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(f"invalid event range [{self.start}, {self.stop})")
+        if not 0 < self.confidence <= 1:
+            raise ValueError(f"confidence must be in (0, 1], got {self.confidence}")
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.stop)

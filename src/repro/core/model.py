@@ -1,0 +1,236 @@
+"""The four-layer COBRA model container.
+
+:class:`CobraModel` is the in-memory meta-index for a *library* of
+videos: it assigns identifiers, keeps the layer inventories consistent,
+and answers the layer-crossing lookups the query engine needs (events of
+a video, objects of a shot, shots of a category...).
+
+Persistence and set-oriented querying live in :mod:`repro.storage`; this
+class is the typed object view the extraction pipeline works against.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.entities import Event, ShotRecord, Video, VideoObject
+
+__all__ = ["CobraModel", "Layer"]
+
+
+class Layer(str, Enum):
+    """The four COBRA content layers."""
+
+    RAW = "raw"
+    FEATURE = "feature"
+    OBJECT = "object"
+    EVENT = "event"
+
+
+class CobraModel:
+    """Mutable meta-index over the four COBRA layers."""
+
+    def __init__(self) -> None:
+        self._videos: dict[int, Video] = {}
+        self._shots: dict[int, ShotRecord] = {}
+        self._objects: dict[int, VideoObject] = {}
+        self._events: dict[int, Event] = {}
+        self._next_id = {Layer.RAW: 1, Layer.FEATURE: 1, Layer.OBJECT: 1, Layer.EVENT: 1}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def _take_id(self, layer: Layer) -> int:
+        value = self._next_id[layer]
+        self._next_id[layer] = value + 1
+        return value
+
+    def add_video(
+        self, name: str, fps: float, n_frames: int, match_id: int | None = None
+    ) -> Video:
+        """Register a raw-layer video and return its record."""
+        video = Video(
+            video_id=self._take_id(Layer.RAW),
+            name=name,
+            fps=fps,
+            n_frames=n_frames,
+            match_id=match_id,
+        )
+        self._videos[video.video_id] = video
+        return video
+
+    def add_shot(
+        self,
+        video_id: int,
+        start: int,
+        stop: int,
+        category: str,
+        features: dict[str, float] | None = None,
+    ) -> ShotRecord:
+        """Register a feature-layer shot; the video must exist."""
+        if video_id not in self._videos:
+            raise KeyError(f"unknown video id {video_id}")
+        shot = ShotRecord(
+            shot_id=self._take_id(Layer.FEATURE),
+            video_id=video_id,
+            start=start,
+            stop=stop,
+            category=category,
+            features=dict(features or {}),
+        )
+        self._shots[shot.shot_id] = shot
+        return shot
+
+    def add_object(
+        self,
+        shot_id: int,
+        label: str,
+        trajectory: list[tuple[float, float] | None],
+        dominant_color: tuple[float, float, float] = (0.0, 0.0, 0.0),
+        mean_area: float = 0.0,
+    ) -> VideoObject:
+        """Register an object-layer entity; the shot must exist."""
+        if shot_id not in self._shots:
+            raise KeyError(f"unknown shot id {shot_id}")
+        obj = VideoObject(
+            object_id=self._take_id(Layer.OBJECT),
+            shot_id=shot_id,
+            label=label,
+            trajectory=tuple(trajectory),
+            dominant_color=dominant_color,
+            mean_area=mean_area,
+        )
+        self._objects[obj.object_id] = obj
+        return obj
+
+    def add_event(
+        self,
+        shot_id: int,
+        label: str,
+        start: int,
+        stop: int,
+        confidence: float = 1.0,
+        object_id: int | None = None,
+    ) -> Event:
+        """Register an event-layer entity (video-relative frames)."""
+        if shot_id not in self._shots:
+            raise KeyError(f"unknown shot id {shot_id}")
+        if object_id is not None and object_id not in self._objects:
+            raise KeyError(f"unknown object id {object_id}")
+        event = Event(
+            event_id=self._take_id(Layer.EVENT),
+            shot_id=shot_id,
+            label=label,
+            start=start,
+            stop=stop,
+            confidence=confidence,
+            object_id=object_id,
+        )
+        self._events[event.event_id] = event
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+
+    @property
+    def videos(self) -> list[Video]:
+        return list(self._videos.values())
+
+    @property
+    def shots(self) -> list[ShotRecord]:
+        return list(self._shots.values())
+
+    @property
+    def objects(self) -> list[VideoObject]:
+        return list(self._objects.values())
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events.values())
+
+    def video(self, video_id: int) -> Video:
+        return self._videos[video_id]
+
+    def shot(self, shot_id: int) -> ShotRecord:
+        return self._shots[shot_id]
+
+    def object(self, object_id: int) -> VideoObject:
+        return self._objects[object_id]
+
+    def event(self, event_id: int) -> Event:
+        return self._events[event_id]
+
+    def shots_of(self, video_id: int, category: str | None = None) -> list[ShotRecord]:
+        """Shots of a video, optionally filtered by category, in time order."""
+        shots = [s for s in self._shots.values() if s.video_id == video_id]
+        if category is not None:
+            shots = [s for s in shots if s.category == category]
+        return sorted(shots, key=lambda s: s.start)
+
+    def objects_of(self, shot_id: int) -> list[VideoObject]:
+        return [o for o in self._objects.values() if o.shot_id == shot_id]
+
+    def events_of(
+        self, video_id: int | None = None, label: str | None = None
+    ) -> list[Event]:
+        """Events, optionally restricted to one video and/or one label."""
+        events = list(self._events.values())
+        if video_id is not None:
+            shot_ids = {s.shot_id for s in self._shots.values() if s.video_id == video_id}
+            events = [e for e in events if e.shot_id in shot_ids]
+        if label is not None:
+            events = [e for e in events if e.label == label]
+        return sorted(events, key=lambda e: e.start)
+
+    def video_of_shot(self, shot_id: int) -> Video:
+        return self._videos[self._shots[shot_id].video_id]
+
+    def video_of_event(self, event_id: int) -> Video:
+        return self.video_of_shot(self._events[event_id].shot_id)
+
+    # ------------------------------------------------------------------ #
+    # Invalidation (FDE revalidation replaces stale meta-data)
+    # ------------------------------------------------------------------ #
+
+    def clear_events_of_video(self, video_id: int) -> int:
+        """Remove all events of a video; returns how many were removed."""
+        shot_ids = {s.shot_id for s in self._shots.values() if s.video_id == video_id}
+        doomed = [e for e in self._events.values() if e.shot_id in shot_ids]
+        for event in doomed:
+            del self._events[event.event_id]
+        return len(doomed)
+
+    def clear_objects_of_video(self, video_id: int) -> int:
+        """Remove all objects of a video (cascades to their events)."""
+        self.clear_events_of_video(video_id)
+        shot_ids = {s.shot_id for s in self._shots.values() if s.video_id == video_id}
+        doomed = [o for o in self._objects.values() if o.shot_id in shot_ids]
+        for obj in doomed:
+            del self._objects[obj.object_id]
+        return len(doomed)
+
+    def clear_shots_of_video(self, video_id: int) -> int:
+        """Remove all shots of a video (cascades to objects and events)."""
+        self.clear_objects_of_video(video_id)
+        doomed = [s for s in self._shots.values() if s.video_id == video_id]
+        for shot in doomed:
+            del self._shots[shot.shot_id]
+        return len(doomed)
+
+    def remove_video(self, video_id: int) -> None:
+        """Remove a video and all meta-data derived from it."""
+        if video_id not in self._videos:
+            raise KeyError(f"unknown video id {video_id}")
+        self.clear_shots_of_video(video_id)
+        del self._videos[video_id]
+
+    def counts(self) -> dict[str, int]:
+        """Entity counts per layer (used by reports and tests)."""
+        return {
+            Layer.RAW.value: len(self._videos),
+            Layer.FEATURE.value: len(self._shots),
+            Layer.OBJECT.value: len(self._objects),
+            Layer.EVENT.value: len(self._events),
+        }

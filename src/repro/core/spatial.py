@@ -1,0 +1,77 @@
+"""Spatial predicates for object-layer reasoning.
+
+Object-layer entities have "prominent spatial dimensions"; the grammars
+relate them with directional and metric predicates.  Positions are
+``(row, col)`` pairs, boxes are ``(row_min, col_min, row_max, col_max)``
+half-open bounds — the conventions of :mod:`repro.vision`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "left_of",
+    "right_of",
+    "above",
+    "below",
+    "near",
+    "distance",
+    "boxes_overlap",
+    "inside",
+]
+
+Position = tuple[float, float]
+Box = tuple[float, float, float, float]
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two positions."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def left_of(a: Position, b: Position, margin: float = 0.0) -> bool:
+    """True when *a* lies at least *margin* pixels left of *b*."""
+    return a[1] < b[1] - margin
+
+
+def right_of(a: Position, b: Position, margin: float = 0.0) -> bool:
+    """True when *a* lies at least *margin* pixels right of *b*."""
+    return a[1] > b[1] + margin
+
+
+def above(a: Position, b: Position, margin: float = 0.0) -> bool:
+    """True when *a* lies at least *margin* pixels above *b* (smaller row)."""
+    return a[0] < b[0] - margin
+
+
+def below(a: Position, b: Position, margin: float = 0.0) -> bool:
+    """True when *a* lies at least *margin* pixels below *b*."""
+    return a[0] > b[0] + margin
+
+
+def near(a: Position, b: Position, radius: float) -> bool:
+    """True when the two positions are within *radius* pixels."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    return distance(a, b) <= radius
+
+
+def _check_box(box: Box) -> Box:
+    r0, c0, r1, c1 = box
+    if r1 <= r0 or c1 <= c0:
+        raise ValueError(f"degenerate box {box}")
+    return box
+
+
+def boxes_overlap(a: Box, b: Box) -> bool:
+    """True when two boxes share any area."""
+    ar0, ac0, ar1, ac1 = _check_box(a)
+    br0, bc0, br1, bc1 = _check_box(b)
+    return ar0 < br1 and br0 < ar1 and ac0 < bc1 and bc0 < ac1
+
+
+def inside(position: Position, box: Box) -> bool:
+    """True when *position* falls within *box* (half-open bounds)."""
+    r0, c0, r1, c1 = _check_box(box)
+    return r0 <= position[0] < r1 and c0 <= position[1] < c1

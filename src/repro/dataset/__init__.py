@@ -1,0 +1,34 @@
+"""The synthetic Australian Open tournament dataset.
+
+The paper demos on http://tournament.ausopen.org/ (the 2002 site), which
+no longer exists.  This package generates a statistically equivalent
+stand-in: a player field, simulated tournament editions (so "has won the
+Australian Open in the past" is a derivable fact), web pages rendered
+lossily from the concept graph, interview transcripts, and *video
+plans* — per-match shot scripts the broadcast generator turns into
+pixels on demand.
+
+Entry point: :func:`repro.dataset.build.build_australian_open`.
+"""
+
+from repro.dataset.players import PlayerRecord, generate_players
+from repro.dataset.matches import MatchRecord, simulate_tournaments
+from repro.dataset.interviews import interview_text
+from repro.dataset.annotations import VideoPlan, plan_match_video
+from repro.dataset.build import TournamentDataset, build_australian_open, tennis_schema
+from repro.dataset.site import write_site, crawl_site
+
+__all__ = [
+    "PlayerRecord",
+    "generate_players",
+    "MatchRecord",
+    "simulate_tournaments",
+    "interview_text",
+    "VideoPlan",
+    "plan_match_video",
+    "TournamentDataset",
+    "build_australian_open",
+    "tennis_schema",
+    "write_site",
+    "crawl_site",
+]

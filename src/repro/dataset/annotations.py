@@ -1,0 +1,73 @@
+"""Video plans: per-match broadcast scripts.
+
+A :class:`VideoPlan` is a deferred video: the shot spec sequence and the
+seed needed to materialise identical pixels on demand.  Deferring
+materialisation keeps the dataset build cheap — only videos the caller
+actually indexes are rendered.
+
+The shot mix mirrors a match highlight reel: court shots realising
+rallies, services, baseline play and net approaches, interleaved with
+close-ups, crowd shots and graphics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.matches import MatchRecord
+from repro.video.frames import VideoClip
+from repro.video.generator import BroadcastConfig, BroadcastGenerator
+from repro.video.ground_truth import GroundTruth
+from repro.video.players import SCRIPT_KINDS
+
+__all__ = ["VideoPlan", "plan_match_video"]
+
+
+@dataclass
+class VideoPlan:
+    """A deferred per-match broadcast.
+
+    Attributes:
+        name: video name (meta-index key).
+        match_title: the match this video records.
+        n_shots: shots in the highlight reel.
+        seed: generator seed — same plan, same pixels.
+        config: broadcast configuration.
+    """
+
+    name: str
+    match_title: str
+    n_shots: int
+    seed: int
+    config: BroadcastConfig = field(default_factory=BroadcastConfig)
+
+    def materialise(self) -> tuple[VideoClip, GroundTruth]:
+        """Render the broadcast (deterministic in the plan)."""
+        generator = BroadcastGenerator(self.config, seed=self.seed)
+        clip, truth = generator.generate(self.n_shots, name=self.name)
+        return clip, truth
+
+
+def plan_match_video(
+    match: MatchRecord,
+    index: int,
+    n_shots: int = 10,
+    config: BroadcastConfig | None = None,
+) -> VideoPlan:
+    """Build the video plan for one match.
+
+    The plan seed derives from the match index so the whole library is
+    reproducible from one dataset seed.
+    """
+    if n_shots < 2:
+        raise ValueError("a highlight reel needs at least 2 shots")
+    safe_name = match.title.lower().replace(" ", "_").replace(",", "")
+    return VideoPlan(
+        name=f"video_{index:03d}_{safe_name}",
+        match_title=match.title,
+        n_shots=n_shots,
+        seed=100_000 + index,
+        config=config or BroadcastConfig(),
+    )

@@ -1,0 +1,50 @@
+"""Interview transcript generation.
+
+Transcripts give the IR engine realistic, Zipf-ish text: a pool of
+sentence templates mentioning the player, the opponent, tactics (net
+play, rallies, serving) and the tournament.  Each transcript mixes a
+few templates, so term statistics vary across documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.matches import MatchRecord
+
+__all__ = ["interview_text"]
+
+_TEMPLATES = (
+    "{winner} said the {round_name} against {loser} was a tough battle from the baseline.",
+    "I tried to come to the net early, {winner} explained after the {round_name}.",
+    "The serve worked well today and the volley felt natural, said {winner}.",
+    "{loser} admitted the long rallies in the {year} Australian Open took their toll.",
+    "The crowd in Melbourne was amazing, {winner} told the press conference.",
+    "{winner} praised {loser} for an aggressive return game throughout the match.",
+    "Coming back after the second set was about patience and footwork, {winner} noted.",
+    "{winner} felt the approach shots and net play decided the {round_name}.",
+    "It is a dream to keep winning here in Australia, said {winner} after the {round_name}.",
+    "{loser} struggled with the first serve percentage in the {round_name}.",
+    "The heat was brutal but the rally tempo suited my game, {winner} commented.",
+    "{winner} now prepares for the next round of the Australian Open {year}.",
+)
+
+
+def interview_text(
+    match: MatchRecord, rng: np.random.Generator, n_sentences: int = 5
+) -> str:
+    """A transcript for the winner's post-match interview."""
+    if n_sentences < 1:
+        raise ValueError("a transcript needs at least one sentence")
+    loser = match.player_b if match.winner == match.player_a else match.player_a
+    picks = rng.choice(len(_TEMPLATES), size=min(n_sentences, len(_TEMPLATES)), replace=False)
+    sentences = [
+        _TEMPLATES[int(i)].format(
+            winner=match.winner,
+            loser=loser,
+            round_name=match.round_name,
+            year=match.year,
+        )
+        for i in picks
+    ]
+    return " ".join(sentences)

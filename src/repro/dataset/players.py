@@ -1,0 +1,99 @@
+"""Synthetic tennis players.
+
+Names are generated from syllable pools (no real players), so the
+dataset is self-contained and rights-free.  The attribute distributions
+matter for the motivating query: both genders are represented, roughly
+15% of players are left-handed, and titles are assigned later by the
+tournament simulation — "has won the Australian Open in the past" is a
+*derived* fact, exactly the hidden semantics the webspace method exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PlayerRecord", "generate_players"]
+
+_GIVEN_FEMALE = (
+    "Amelie", "Serena", "Justine", "Kim", "Elena", "Martina", "Lindsay",
+    "Jennifer", "Monica", "Arantxa", "Anke", "Conchita", "Magda", "Iva",
+)
+_GIVEN_MALE = (
+    "Andre", "Pete", "Marat", "Gustavo", "Yevgeny", "Patrick", "Thomas",
+    "Goran", "Tim", "Carlos", "Lleyton", "Sebastien", "Alex", "Magnus",
+)
+_SURNAME_A = ("Kor", "Vel", "Mar", "San", "Hol", "Ber", "Lin", "Rau", "Dem", "Fal",
+              "Gor", "Tav", "Bren", "Cas")
+_SURNAME_B = ("anov", "ters", "tinez", "drová", "man", "etti", "qvist", "sen",
+              "ilova", "court", "ari", "ssen", "dera", "nare")
+
+_COUNTRIES = (
+    "Australia", "United States", "France", "Spain", "Russia", "Belgium",
+    "Germany", "Sweden", "Brazil", "Croatia", "Switzerland", "Argentina",
+)
+
+
+@dataclass
+class PlayerRecord:
+    """One player of the synthetic tour.
+
+    ``titles`` counts Australian Open wins and is filled in by the
+    tournament simulation.
+    """
+
+    name: str
+    gender: str
+    handedness: str
+    country: str
+    seed: int
+    titles: int = 0
+
+
+def generate_players(
+    rng: np.random.Generator,
+    n_per_gender: int = 16,
+    left_handed_fraction: float = 0.15,
+) -> list[PlayerRecord]:
+    """Generate ``2 * n_per_gender`` players with unique names.
+
+    Args:
+        rng: randomness source.
+        n_per_gender: players per singles draw.
+        left_handed_fraction: expected fraction of left-handers.
+    """
+    if n_per_gender < 2:
+        raise ValueError("need at least 2 players per gender")
+    if not 0 <= left_handed_fraction <= 1:
+        raise ValueError("left_handed_fraction must be in [0, 1]")
+    players: list[PlayerRecord] = []
+    used_names: set[str] = set()
+    for gender, given_pool in (("female", _GIVEN_FEMALE), ("male", _GIVEN_MALE)):
+        for seed in range(1, n_per_gender + 1):
+            name = _unique_name(rng, given_pool, used_names)
+            used_names.add(name)
+            players.append(
+                PlayerRecord(
+                    name=name,
+                    gender=gender,
+                    handedness=(
+                        "left" if rng.random() < left_handed_fraction else "right"
+                    ),
+                    country=str(rng.choice(_COUNTRIES)),
+                    seed=seed,
+                )
+            )
+    return players
+
+
+def _unique_name(
+    rng: np.random.Generator, given_pool: tuple[str, ...], used: set[str]
+) -> str:
+    for _ in range(1000):
+        given = str(rng.choice(given_pool))
+        surname = str(rng.choice(_SURNAME_A)) + str(rng.choice(_SURNAME_B))
+        name = f"{given} {surname}"
+        if name not in used:
+            return name
+    raise RuntimeError("name pool exhausted; reduce player count")

@@ -1,0 +1,63 @@
+"""The tournament web site on disk.
+
+The webspace method starts from an actual site; this module writes the
+generated pages as ``.html`` files in the structure of the 2002 demo's
+source (``players/``, ``matches/``, ``interviews/``) and provides the
+crawler counterpart: walking the files back into a
+:class:`~repro.ir.collection.DocumentCollection`, which is *all* a
+generic search engine can see — the starting point of the paper's
+argument.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.dataset.build import TournamentDataset
+from repro.ir.collection import DocumentCollection
+from repro.webspace.html import page_text, render_page
+
+__all__ = ["write_site", "crawl_site"]
+
+
+def write_site(dataset: TournamentDataset, out_dir: str | Path) -> list[Path]:
+    """Render every webspace object's page to *out_dir* as HTML files.
+
+    The directory layout mirrors the document names of
+    ``dataset.pages`` (``players/<name>.html`` etc.).
+
+    Returns:
+        The written paths, in page order.
+    """
+    out_dir = Path(out_dir)
+    written: list[Path] = []
+    # Pages carry (class, oid) metadata; re-render the HTML (pages store
+    # only the crawlable text).
+    for document in dataset.pages:
+        oid = document.metadata.get("oid")
+        if oid is None:
+            continue
+        html = render_page(dataset.instance.object(oid))
+        path = out_dir / document.name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(html)
+        written.append(path)
+    return written
+
+
+def crawl_site(site_dir: str | Path) -> DocumentCollection:
+    """Crawl a written site back into a document collection.
+
+    This is the generic-search-engine view: file names and stripped page
+    text, no conceptual structure.  Page names are site-relative paths,
+    so a crawl of :func:`write_site` output aligns document-for-document
+    with the dataset's own collection.
+    """
+    site_dir = Path(site_dir)
+    if not site_dir.is_dir():
+        raise FileNotFoundError(f"no site at {site_dir}")
+    collection = DocumentCollection()
+    for path in sorted(site_dir.rglob("*.html")):
+        name = str(path.relative_to(site_dir))
+        collection.add(name, page_text(path.read_text()))
+    return collection

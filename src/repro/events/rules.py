@@ -1,0 +1,199 @@
+"""White-box spatio-temporal event rules.
+
+Each rule maps a zone/motion reading of the trajectory to event
+intervals:
+
+- **net_play** — the player stays in the net zone for a minimum duration.
+- **rally** — sustained fast lateral movement in the back of the court
+  with direction changes (chasing the ball side to side).
+- **service** — a still stance in the baseline zone held for a minimum
+  duration (the serve ritual).
+- **baseline_play** — presence in the baseline zone that is neither a
+  rally nor a service.
+
+These are the rules the paper implements "as white- and blackbox
+detectors within the FDE"; thresholds are exposed for the E5 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.events.quantize import CourtZones
+
+__all__ = ["DetectedEvent", "RuleEventDetector"]
+
+
+@dataclass(frozen=True)
+class DetectedEvent:
+    """An event interval recognised in a shot.
+
+    Attributes:
+        start: first frame of the event, shot-relative.
+        stop: one past the last frame.
+        label: event label.
+        confidence: detector-specific confidence in ``(0, 1]``.
+    """
+
+    start: int
+    stop: int
+    label: str
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(f"invalid event interval [{self.start}, {self.stop})")
+        if not 0 < self.confidence <= 1:
+            raise ValueError(f"confidence must be in (0, 1], got {self.confidence}")
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def _bridge_gaps(flags: np.ndarray, max_gap: int) -> np.ndarray:
+    """Fill False gaps of at most *max_gap* frames between True runs."""
+    out = flags.copy()
+    n = len(flags)
+    i = 0
+    while i < n:
+        if not out[i]:
+            gap_start = i
+            while i < n and not out[i]:
+                i += 1
+            gap_len = i - gap_start
+            if 0 < gap_start and i < n and gap_len <= max_gap:
+                out[gap_start:i] = True
+        else:
+            i += 1
+    return out
+
+
+def _runs(flags: np.ndarray, min_length: int) -> list[tuple[int, int]]:
+    """Maximal runs of True in *flags* that last at least *min_length*."""
+    runs: list[tuple[int, int]] = []
+    start = None
+    for i, flag in enumerate(flags):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            if i - start >= min_length:
+                runs.append((start, i))
+            start = None
+    if start is not None and len(flags) - start >= min_length:
+        runs.append((start, len(flags)))
+    return runs
+
+
+class RuleEventDetector:
+    """Detect events in one shot's trajectory with spatio-temporal rules.
+
+    Args:
+        zones: court zoning for the shot.
+        min_net_frames: minimum stay in the net zone to call net play.
+        min_service_frames: minimum still stance to call a service.
+        min_rally_frames: minimum span of sustained lateral movement.
+        still_speed: lateral speed below which the player is "still".
+        rally_speed: mean lateral speed above which movement is rally-like.
+        smooth: half-width of the median filter applied to positions
+            (suppresses single-frame tracker jitter).
+    """
+
+    def __init__(
+        self,
+        zones: CourtZones,
+        min_net_frames: int = 8,
+        min_service_frames: int = 6,
+        min_rally_frames: int = 12,
+        still_speed: float = 0.7,
+        rally_speed: float = 1.2,
+        smooth: int = 1,
+    ):
+        if min(min_net_frames, min_service_frames, min_rally_frames) < 1:
+            raise ValueError("minimum durations must be >= 1 frame")
+        self.zones = zones
+        self.min_net_frames = min_net_frames
+        self.min_service_frames = min_service_frames
+        self.min_rally_frames = min_rally_frames
+        self.still_speed = still_speed
+        self.rally_speed = rally_speed
+        self.smooth = smooth
+
+    def _smooth(self, values: np.ndarray) -> np.ndarray:
+        if self.smooth < 1 or len(values) < 3:
+            return values
+        k = self.smooth
+        out = values.copy()
+        for i in range(len(values)):
+            lo = max(0, i - k)
+            hi = min(len(values), i + k + 1)
+            out[i] = np.median(values[lo:hi])
+        return out
+
+    def detect(self, trajectory: list[tuple[float, float] | None]) -> list[DetectedEvent]:
+        """All events found in a shot trajectory.
+
+        ``None`` entries (frames where the tracker lost the player) break
+        runs, so events never span tracking gaps.
+        """
+        n = len(trajectory)
+        if n == 0:
+            return []
+        valid = np.array([p is not None for p in trajectory])
+        rows = np.array([p[0] if p is not None else np.nan for p in trajectory])
+        cols = np.array([p[1] if p is not None else np.nan for p in trajectory])
+        rows = self._smooth(rows)
+        cols = self._smooth(cols)
+        speeds = np.abs(np.diff(cols, prepend=cols[:1]))
+
+        in_net = valid & (rows <= self.zones.net_zone_limit)
+        in_baseline = valid & (rows >= self.zones.baseline_zone_limit)
+        in_side_band = valid & (
+            (cols <= self.zones.left_band_limit) | (cols >= self.zones.right_band_limit)
+        )
+        still = valid & (speeds < self.still_speed)
+
+        events: list[DetectedEvent] = []
+
+        for start, stop in _runs(in_net, self.min_net_frames):
+            events.append(DetectedEvent(start, stop, "net_play"))
+
+        # Service: still stance at the baseline corner (side band).
+        service_spans = _runs(
+            _bridge_gaps(in_baseline & in_side_band & still, max_gap=2),
+            self.min_service_frames,
+        )
+        for start, stop in service_spans:
+            events.append(DetectedEvent(start, stop, "service"))
+
+        # Rally: sustained movement behind the net zone with at least one
+        # direction change; mean speed over the window must be rally-like.
+        # Brief slow-downs (the turnarounds themselves) are bridged so a
+        # side-to-side run registers as one movement span.
+        moving = valid & ~in_net & (speeds >= self.still_speed)
+        moving = _bridge_gaps(moving, max_gap=4)
+        for start, stop in _runs(moving, self.min_rally_frames):
+            window_speed = float(np.nanmean(speeds[start:stop]))
+            direction_changes = self._direction_changes(cols[start:stop])
+            if window_speed >= self.rally_speed and direction_changes >= 1:
+                events.append(DetectedEvent(start, stop, "rally"))
+
+        # Baseline play: time in the baseline zone not already explained.
+        explained = np.zeros(n, dtype=bool)
+        for event in events:
+            explained[event.start : event.stop] = True
+        for start, stop in _runs(in_baseline & ~explained, self.min_rally_frames):
+            events.append(DetectedEvent(start, stop, "baseline_play"))
+
+        return sorted(events, key=lambda e: (e.start, e.label))
+
+    @staticmethod
+    def _direction_changes(cols: np.ndarray) -> int:
+        """Number of lateral direction reversals in a column series."""
+        deltas = np.diff(cols)
+        signs = np.sign(deltas[np.abs(deltas) > 0.2])
+        if len(signs) < 2:
+            return 0
+        return int(np.sum(signs[1:] != signs[:-1]))

@@ -1,0 +1,46 @@
+"""The Acoi feature grammar system and Feature Detector Engine (FDE).
+
+Contribution (1) of the paper: "a flexible solution for extraction and
+querying of meta-data from multimedia documents" — the Acoi system of
+Windhouwer, Schmidt & Kersten.  "The feature grammar ... describes the
+relationships between meta-data and detectors in a set of grammar
+rules. ... to populate the meta-index the feature grammar is used to
+generate a parser: the Feature Detector Engine (FDE).  This FDE
+triggers the execution of the associated detectors."
+
+- :mod:`repro.grammar.grammar` — the feature grammar language: detector
+  declarations with input/output meta-data tokens and guards,
+- :mod:`repro.grammar.detectors` — the detector registry (white/black
+  box) with versioning,
+- :mod:`repro.grammar.fde` — the engine: dependency DAG, topological
+  scheduling, per-video output caching, incremental revalidation,
+- :mod:`repro.grammar.tennis` — the tennis feature grammar of Figure 1
+  with its detector implementations,
+- :mod:`repro.grammar.dot` — DAG export (regenerates Figure 1).
+"""
+
+from repro.grammar.grammar import (
+    FeatureGrammar,
+    DetectorDecl,
+    FeatureGrammarError,
+    parse_feature_grammar,
+)
+from repro.grammar.detectors import DetectorRegistry, IndexingContext
+from repro.grammar.fde import FeatureDetectorEngine, RevalidationReport
+from repro.grammar.tennis import TENNIS_FEATURE_GRAMMAR, build_tennis_fde
+from repro.grammar.dot import to_dot, figure_one
+
+__all__ = [
+    "FeatureGrammar",
+    "DetectorDecl",
+    "FeatureGrammarError",
+    "parse_feature_grammar",
+    "DetectorRegistry",
+    "IndexingContext",
+    "FeatureDetectorEngine",
+    "RevalidationReport",
+    "TENNIS_FEATURE_GRAMMAR",
+    "build_tennis_fde",
+    "to_dot",
+    "figure_one",
+]

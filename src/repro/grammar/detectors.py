@@ -1,0 +1,112 @@
+"""Detector registry and indexing context.
+
+A detector implementation is a callable ``fn(context)`` that reads the
+tokens its declaration consumes from ``context.tokens`` and writes the
+tokens it produces.  The registry versions each implementation, which is
+what incremental revalidation keys on: bumping a version marks the
+detector (and its meta-data) stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.model import CobraModel
+from repro.video.frames import VideoClip
+
+__all__ = ["IndexingContext", "DetectorRegistry"]
+
+
+@dataclass
+class IndexingContext:
+    """Everything a detector sees while indexing one multimedia object.
+
+    Attributes:
+        clip: the raw object (the axiom token's value) — a
+            :class:`~repro.video.frames.VideoClip` for video grammars,
+            any raw object with ``name``/``fps``/``__len__`` otherwise
+            (e.g. an :class:`~repro.audio.signal.AudioSignal`).
+        model: the COBRA meta-index being populated.
+        video_id: meta-index id of this object's raw-layer record.
+        tokens: meta-data blackboard: token name -> value.  The grammar's
+            axiom token maps to the raw object.
+        axiom: the axiom token name (default ``video``).
+        invocations: per-detector run counter (benchmark bookkeeping).
+    """
+
+    clip: object
+    model: CobraModel
+    video_id: int
+    tokens: dict[str, object] = field(default_factory=dict)
+    invocations: dict[str, int] = field(default_factory=dict)
+    axiom: str = "video"
+
+    def __post_init__(self) -> None:
+        self.tokens.setdefault(self.axiom, self.clip)
+
+    def require(self, token: str):
+        """Read an input token, failing loudly when a dependency is missing."""
+        if token not in self.tokens:
+            raise KeyError(
+                f"token {token!r} not available — was its producer run?"
+            )
+        return self.tokens[token]
+
+
+@dataclass
+class _Registration:
+    fn: Callable[[IndexingContext], None]
+    kind: str
+    version: int
+
+
+class DetectorRegistry:
+    """Named detector implementations with versions."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Registration] = {}
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[[IndexingContext], None],
+        kind: str = "black",
+        version: int = 1,
+    ) -> None:
+        """Register (or replace) the implementation of *name*.
+
+        Replacing an existing registration bumps the version unless a
+        higher one is given explicitly.
+        """
+        if kind not in ("white", "black"):
+            raise ValueError(f"kind must be white/black, got {kind!r}")
+        if name in self._entries:
+            version = max(version, self._entries[name].version + 1)
+        self._entries[name] = _Registration(fn=fn, kind=kind, version=version)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def fn(self, name: str) -> Callable[[IndexingContext], None]:
+        if name not in self._entries:
+            raise KeyError(f"no detector implementation registered for {name!r}")
+        return self._entries[name].fn
+
+    def kind(self, name: str) -> str:
+        return self._entries[name].kind
+
+    def version(self, name: str) -> int:
+        return self._entries[name].version
+
+    def bump_version(self, name: str) -> int:
+        """Mark *name* changed (e.g. retuned thresholds); returns new version."""
+        if name not in self._entries:
+            raise KeyError(f"no detector implementation registered for {name!r}")
+        self._entries[name].version += 1
+        return self._entries[name].version
+
+    def run(self, name: str, context: IndexingContext) -> None:
+        """Invoke a detector and count the invocation."""
+        self.fn(name)(context)
+        context.invocations[name] = context.invocations.get(name, 0) + 1

@@ -1,0 +1,119 @@
+"""The interview (audio) feature grammar.
+
+The second instantiation of the Acoi framework, proving the paper's
+claim that feature grammars manage "extraction and querying of meta-data
+from multimedia documents in general": the same FDE machinery drives an
+*audio* pipeline — word segmentation, keyword spotting, and a white-box
+mention detector — over interview recordings.
+
+The axiom is ``audio`` (an :class:`~repro.audio.signal.AudioSignal`);
+the meta-index records the recording as a raw-layer object with one
+``interview`` segment, and each spotted keyword as an event on the
+sample timeline.
+"""
+
+from __future__ import annotations
+
+from repro.audio.segmenter import segment_words
+from repro.audio.signal import AudioSignal
+from repro.audio.spotting import KeywordSpotter
+from repro.core.model import CobraModel
+from repro.grammar.detectors import DetectorRegistry, IndexingContext
+from repro.grammar.fde import FeatureDetectorEngine
+from repro.grammar.grammar import parse_feature_grammar
+
+__all__ = ["INTERVIEW_FEATURE_GRAMMAR", "TENNIS_KEYWORDS", "build_interview_fde"]
+
+INTERVIEW_FEATURE_GRAMMAR = """
+FEATURE GRAMMAR interview ;
+AXIOM audio ;
+
+# Word segmentation by short-time energy (black box).
+DETECTOR words BLACK : audio -> word_segment ;
+
+# Keyword spotting: classify each segment against the vocabulary.
+DETECTOR spot BLACK : word_segment -> word ;
+
+# Mention extraction: which domain keywords occur where (white box —
+# it only interprets the keyword list).
+DETECTOR mentions WHITE : word -> mention ;
+"""
+
+#: The tennis terms the digital library spots in interview audio.
+TENNIS_KEYWORDS = (
+    "net",
+    "volley",
+    "rally",
+    "serve",
+    "baseline",
+    "champion",
+    "melbourne",
+)
+
+
+def _words_impl():
+    def run(context: IndexingContext) -> None:
+        context.model.clear_shots_of_video(context.video_id)
+        signal: AudioSignal = context.require("audio")
+        segments = segment_words(signal)
+        shot = context.model.add_shot(
+            context.video_id, start=0, stop=len(signal), category="interview"
+        )
+        context.tokens["word_segment"] = (shot.shot_id, segments)
+
+    return run
+
+
+def _spot_impl(spotter: KeywordSpotter):
+    def run(context: IndexingContext) -> None:
+        signal: AudioSignal = context.require("audio")
+        shot_id, segments = context.require("word_segment")
+        words = [
+            (segment, spotter.classify_segment(signal, segment)[0])
+            for segment in segments
+        ]
+        context.tokens["word"] = (shot_id, words)
+
+    return run
+
+
+def _mentions_impl(keywords: tuple[str, ...]):
+    wanted = {k.lower() for k in keywords}
+
+    def run(context: IndexingContext) -> None:
+        context.model.clear_events_of_video(context.video_id)
+        shot_id, words = context.require("word")
+        mentions = []
+        for segment, word in words:
+            if word in wanted:
+                event = context.model.add_event(
+                    shot_id,
+                    label=f"mention:{word}",
+                    start=segment.start,
+                    stop=segment.stop,
+                )
+                mentions.append(event)
+        context.tokens["mention"] = mentions
+
+    return run
+
+
+def build_interview_fde(
+    vocabulary: list[str],
+    keywords: tuple[str, ...] = TENNIS_KEYWORDS,
+    model: CobraModel | None = None,
+) -> FeatureDetectorEngine:
+    """Construct the interview FDE.
+
+    Args:
+        vocabulary: the words the spotter can recognise (typically the
+            corpus vocabulary).
+        keywords: the domain terms registered as mention events.
+        model: the meta-index to populate.
+    """
+    grammar = parse_feature_grammar(INTERVIEW_FEATURE_GRAMMAR)
+    registry = DetectorRegistry()
+    registry.register("words", _words_impl(), kind="black")
+    registry.register("spot", _spot_impl(KeywordSpotter(vocabulary)), kind="black")
+    registry.register("mentions", _mentions_impl(keywords), kind="white")
+    return FeatureDetectorEngine(grammar, registry, model=model)

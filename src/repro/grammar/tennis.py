@@ -1,0 +1,249 @@
+"""The tennis feature grammar (Figure 1) and its detectors.
+
+"A tennis feature grammar with rules that describe the execution order
+of and dependencies between several feature, object or event extraction
+algorithms has been developed (see Figure 1)."
+
+The chain the paper describes:
+
+1. **segment** — shot boundaries from colour-histogram differences and
+   four-way shot classification (tennis / close-up / audience / other);
+2. **tennis** — for shots classified tennis: player segmentation from
+   court colour statistics and predict-and-search tracking;
+3. **shape** — per-object shape features (mass centre, area, bounding
+   box, orientation, eccentricity) and dominant colour;
+4. **rules** (white box) — spatio-temporal event rules (net play, rally,
+   service, baseline play) evaluated by the COBRA grammar engine.
+
+``build_tennis_fde`` wires these concrete implementations to the
+grammar and returns a ready engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.defaults import tennis_grammar
+from repro.core.inference import GrammarEventDetector
+from repro.core.model import CobraModel
+from repro.events.quantize import CourtZones
+from repro.grammar.detectors import DetectorRegistry, IndexingContext
+from repro.grammar.fde import FeatureDetectorEngine
+from repro.grammar.grammar import FeatureGrammar, parse_feature_grammar
+from repro.shots.boundary import TwinComparisonDetector
+from repro.shots.segmenter import DetectedShot, SegmentDetector
+from repro.tracking.court_model import CourtColorModel
+from repro.tracking.segmentation import court_bounds
+from repro.tracking.tracker import PlayerTracker, Track
+from repro.video.shots import ShotCategory
+
+__all__ = ["TENNIS_FEATURE_GRAMMAR", "TrackedPlayer", "build_tennis_fde"]
+
+TENNIS_FEATURE_GRAMMAR = """
+FEATURE GRAMMAR tennis ;
+
+# The segment detector is implemented externally (black box): it finds
+# shot boundaries with colour-histogram differences and classifies each
+# shot as tennis / close-up / audience / other.
+DETECTOR segment BLACK : video -> shot ;
+
+# The tennis detector runs only on shots classified as tennis: initial
+# quadratic segmentation from court colour statistics, then
+# predict-and-search tracking of the player.
+DETECTOR tennis BLACK : shot WHEN category = tennis -> player ;
+
+# Shape features of the segmented player's binary representation.
+DETECTOR shape BLACK : player -> shape ;
+
+# Spatio-temporal event rules (white box: interpreted grammar rules).
+DETECTOR rules WHITE : player, shape -> event ;
+"""
+
+
+@dataclass
+class TrackedPlayer:
+    """The ``player`` token: one tracked player per tennis shot."""
+
+    shot: DetectedShot
+    shot_id: int
+    object_id: int
+    track: Track
+    zones: CourtZones | None
+
+
+def _segment_impl(segmenter: SegmentDetector):
+    """Build the segment detector: clip -> classified shots + ShotRecords."""
+
+    def run(context: IndexingContext) -> None:
+        context.model.clear_shots_of_video(context.video_id)
+        clip = context.require("video")
+        shots = segmenter.detect(clip)
+        records = []
+        for shot in shots:
+            record = context.model.add_shot(
+                context.video_id,
+                start=shot.start,
+                stop=shot.stop,
+                category=shot.category,
+                features={
+                    "court_coverage": shot.features.court_coverage,
+                    "skin_ratio": shot.features.skin_ratio,
+                    "entropy": shot.features.entropy,
+                    "mean": shot.features.mean,
+                    "variance": shot.features.variance,
+                },
+            )
+            records.append((shot, record.shot_id))
+        context.tokens["shot"] = records
+
+    return run
+
+
+def _tennis_impl(tracker: PlayerTracker, far_tracker: PlayerTracker | None = None):
+    """Build the tennis detector: tennis shots -> tracked players.
+
+    With *far_tracker* set, the far-court player is tracked too and
+    registered as a second object-layer entity (``player_far``); events
+    remain driven by the near player, the broadcast's primary subject.
+    """
+
+    def run(context: IndexingContext) -> None:
+        context.model.clear_objects_of_video(context.video_id)
+        clip = context.require("video")
+        players: list[TrackedPlayer] = []
+        for shot, shot_id in context.require("shot"):
+            if shot.category != ShotCategory.TENNIS:
+                continue
+            frames = [clip[i] for i in range(shot.start, shot.stop)]
+            track = tracker.track(frames)
+            color_model = CourtColorModel.estimate(frames[0])
+            bounds = court_bounds(frames[0], color_model)
+            zones = CourtZones.from_court_bounds(bounds) if bounds else None
+            obj = context.model.add_object(
+                shot_id,
+                label="player",
+                trajectory=track.positions,
+            )
+            if far_tracker is not None:
+                far_track = far_tracker.track(frames)
+                context.model.add_object(
+                    shot_id,
+                    label="player_far",
+                    trajectory=far_track.positions,
+                )
+            players.append(
+                TrackedPlayer(
+                    shot=shot,
+                    shot_id=shot_id,
+                    object_id=obj.object_id,
+                    track=track,
+                    zones=zones,
+                )
+            )
+        context.tokens["player"] = players
+
+    return run
+
+
+def _shape_impl():
+    """Build the shape detector: aggregate per-track shape statistics."""
+
+    def run(context: IndexingContext) -> None:
+        shapes = []
+        for player in context.require("player"):
+            observations = [
+                p.observation for p in player.track.points if p.observation is not None
+            ]
+            if observations:
+                areas = [o.shape.area for o in observations]
+                colors = np.array([o.dominant_color for o in observations])
+                summary = {
+                    "object_id": player.object_id,
+                    "mean_area": float(np.mean(areas)),
+                    "mean_eccentricity": float(
+                        np.mean([o.shape.eccentricity for o in observations])
+                    ),
+                    "mean_aspect_ratio": float(
+                        np.mean([o.shape.aspect_ratio for o in observations])
+                    ),
+                    "dominant_color": tuple(colors.mean(axis=0)),
+                }
+            else:
+                summary = {
+                    "object_id": player.object_id,
+                    "mean_area": 0.0,
+                    "mean_eccentricity": 0.0,
+                    "mean_aspect_ratio": 0.0,
+                    "dominant_color": (0.0, 0.0, 0.0),
+                }
+            shapes.append(summary)
+        context.tokens["shape"] = shapes
+
+    return run
+
+
+def _rules_impl(concept_grammar=None):
+    """Build the white-box event detector: grammar rules over trajectories."""
+    grammar = concept_grammar or tennis_grammar()
+
+    def run(context: IndexingContext) -> None:
+        context.model.clear_events_of_video(context.video_id)
+        events = []
+        for player in context.require("player"):
+            if player.zones is None:
+                continue
+            detector = GrammarEventDetector(grammar, player.zones)
+            for detected in detector.detect(player.track.positions):
+                event = context.model.add_event(
+                    player.shot_id,
+                    label=detected.label,
+                    start=player.shot.start + detected.start,
+                    stop=player.shot.start + detected.stop,
+                    confidence=detected.confidence,
+                    object_id=player.object_id,
+                )
+                events.append(event)
+        context.tokens["event"] = events
+
+    return run
+
+
+def build_tennis_fde(
+    model: CobraModel | None = None,
+    segmenter: SegmentDetector | None = None,
+    tracker: PlayerTracker | None = None,
+    concept_grammar=None,
+    track_far: bool = False,
+) -> FeatureDetectorEngine:
+    """Construct the tennis FDE with default (or supplied) detectors.
+
+    Args:
+        model: the meta-index to populate.
+        segmenter: segment detector override (defaults to the
+            twin-comparison boundary detector + rule classifier).
+        tracker: player tracker override.
+        concept_grammar: COBRA event grammar override.
+        track_far: also track the far-court player (a second
+            object-layer entity per tennis shot).
+
+    Returns:
+        A ready :class:`~repro.grammar.fde.FeatureDetectorEngine`.
+    """
+    grammar: FeatureGrammar = parse_feature_grammar(TENNIS_FEATURE_GRAMMAR)
+    registry = DetectorRegistry()
+    registry.register(
+        "segment",
+        _segment_impl(segmenter or SegmentDetector(boundary_detector=TwinComparisonDetector())),
+        kind="black",
+    )
+    far_tracker = PlayerTracker(half="far", min_area=8) if track_far else None
+    registry.register(
+        "tennis",
+        _tennis_impl(tracker or PlayerTracker(), far_tracker=far_tracker),
+        kind="black",
+    )
+    registry.register("shape", _shape_impl(), kind="black")
+    registry.register("rules", _rules_impl(concept_grammar), kind="white")
+    return FeatureDetectorEngine(grammar, registry, model=model)

@@ -1,0 +1,42 @@
+"""Full-text indexing and retrieval with top-N optimization.
+
+Contribution (2) of the paper: "Scalability and efficiency support are
+illustrated for full text indexing and retrieval" — the IR engine of
+Blok, de Vries, Blanken & Apers, *Experiences with IR TOP-N Optimization
+in a Main Memory DBMS* (BNCOD 2001).  The library indexes the textual
+side of the digital library (web pages, interview transcripts) and
+supports top-N queries whose cost/quality trade-off is tunable by index
+fragmentation:
+
+- :mod:`repro.ir.tokenizer` / :mod:`repro.ir.stopwords` /
+  :mod:`repro.ir.stemmer` — text normalisation (Porter stemmer),
+- :mod:`repro.ir.collection` — the document collection,
+- :mod:`repro.ir.inverted_index` — the inverted index,
+- :mod:`repro.ir.ranking` — tf-idf and BM25 scoring,
+- :mod:`repro.ir.topn` — horizontally fragmented index with
+  early-terminating top-N evaluation (the Blok et al. optimization).
+"""
+
+from repro.ir.tokenizer import tokenize, normalize_terms
+from repro.ir.stopwords import STOPWORDS
+from repro.ir.stemmer import porter_stem
+from repro.ir.collection import Document, DocumentCollection
+from repro.ir.inverted_index import InvertedIndex, Posting
+from repro.ir.ranking import tf_idf_score, bm25_score, RankedHit
+from repro.ir.topn import FragmentedIndex, TopNResult
+
+__all__ = [
+    "tokenize",
+    "normalize_terms",
+    "STOPWORDS",
+    "porter_stem",
+    "Document",
+    "DocumentCollection",
+    "InvertedIndex",
+    "Posting",
+    "tf_idf_score",
+    "bm25_score",
+    "RankedHit",
+    "FragmentedIndex",
+    "TopNResult",
+]

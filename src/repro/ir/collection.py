@@ -1,0 +1,81 @@
+"""The document collection.
+
+Documents are the textual objects of the digital library: generated web
+pages and interview transcripts.  The collection assigns ids, keeps raw
+text for snippet display, and exposes normalised term streams for
+indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.tokenizer import normalize_terms
+
+__all__ = ["Document", "DocumentCollection"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """One document of the library.
+
+    Attributes:
+        doc_id: collection-assigned identifier.
+        name: stable external name (URL path, transcript key...).
+        text: raw text.
+        metadata: free-form attributes (e.g. ``player``, ``year``) used to
+            join text hits back to the conceptual layer.
+    """
+
+    doc_id: int
+    name: str
+    text: str
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+class DocumentCollection:
+    """An append-only set of documents with normalised term access."""
+
+    def __init__(self, stem: bool = True, drop_stopwords: bool = True):
+        self._documents: list[Document] = []
+        self._by_name: dict[str, int] = {}
+        self.stem = stem
+        self.drop_stopwords = drop_stopwords
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self):
+        return iter(self._documents)
+
+    def add(self, name: str, text: str, metadata: dict[str, object] | None = None) -> Document:
+        """Add a document; duplicate names are rejected."""
+        if name in self._by_name:
+            raise ValueError(f"document {name!r} already in the collection")
+        doc = Document(
+            doc_id=len(self._documents),
+            name=name,
+            text=text,
+            metadata=dict(metadata or {}),
+        )
+        self._documents.append(doc)
+        self._by_name[name] = doc.doc_id
+        return doc
+
+    def document(self, doc_id: int) -> Document:
+        return self._documents[doc_id]
+
+    def by_name(self, name: str) -> Document:
+        return self._documents[self._by_name[name]]
+
+    def terms(self, doc_id: int) -> list[str]:
+        """Normalised terms of one document."""
+        return normalize_terms(
+            self._documents[doc_id].text,
+            stem=self.stem,
+            drop_stopwords=self.drop_stopwords,
+        )
+
+    def query_terms(self, query: str) -> list[str]:
+        """Normalise a query string the same way documents are."""
+        return normalize_terms(query, stem=self.stem, drop_stopwords=self.drop_stopwords)

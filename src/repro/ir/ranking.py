@@ -1,0 +1,89 @@
+"""Ranking functions: tf-idf and BM25.
+
+Both operate on the statistics of an :class:`~repro.ir.inverted_index.InvertedIndex`
+and return per-document accumulator scores; the retrieval drivers (full
+scan in :meth:`InvertedIndex`-based search, fragment-at-a-time in
+:mod:`repro.ir.topn`) share them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ir.inverted_index import InvertedIndex
+
+__all__ = ["RankedHit", "tf_idf_score", "bm25_score", "rank_full_scan"]
+
+
+@dataclass(frozen=True, order=True)
+class RankedHit:
+    """A scored document (ordering: score, then doc id for stability)."""
+
+    score: float
+    doc_id: int
+
+
+def tf_idf_score(tf: int, df: int, n_docs: int) -> float:
+    """Classic ltc-style weight: ``(1 + log tf) * log(N / df)``."""
+    if tf < 1 or df < 1 or n_docs < 1:
+        raise ValueError("tf, df and n_docs must all be >= 1")
+    return (1.0 + math.log(tf)) * math.log(max(n_docs / df, 1.0))
+
+
+def bm25_score(
+    tf: int,
+    df: int,
+    n_docs: int,
+    doc_length: int,
+    avg_doc_length: float,
+    k1: float = 1.2,
+    b: float = 0.75,
+) -> float:
+    """Okapi BM25 term weight."""
+    if avg_doc_length <= 0:
+        avg_doc_length = 1.0
+    idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+    denom = tf + k1 * (1.0 - b + b * doc_length / avg_doc_length)
+    return idf * tf * (k1 + 1.0) / denom
+
+
+def rank_full_scan(
+    index: InvertedIndex,
+    query_terms: list[str],
+    n: int,
+    scheme: str = "tfidf",
+) -> list[RankedHit]:
+    """Exact top-*n* by scanning every posting of every query term.
+
+    This is the unoptimised baseline the fragmented engine is compared
+    against in E6.
+
+    Args:
+        index: the inverted index.
+        query_terms: normalised query terms.
+        n: result count.
+        scheme: ``"tfidf"`` or ``"bm25"``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if scheme not in ("tfidf", "bm25"):
+        raise ValueError(f"unknown ranking scheme {scheme!r}")
+    accumulators: dict[int, float] = {}
+    n_docs = max(index.n_documents, 1)
+    avg_len = index.average_doc_length
+    for term in query_terms:
+        df = index.document_frequency(term)
+        if df == 0:
+            continue
+        for posting in index.postings(term):
+            if scheme == "tfidf":
+                weight = tf_idf_score(posting.tf, df, n_docs)
+            else:
+                weight = bm25_score(
+                    posting.tf, df, n_docs, index.doc_length(posting.doc_id), avg_len
+                )
+            accumulators[posting.doc_id] = accumulators.get(posting.doc_id, 0.0) + weight
+    hits = [RankedHit(score=s, doc_id=d) for d, s in accumulators.items()]
+    hits.sort(key=lambda h: (-h.score, h.doc_id))
+    return hits[:n]

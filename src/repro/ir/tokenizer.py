@@ -1,0 +1,35 @@
+"""Tokenisation and term normalisation."""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.stemmer import porter_stem
+from repro.ir.stopwords import STOPWORDS
+
+__all__ = ["tokenize", "normalize_terms"]
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens of *text* (letters/digits, internal apostrophes)."""
+    return _WORD_RE.findall(text.lower())
+
+
+def normalize_terms(
+    text: str, stem: bool = True, drop_stopwords: bool = True
+) -> list[str]:
+    """Tokens normalised for indexing: stopword-filtered and stemmed.
+
+    Args:
+        text: raw text.
+        stem: apply the Porter stemmer.
+        drop_stopwords: remove common English function words.
+    """
+    terms = tokenize(text)
+    if drop_stopwords:
+        terms = [t for t in terms if t not in STOPWORDS]
+    if stem:
+        terms = [porter_stem(t) for t in terms]
+    return terms

@@ -1,0 +1,34 @@
+"""The digital library search engine.
+
+The integration the demo is about: one engine over (a) the conceptual
+webspace of the tournament site, (b) the full-text index of its pages
+and interview transcripts, and (c) the COBRA video meta-index the tennis
+FDE populates — so a user can ask for "video scenes of left-handed
+female players who have won the Australian Open in the past, in which
+they approach the net".
+
+- :mod:`repro.library.indexing` — video plans through the FDE into the
+  meta-index (and into the column store),
+- :mod:`repro.library.query` — the combined concept + content + text
+  query structure,
+- :mod:`repro.library.results` — scene results and score fusion,
+- :mod:`repro.library.engine` — the facade.
+"""
+
+from repro.library.query import LibraryQuery
+from repro.library.results import SceneResult
+from repro.library.indexing import LibraryIndexer
+from repro.library.engine import DigitalLibraryEngine
+from repro.library.parser import parse_query, QuerySyntaxError
+from repro.library.persistence import save_model, load_model
+
+__all__ = [
+    "LibraryQuery",
+    "SceneResult",
+    "LibraryIndexer",
+    "DigitalLibraryEngine",
+    "parse_query",
+    "QuerySyntaxError",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,443 @@
+"""The digital library engine facade.
+
+Combines the three query facilities of the demo:
+
+- conceptual (webspace) constraints resolve to players and the matches
+  and videos connected to them;
+- content constraints resolve to event scenes in those videos via the
+  COBRA meta-index;
+- text constraints score the players' interview transcripts with the
+  top-N IR engine.
+
+``search`` evaluates a :class:`~repro.library.query.LibraryQuery` by
+intersecting the three; ``keyword_search`` is the crawler-style baseline
+that only sees page text (the E7/E10 comparison point).
+"""
+
+from __future__ import annotations
+
+from repro.dataset.build import TournamentDataset
+from repro.grammar.fde import FeatureDetectorEngine
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.ranking import RankedHit, rank_full_scan
+from repro.ir.topn import FragmentedIndex
+from repro.library.indexing import LibraryIndexer
+from repro.library.query import LibraryQuery
+from repro.library.results import SceneResult, fuse_scores
+from repro.webspace.instances import WebspaceObject
+
+__all__ = ["DigitalLibraryEngine"]
+
+
+class DigitalLibraryEngine:
+    """One engine over the tournament's concepts, text and video content.
+
+    Args:
+        dataset: the tournament dataset (concept graph + pages + plans).
+        fde: optional FDE override for video indexing.
+        n_fragments: fragmentation of the text index (top-N tuning).
+    """
+
+    def __init__(
+        self,
+        dataset: TournamentDataset,
+        fde: FeatureDetectorEngine | None = None,
+        n_fragments: int = 4,
+    ):
+        self.dataset = dataset
+        self.indexer = LibraryIndexer(dataset, fde=fde)
+        self.text_index = InvertedIndex(dataset.pages)
+        self.fragmented_index = FragmentedIndex(self.text_index, n_fragments=n_fragments)
+
+    # ------------------------------------------------------------------ #
+    # Build steps
+    # ------------------------------------------------------------------ #
+
+    def index_videos(self, limit: int | None = None) -> int:
+        """Index the dataset's planned videos; returns how many."""
+        return len(self.indexer.index_all(limit=limit))
+
+    def refresh_text_index(self) -> None:
+        """Re-index pages added since construction."""
+        self.text_index.refresh()
+        self.fragmented_index = FragmentedIndex(
+            self.text_index, n_fragments=self.fragmented_index.n_fragments
+        )
+
+    # ------------------------------------------------------------------ #
+    # Query parts
+    # ------------------------------------------------------------------ #
+
+    def concept_players(self, constraints: dict[str, object]) -> list[WebspaceObject]:
+        """Players matching the concept constraints."""
+        players = self.dataset.instance.objects("Player")
+        out = []
+        for player in players:
+            if self._player_matches(player, constraints):
+                out.append(player)
+        return out
+
+    @staticmethod
+    def _player_matches(player: WebspaceObject, constraints: dict[str, object]) -> bool:
+        for key, wanted in constraints.items():
+            if key == "past_winner":
+                if bool(player.get("titles") > 0) != bool(wanted):
+                    return False
+            elif player.get(key) != wanted:
+                return False
+        return True
+
+    def videos_of_players(self, players: list[WebspaceObject]) -> dict[str, set[str]]:
+        """video name -> names of the given players appearing in it."""
+        instance = self.dataset.instance
+        out: dict[str, set[str]] = {}
+        for player in players:
+            for match in instance.follow("played", player):
+                for video in instance.follow("recorded_in", match):
+                    out.setdefault(video.get("name"), set()).add(player.get("name"))
+        return out
+
+    def text_scores(self, text: str, n: int = 50) -> dict[int, float]:
+        """doc id -> score for the free-text part (full evaluation)."""
+        terms = self.dataset.pages.query_terms(text)
+        hits = rank_full_scan(self.text_index, terms, n)
+        return {hit.doc_id: hit.score for hit in hits}
+
+    # ------------------------------------------------------------------ #
+    # Combined search
+    # ------------------------------------------------------------------ #
+
+    def search(self, query: LibraryQuery) -> list[SceneResult]:
+        """Evaluate a combined query; results best-first."""
+        model = self.indexer.model
+
+        if query.has_concept_part:
+            players = self.concept_players(query.player)
+            if not players:
+                return []
+            video_players = self.videos_of_players(players)
+        else:
+            video_players = {
+                video.name: set() for video in model.videos
+            }
+
+        text_by_video: dict[str, float] = {}
+        if query.has_text_part:
+            scores = self.text_scores(query.text)
+            text_by_video = self._text_scores_per_video(scores, video_players)
+
+        results: list[SceneResult] = []
+        for video in model.videos:
+            if video.name not in video_players:
+                continue
+            match_title = self._match_title_of(video.name)
+            names = tuple(sorted(video_players[video.name]))
+            text_score = text_by_video.get(video.name)
+            if query.has_content_part:
+                for event in model.events_of(video_id=video.video_id, label=query.event):
+                    results.append(
+                        SceneResult(
+                            video_name=video.name,
+                            start=event.start,
+                            stop=event.stop,
+                            event_label=event.label,
+                            match_title=match_title,
+                            players=names,
+                            score=fuse_scores(event.confidence, text_score),
+                        )
+                    )
+            elif query.has_sequence_part:
+                for first, then in self._event_sequences(
+                    video.video_id, query.sequence, query.within
+                ):
+                    results.append(
+                        SceneResult(
+                            video_name=video.name,
+                            start=first.start,
+                            stop=then.stop,
+                            event_label=f"{first.label}->{then.label}",
+                            match_title=match_title,
+                            players=names,
+                            score=fuse_scores(
+                                min(first.confidence, then.confidence), text_score
+                            ),
+                        )
+                    )
+            else:
+                results.append(
+                    SceneResult(
+                        video_name=video.name,
+                        start=0,
+                        stop=video.n_frames,
+                        event_label=None,
+                        match_title=match_title,
+                        players=names,
+                        score=fuse_scores(1.0, text_score),
+                    )
+                )
+        results.sort(key=lambda r: (-r.score, r.video_name, r.start))
+        return results[: query.top_n]
+
+    def _event_sequences(
+        self, video_id: int, sequence: tuple[str, str], within: int
+    ) -> list[tuple]:
+        """Event pairs realising ``first THEN then WITHIN n`` in one video.
+
+        Temporal reasoning via Allen's algebra: the first event must be
+        ``before`` or ``meets`` the second, with at most *within* frames
+        of gap.
+        """
+        from repro.core.temporal import allen_relation
+
+        model = self.indexer.model
+        first_label, then_label = sequence
+        firsts = model.events_of(video_id=video_id, label=first_label)
+        thens = model.events_of(video_id=video_id, label=then_label)
+        pairs = []
+        for first in firsts:
+            for then in thens:
+                relation = allen_relation(first.interval, then.interval)
+                if relation in ("before", "meets") and first.interval.gap_to(
+                    then.interval
+                ) <= within:
+                    pairs.append((first, then))
+        return pairs
+
+    def _match_title_of(self, video_name: str) -> str:
+        record = self.indexer.indexed.get(video_name)
+        return record.plan.match_title if record else ""
+
+    def _text_scores_per_video(
+        self, doc_scores: dict[int, float], video_players: dict[str, set[str]]
+    ) -> dict[str, float]:
+        """Aggregate document text scores to videos via the match winners.
+
+        A video inherits the best score among the interview transcripts
+        of the players appearing in it — the simple evidence-propagation
+        rule a demo engine needs.
+        """
+        by_player: dict[str, float] = {}
+        for doc_id, score in doc_scores.items():
+            doc = self.dataset.pages.document(doc_id)
+            oid = doc.metadata.get("oid")
+            if doc.metadata.get("class") != "Interview" or oid is None:
+                continue
+            interview = self.dataset.instance.object(oid)
+            for player in self.dataset.instance.sources_of("interviewed_in", interview):
+                name = player.get("name")
+                by_player[name] = max(by_player.get(name, 0.0), score)
+        out: dict[str, float] = {}
+        for video_name, names in video_players.items():
+            scores = [by_player[n] for n in names if n in by_player]
+            if scores:
+                out[video_name] = max(scores)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # The relational path — "the database approach"
+    # ------------------------------------------------------------------ #
+
+    def build_relational(self) -> None:
+        """Snapshot the meta-index and the webspace into the column store.
+
+        The paper's engines run inside a main-memory DBMS; this
+        materialises the same state as tables so ``search_relational``
+        can answer combined queries with scans, hash joins and index
+        lookups.  Call after indexing; re-call to refresh the snapshot.
+        """
+        from repro.webspace.relational import RelationalConceptEvaluator
+
+        self._meta_catalog = self.indexer.export_to_catalog()
+        self._ws_evaluator = RelationalConceptEvaluator(self.dataset.instance)
+
+    def search_relational(self, query: LibraryQuery) -> list[SceneResult]:
+        """Evaluate a combined query against the relational snapshot.
+
+        Produces exactly the results of :meth:`search` (asserted by the
+        test suite); requires :meth:`build_relational` first.
+        """
+        meta = getattr(self, "_meta_catalog", None)
+        ws = getattr(self, "_ws_evaluator", None)
+        if meta is None or ws is None:
+            raise RuntimeError("call build_relational() before search_relational()")
+
+        # Concept part: filter ws_Player, then walk the link tables
+        # played -> recorded_in to the videos.
+        if query.has_concept_part:
+            players = [
+                row
+                for row in ws.catalog.table("ws_Player").scan()
+                if self._player_row_matches(row, query.player)
+            ]
+            if not players:
+                return []
+            video_players = self._videos_of_player_rows(ws, players)
+        else:
+            video_players = {
+                row["name"]: set() for row in meta.table("videos").scan()
+            }
+
+        text_by_video: dict[str, float] = {}
+        if query.has_text_part:
+            scores = self.text_scores(query.text)
+            text_by_video = self._text_scores_per_video(scores, video_players)
+
+        # Content part: events (by label index) joined to shots to videos.
+        shots_by_id = {row["shot_id"]: row for row in meta.table("shots").scan()}
+        videos_by_id = {row["video_id"]: row for row in meta.table("videos").scan()}
+        results: list[SceneResult] = []
+        if query.has_content_part:
+            events_table = meta.table("events")
+            for row_id in meta.hash_index("events", "label").lookup(query.event):
+                event = events_table.row(int(row_id))
+                shot = shots_by_id[event["shot_id"]]
+                video = videos_by_id[shot["video_id"]]
+                if video["name"] not in video_players:
+                    continue
+                names = tuple(sorted(video_players[video["name"]]))
+                results.append(
+                    SceneResult(
+                        video_name=video["name"],
+                        start=event["start"],
+                        stop=event["stop"],
+                        event_label=event["label"],
+                        match_title=self._match_title_of(video["name"]),
+                        players=names,
+                        score=fuse_scores(
+                            event["confidence"], text_by_video.get(video["name"])
+                        ),
+                    )
+                )
+        elif query.has_sequence_part:
+            first_label, then_label = query.sequence
+            events_table = meta.table("events")
+            index = meta.hash_index("events", "label")
+
+            def rows_of(label):
+                by_video: dict[int, list[dict]] = {}
+                for row_id in index.lookup(label):
+                    event = events_table.row(int(row_id))
+                    video_id = shots_by_id[event["shot_id"]]["video_id"]
+                    by_video.setdefault(video_id, []).append(event)
+                return by_video
+
+            firsts = rows_of(first_label)
+            thens = rows_of(then_label)
+            for video_id, first_events in firsts.items():
+                video = videos_by_id[video_id]
+                if video["name"] not in video_players:
+                    continue
+                names = tuple(sorted(video_players[video["name"]]))
+                for first in first_events:
+                    for then in thens.get(video_id, []):
+                        gap = then["start"] - first["stop"]
+                        if 0 <= gap <= query.within:
+                            results.append(
+                                SceneResult(
+                                    video_name=video["name"],
+                                    start=first["start"],
+                                    stop=then["stop"],
+                                    event_label=f"{first['label']}->{then['label']}",
+                                    match_title=self._match_title_of(video["name"]),
+                                    players=names,
+                                    score=fuse_scores(
+                                        min(first["confidence"], then["confidence"]),
+                                        text_by_video.get(video["name"]),
+                                    ),
+                                )
+                            )
+        else:
+            for video in videos_by_id.values():
+                if video["name"] not in video_players:
+                    continue
+                names = tuple(sorted(video_players[video["name"]]))
+                results.append(
+                    SceneResult(
+                        video_name=video["name"],
+                        start=0,
+                        stop=video["n_frames"],
+                        event_label=None,
+                        match_title=self._match_title_of(video["name"]),
+                        players=names,
+                        score=fuse_scores(1.0, text_by_video.get(video["name"])),
+                    )
+                )
+        results.sort(key=lambda r: (-r.score, r.video_name, r.start))
+        return results[: query.top_n]
+
+    @staticmethod
+    def _player_row_matches(row: dict, constraints: dict[str, object]) -> bool:
+        for key, wanted in constraints.items():
+            if key == "past_winner":
+                if bool(row["titles"] > 0) != bool(wanted):
+                    return False
+            elif row.get(key) != wanted:
+                return False
+        return True
+
+    def _videos_of_player_rows(self, ws, players: list[dict]) -> dict[str, set[str]]:
+        """video name -> player names, via the ws_link_* tables."""
+        catalog = ws.catalog
+        played = catalog.table("ws_link_played")
+        played_index = catalog.hash_index("ws_link_played", "source_oid")
+        recorded = catalog.table("ws_link_recorded_in")
+        recorded_index = catalog.hash_index("ws_link_recorded_in", "source_oid")
+        video_names = {
+            row["oid"]: row["name"] for row in catalog.table("ws_Video").scan()
+        }
+        out: dict[str, set[str]] = {}
+        for player in players:
+            for played_row_id in played_index.lookup(player["oid"]):
+                match_oid = played.row(int(played_row_id))["target_oid"]
+                for recorded_row_id in recorded_index.lookup(match_oid):
+                    video_oid = recorded.row(int(recorded_row_id))["target_oid"]
+                    name = video_names.get(video_oid)
+                    if name is not None:
+                        out.setdefault(name, set()).add(player["name"])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Presentation: scene keyframes
+    # ------------------------------------------------------------------ #
+
+    def export_scene_keyframes(self, scenes: list[SceneResult], out_dir) -> list:
+        """Write one keyframe image (PPM) per result scene.
+
+        The demo front end shows retrieved scenes as thumbnails; this
+        re-materialises each scene's video plan (deterministic) and
+        writes the scene's histogram-medoid keyframe.
+
+        Returns:
+            The written file paths, aligned with *scenes*.
+        """
+        from pathlib import Path
+
+        from repro.shots.keyframes import keyframe_index
+        from repro.vision.io import write_ppm
+
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        clips: dict[str, object] = {}
+        paths = []
+        for index, scene in enumerate(scenes):
+            record = self.indexer.indexed.get(scene.video_name)
+            if record is None:
+                raise KeyError(f"video {scene.video_name!r} is not indexed here")
+            if scene.video_name not in clips:
+                clip, _truth = record.plan.materialise()
+                clips[scene.video_name] = clip
+            clip = clips[scene.video_name]
+            frame = keyframe_index(clip, scene.start, min(scene.stop, len(clip)))
+            path = out_dir / f"scene_{index:02d}_{scene.video_name[:40]}_f{frame}.ppm"
+            write_ppm(clip[frame], path)
+            paths.append(path)
+        return paths
+
+    # ------------------------------------------------------------------ #
+    # The keyword baseline
+    # ------------------------------------------------------------------ #
+
+    def keyword_search(self, text: str, n: int = 20) -> list[RankedHit]:
+        """Pure keyword search over the rendered pages (crawler view)."""
+        terms = self.dataset.pages.query_terms(text)
+        return rank_full_scan(self.text_index, terms, n)

@@ -1,0 +1,205 @@
+"""Video indexing: plans through the FDE into the meta-index.
+
+:class:`LibraryIndexer` owns the tennis FDE and the bookkeeping around
+it: materialising video plans, linking the resulting Video objects into
+the webspace graph, and exporting the meta-index into the column store
+(the paper's "database approach" — queries run against tables, not
+Python object graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import CobraModel
+from repro.dataset.annotations import VideoPlan
+from repro.dataset.build import TournamentDataset
+from repro.grammar.fde import FeatureDetectorEngine
+from repro.grammar.tennis import build_tennis_fde
+from repro.storage.catalog import Catalog
+from repro.video.ground_truth import GroundTruth
+
+__all__ = ["LibraryIndexer", "IndexedVideo"]
+
+
+@dataclass
+class IndexedVideo:
+    """Bookkeeping for one indexed broadcast.
+
+    Attributes:
+        plan: the video plan that was materialised.
+        video_id: meta-index id.
+        truth: generator ground truth (kept for evaluation, never read
+            by detectors).
+        n_frames: clip length.
+    """
+
+    plan: VideoPlan
+    video_id: int
+    truth: GroundTruth | None
+    n_frames: int
+
+
+class LibraryIndexer:
+    """Index tournament video plans into the COBRA meta-index."""
+
+    def __init__(
+        self,
+        dataset: TournamentDataset,
+        fde: FeatureDetectorEngine | None = None,
+    ):
+        self.dataset = dataset
+        self.fde = fde or build_tennis_fde()
+        self.indexed: dict[str, IndexedVideo] = {}
+
+    @property
+    def model(self) -> CobraModel:
+        return self.fde.model
+
+    def index_plan(self, plan: VideoPlan) -> IndexedVideo:
+        """Materialise one plan, run the FDE, link the webspace Video."""
+        if plan.name in self.indexed:
+            raise ValueError(f"video {plan.name!r} already indexed")
+        clip, truth = plan.materialise()
+        context = self.fde.index_video(clip)
+
+        video_obj = self.dataset.instance.create(
+            "Video", name=plan.name, n_frames=len(clip)
+        )
+        match_obj = self.dataset.match_objects[plan.match_title]
+        self.dataset.instance.link("recorded_in", match_obj, video_obj)
+
+        record = IndexedVideo(
+            plan=plan,
+            video_id=context.video_id,
+            truth=truth,
+            n_frames=len(clip),
+        )
+        self.indexed[plan.name] = record
+        return record
+
+    def index_all(self, limit: int | None = None) -> list[IndexedVideo]:
+        """Index the dataset's video plans (optionally only the first *limit*)."""
+        plans = self.dataset.video_plans
+        if limit is not None:
+            plans = plans[:limit]
+        return [self.index_plan(plan) for plan in plans]
+
+    def restore(self, model: CobraModel) -> int:
+        """Adopt a previously-saved meta-index (see repro.library.persistence).
+
+        Replaces the FDE's model and relinks each restored video to its
+        plan and webspace Match.  Generator ground truth is not part of
+        the saved state, so restored entries carry ``truth=None``, and
+        FDE revalidation is unavailable until videos are re-indexed.
+
+        Returns:
+            How many videos were restored (videos whose plan no longer
+            exists in the dataset are kept in the model but not linked).
+        """
+        if self.indexed:
+            raise ValueError("cannot restore into an indexer that already indexed videos")
+        self.fde.model = model
+        plans_by_name = {plan.name: plan for plan in self.dataset.video_plans}
+        restored = 0
+        for video in model.videos:
+            plan = plans_by_name.get(video.name)
+            if plan is None:
+                continue
+            video_obj = self.dataset.instance.create(
+                "Video", name=plan.name, n_frames=video.n_frames
+            )
+            match_obj = self.dataset.match_objects[plan.match_title]
+            self.dataset.instance.link("recorded_in", match_obj, video_obj)
+            self.indexed[plan.name] = IndexedVideo(
+                plan=plan, video_id=video.video_id, truth=None, n_frames=video.n_frames
+            )
+            restored += 1
+        return restored
+
+    # ------------------------------------------------------------------ #
+    # Export to the column store
+    # ------------------------------------------------------------------ #
+
+    def export_to_catalog(self, catalog: Catalog | None = None) -> Catalog:
+        """Materialise the meta-index as relational tables.
+
+        Tables: ``videos``, ``shots``, ``objects``, ``events`` — the
+        representation the paper's Monet-based engine queried.
+        """
+        catalog = catalog or Catalog()
+        model = self.model
+
+        videos = catalog.create_table(
+            "videos", {"video_id": "int", "name": "str", "fps": "float", "n_frames": "int"}
+        )
+        for video in model.videos:
+            videos.append(
+                {
+                    "video_id": video.video_id,
+                    "name": video.name,
+                    "fps": video.fps,
+                    "n_frames": video.n_frames,
+                }
+            )
+
+        shots = catalog.create_table(
+            "shots",
+            {
+                "shot_id": "int",
+                "video_id": "int",
+                "start": "int",
+                "stop": "int",
+                "category": "str",
+            },
+        )
+        for shot in model.shots:
+            shots.append(
+                {
+                    "shot_id": shot.shot_id,
+                    "video_id": shot.video_id,
+                    "start": shot.start,
+                    "stop": shot.stop,
+                    "category": shot.category,
+                }
+            )
+
+        objects = catalog.create_table(
+            "objects",
+            {"object_id": "int", "shot_id": "int", "label": "str", "found_fraction": "float"},
+        )
+        for obj in model.objects:
+            objects.append(
+                {
+                    "object_id": obj.object_id,
+                    "shot_id": obj.shot_id,
+                    "label": obj.label,
+                    "found_fraction": obj.found_fraction,
+                }
+            )
+
+        events = catalog.create_table(
+            "events",
+            {
+                "event_id": "int",
+                "shot_id": "int",
+                "label": "str",
+                "start": "int",
+                "stop": "int",
+                "confidence": "float",
+            },
+        )
+        for event in model.events:
+            events.append(
+                {
+                    "event_id": event.event_id,
+                    "shot_id": event.shot_id,
+                    "label": event.label,
+                    "start": event.start,
+                    "stop": event.stop,
+                    "confidence": event.confidence,
+                }
+            )
+        catalog.create_hash_index("events", "label")
+        catalog.create_hash_index("shots", "video_id")
+        return catalog

@@ -1,0 +1,197 @@
+"""Meta-index persistence for the library.
+
+Indexing video is the expensive step; this module saves the populated
+COBRA meta-index to disk (via the column store's catalogue format) and
+restores it, so a library survives process restarts without
+re-extraction.  Trajectories are stored per object as flat per-frame
+rows — the column store has no nested types, as a 2002 DBMS had none.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.model import CobraModel
+from repro.storage.catalog import Catalog
+from repro.storage.persist import load_catalog, save_catalog
+
+__all__ = ["model_to_catalog", "catalog_to_model", "save_model", "load_model"]
+
+
+def model_to_catalog(model: CobraModel) -> Catalog:
+    """Materialise a meta-index as relational tables (lossless)."""
+    catalog = Catalog()
+
+    videos = catalog.create_table(
+        "videos",
+        {"video_id": "int", "name": "str", "fps": "float", "n_frames": "int", "match_id": "int"},
+    )
+    for video in model.videos:
+        videos.append(
+            {
+                "video_id": video.video_id,
+                "name": video.name,
+                "fps": video.fps,
+                "n_frames": video.n_frames,
+                "match_id": video.match_id if video.match_id is not None else -1,
+            }
+        )
+
+    shots = catalog.create_table(
+        "shots",
+        {"shot_id": "int", "video_id": "int", "start": "int", "stop": "int", "category": "str"},
+    )
+    shot_features = catalog.create_table(
+        "shot_features", {"shot_id": "int", "name": "str", "value": "float"}
+    )
+    for shot in model.shots:
+        shots.append(
+            {
+                "shot_id": shot.shot_id,
+                "video_id": shot.video_id,
+                "start": shot.start,
+                "stop": shot.stop,
+                "category": shot.category,
+            }
+        )
+        for name, value in sorted(shot.features.items()):
+            shot_features.append({"shot_id": shot.shot_id, "name": name, "value": value})
+
+    objects = catalog.create_table(
+        "objects",
+        {
+            "object_id": "int",
+            "shot_id": "int",
+            "label": "str",
+            "r": "float",
+            "g": "float",
+            "b": "float",
+            "mean_area": "float",
+        },
+    )
+    trajectories = catalog.create_table(
+        "trajectories",
+        {"object_id": "int", "frame": "int", "found": "bool", "row": "float", "col": "float"},
+    )
+    for obj in model.objects:
+        objects.append(
+            {
+                "object_id": obj.object_id,
+                "shot_id": obj.shot_id,
+                "label": obj.label,
+                "r": obj.dominant_color[0],
+                "g": obj.dominant_color[1],
+                "b": obj.dominant_color[2],
+                "mean_area": obj.mean_area,
+            }
+        )
+        for frame, position in enumerate(obj.trajectory):
+            trajectories.append(
+                {
+                    "object_id": obj.object_id,
+                    "frame": frame,
+                    "found": position is not None,
+                    "row": position[0] if position else 0.0,
+                    "col": position[1] if position else 0.0,
+                }
+            )
+
+    events = catalog.create_table(
+        "events",
+        {
+            "event_id": "int",
+            "shot_id": "int",
+            "label": "str",
+            "start": "int",
+            "stop": "int",
+            "confidence": "float",
+            "object_id": "int",
+        },
+    )
+    for event in model.events:
+        events.append(
+            {
+                "event_id": event.event_id,
+                "shot_id": event.shot_id,
+                "label": event.label,
+                "start": event.start,
+                "stop": event.stop,
+                "confidence": event.confidence,
+                "object_id": event.object_id if event.object_id is not None else -1,
+            }
+        )
+    return catalog
+
+
+def catalog_to_model(catalog: Catalog) -> CobraModel:
+    """Rebuild a meta-index from :func:`model_to_catalog` tables.
+
+    Identifiers are reassigned by the fresh model in original order; the
+    cross-references (video->shot->object/event) are remapped.
+    """
+    model = CobraModel()
+
+    video_map: dict[int, int] = {}
+    for row in sorted(catalog.table("videos").scan(), key=lambda r: r["video_id"]):
+        video = model.add_video(
+            name=row["name"],
+            fps=row["fps"],
+            n_frames=row["n_frames"],
+            match_id=row["match_id"] if row["match_id"] >= 0 else None,
+        )
+        video_map[row["video_id"]] = video.video_id
+
+    features_by_shot: dict[int, dict[str, float]] = {}
+    for row in catalog.table("shot_features").scan():
+        features_by_shot.setdefault(row["shot_id"], {})[row["name"]] = row["value"]
+
+    shot_map: dict[int, int] = {}
+    for row in sorted(catalog.table("shots").scan(), key=lambda r: r["shot_id"]):
+        shot = model.add_shot(
+            video_map[row["video_id"]],
+            start=row["start"],
+            stop=row["stop"],
+            category=row["category"],
+            features=features_by_shot.get(row["shot_id"], {}),
+        )
+        shot_map[row["shot_id"]] = shot.shot_id
+
+    points_by_object: dict[int, list] = {}
+    for row in catalog.table("trajectories").scan():
+        points_by_object.setdefault(row["object_id"], []).append(row)
+
+    object_map: dict[int, int] = {}
+    for row in sorted(catalog.table("objects").scan(), key=lambda r: r["object_id"]):
+        points = sorted(points_by_object.get(row["object_id"], []), key=lambda p: p["frame"])
+        trajectory = [
+            (p["row"], p["col"]) if p["found"] else None for p in points
+        ]
+        obj = model.add_object(
+            shot_map[row["shot_id"]],
+            label=row["label"],
+            trajectory=trajectory,
+            dominant_color=(row["r"], row["g"], row["b"]),
+            mean_area=row["mean_area"],
+        )
+        object_map[row["object_id"]] = obj.object_id
+
+    for row in sorted(catalog.table("events").scan(), key=lambda r: r["event_id"]):
+        model.add_event(
+            shot_map[row["shot_id"]],
+            label=row["label"],
+            start=row["start"],
+            stop=row["stop"],
+            confidence=row["confidence"],
+            object_id=object_map.get(row["object_id"]) if row["object_id"] >= 0 else None,
+        )
+    return model
+
+
+def save_model(model: CobraModel, path: str | Path) -> None:
+    """Save a meta-index to one JSON file."""
+    save_catalog(model_to_catalog(model), path)
+
+
+def load_model(path: str | Path) -> CobraModel:
+    """Load a meta-index saved by :func:`save_model`."""
+    return catalog_to_model(load_catalog(path))

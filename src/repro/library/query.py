@@ -1,0 +1,84 @@
+"""The combined query structure.
+
+A :class:`LibraryQuery` has three optional parts:
+
+- **concept** — attribute constraints on the players involved
+  (handedness, gender, past winner...), answered by the webspace;
+- **content** — the video event the scenes must show (``net_play``,
+  ``rally``...), answered by the COBRA meta-index;
+- **text** — free text matched against interview transcripts and pages,
+  answered by the IR engine.
+
+The motivating query of the paper's Section 2 is::
+
+    LibraryQuery(
+        player={"handedness": "left", "gender": "female", "past_winner": True},
+        event="net_play",
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LibraryQuery"]
+
+#: Player attribute keys a concept part may constrain.  ``past_winner``
+#: is virtual: it maps to ``titles > 0``.
+_PLAYER_KEYS = ("handedness", "gender", "country", "past_winner", "name")
+
+
+@dataclass(frozen=True)
+class LibraryQuery:
+    """One combined digital-library query.
+
+    Attributes:
+        player: attribute constraints on the players involved.
+        event: required video event label (None = any video scene).
+        sequence: required event *sequence* ``(first, then)`` — scenes
+            where a *first* event is followed by a *then* event within
+            ``within`` frames (Allen ``before``/``meets``).  Mutually
+            exclusive with ``event``.
+        within: maximum gap (frames) between the sequence's two events.
+        text: free-text part (None = no text constraint).
+        top_n: maximum results returned.
+    """
+
+    player: dict[str, object] = field(default_factory=dict)
+    event: str | None = None
+    sequence: tuple[str, str] | None = None
+    within: int = 100
+    text: str | None = None
+    top_n: int = 20
+
+    def __post_init__(self) -> None:
+        unknown = set(self.player) - set(_PLAYER_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown player constraints {sorted(unknown)}; "
+                f"expected keys from {_PLAYER_KEYS}"
+            )
+        if self.top_n < 1:
+            raise ValueError(f"top_n must be >= 1, got {self.top_n}")
+        if self.event is not None and self.sequence is not None:
+            raise ValueError("event and sequence parts are mutually exclusive")
+        if self.sequence is not None and len(self.sequence) != 2:
+            raise ValueError("a sequence is a (first, then) label pair")
+        if self.within < 0:
+            raise ValueError(f"within must be >= 0, got {self.within}")
+
+    @property
+    def has_concept_part(self) -> bool:
+        return bool(self.player)
+
+    @property
+    def has_content_part(self) -> bool:
+        return self.event is not None
+
+    @property
+    def has_sequence_part(self) -> bool:
+        return self.sequence is not None
+
+    @property
+    def has_text_part(self) -> bool:
+        return self.text is not None

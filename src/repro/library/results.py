@@ -1,0 +1,47 @@
+"""Scene results and score fusion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SceneResult", "fuse_scores"]
+
+
+@dataclass(frozen=True)
+class SceneResult:
+    """One answer scene: a frame range of a video, with provenance.
+
+    Attributes:
+        video_name: the video containing the scene.
+        start: first frame of the scene.
+        stop: one past the last frame.
+        event_label: the event the scene shows (None for whole-video hits).
+        match_title: the match the video records.
+        players: names of the (query-matching) players in the match.
+        score: fused relevance score (higher is better).
+    """
+
+    video_name: str
+    start: int
+    stop: int
+    event_label: str | None
+    match_title: str
+    players: tuple[str, ...] = ()
+    score: float = 1.0
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def fuse_scores(content_confidence: float, text_score: float | None) -> float:
+    """Combine event confidence with an optional text score.
+
+    Text scores are unbounded (tf-idf sums); they are squashed into
+    (0, 1) before a weighted combination, so content evidence dominates
+    and text breaks ties — the behaviour a demo engine wants.
+    """
+    if text_score is None:
+        return content_confidence
+    squashed = text_score / (1.0 + text_score)
+    return 0.7 * content_confidence + 0.3 * squashed

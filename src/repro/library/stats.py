@@ -1,0 +1,106 @@
+"""Library statistics: what's in the meta-index.
+
+A librarian's view of the indexed collection, computed relationally
+(group counts and joins over the column-store form): videos, shot-
+category distribution, event-label distribution, tracked-object
+coverage.  Used by the CLI's ``stats`` command and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import CobraModel
+from repro.library.persistence import model_to_catalog
+from repro.storage.query import group_count
+
+__all__ = ["LibraryStats", "collect_stats", "format_stats"]
+
+
+@dataclass
+class LibraryStats:
+    """Aggregate statistics of one meta-index.
+
+    Attributes:
+        n_videos: raw-layer count.
+        total_frames: frames across all videos.
+        shots_by_category: category -> shot count.
+        events_by_label: label -> event count.
+        mean_event_confidence: across all events (None when no events).
+        mean_track_coverage: mean found-fraction across objects (None
+            when no objects).
+        events_per_minute: event density over the indexed footage.
+    """
+
+    n_videos: int = 0
+    total_frames: int = 0
+    shots_by_category: dict[str, int] = field(default_factory=dict)
+    events_by_label: dict[str, int] = field(default_factory=dict)
+    mean_event_confidence: float | None = None
+    mean_track_coverage: float | None = None
+    events_per_minute: float | None = None
+
+
+def collect_stats(model: CobraModel) -> LibraryStats:
+    """Compute :class:`LibraryStats` for a meta-index."""
+    catalog = model_to_catalog(model)
+    videos = catalog.table("videos")
+    shots = catalog.table("shots")
+    events = catalog.table("events")
+    trajectories = catalog.table("trajectories")
+
+    stats = LibraryStats(
+        n_videos=len(videos),
+        total_frames=int(sum(videos.column("n_frames").values()))
+        if len(videos)
+        else 0,
+        shots_by_category=dict(sorted(group_count(shots, "category").items())),
+        events_by_label=dict(sorted(group_count(events, "label").items())),
+    )
+
+    if len(events):
+        stats.mean_event_confidence = float(
+            np.mean(events.column("confidence").values())
+        )
+
+    if len(trajectories):
+        found_by_object: dict[int, list[bool]] = {}
+        object_ids = trajectories.column("object_id")
+        founds = trajectories.column("found")
+        for row_id in range(len(trajectories)):
+            found_by_object.setdefault(object_ids.get(row_id), []).append(
+                founds.get(row_id)
+            )
+        coverages = [np.mean(flags) for flags in found_by_object.values()]
+        stats.mean_track_coverage = float(np.mean(coverages))
+
+    # Event density, using each video's own frame rate.
+    if len(events) and len(videos):
+        total_minutes = 0.0
+        for row in videos.scan():
+            total_minutes += row["n_frames"] / row["fps"] / 60.0
+        if total_minutes > 0:
+            stats.events_per_minute = len(events) / total_minutes
+    return stats
+
+
+def format_stats(stats: LibraryStats) -> str:
+    """Render stats as the text block the CLI prints."""
+    lines = [
+        f"videos: {stats.n_videos} ({stats.total_frames} frames)",
+        "shots by category:",
+    ]
+    for category, count in stats.shots_by_category.items():
+        lines.append(f"  {category:12s} {count}")
+    lines.append("events by label:")
+    for label, count in stats.events_by_label.items():
+        lines.append(f"  {label:14s} {count}")
+    if stats.mean_event_confidence is not None:
+        lines.append(f"mean event confidence: {stats.mean_event_confidence:.2f}")
+    if stats.mean_track_coverage is not None:
+        lines.append(f"mean track coverage: {stats.mean_track_coverage:.2%}")
+    if stats.events_per_minute is not None:
+        lines.append(f"event density: {stats.events_per_minute:.1f}/min")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Scoring detected boundaries and shot categories against ground truth.
+
+Standard shot-boundary evaluation: a detected boundary matches a true
+boundary when it falls within a small frame tolerance; each truth matches
+at most one detection.  Classification is scored as a confusion matrix
+over frames (each frame votes with its shot's category), which is robust
+to small boundary placement differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.shots.boundary import Boundary
+from repro.shots.segmenter import DetectedShot
+from repro.video.ground_truth import GroundTruth
+
+__all__ = ["MatchResult", "boundary_scores", "confusion_matrix", "category_accuracy"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Precision/recall of boundary detection.
+
+    Attributes:
+        true_positives: detections matched to a distinct truth.
+        false_positives: unmatched detections.
+        false_negatives: unmatched truths.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def boundary_scores(
+    detected: list[Boundary],
+    truth_frames: list[int],
+    tolerance: int = 2,
+) -> MatchResult:
+    """Match detected boundary frames to true boundary frames.
+
+    Args:
+        detected: detector output (any kind).
+        truth_frames: true boundary frame indices (cut positions, or
+            gradual span starts when scoring gradual detection).
+        tolerance: maximum |detected - truth| distance for a match.
+
+    Greedy matching in order of closeness; each truth and each detection
+    participates in at most one match.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    remaining = sorted(truth_frames)
+    matched_truth: set[int] = set()
+    tp = 0
+    for boundary in sorted(detected, key=lambda b: b.frame):
+        best = None
+        best_dist = tolerance + 1
+        for idx, frame in enumerate(remaining):
+            if idx in matched_truth:
+                continue
+            dist = abs(boundary.frame - frame)
+            if dist < best_dist:
+                best, best_dist = idx, dist
+        if best is not None:
+            matched_truth.add(best)
+            tp += 1
+    fp = len(detected) - tp
+    fn = len(remaining) - tp
+    return MatchResult(true_positives=tp, false_positives=fp, false_negatives=fn)
+
+
+def transition_scores(
+    detected: list[Boundary],
+    truth: GroundTruth,
+    tolerance: int = 2,
+) -> MatchResult:
+    """Score detections against *all* transitions (cuts and gradual).
+
+    A detection matches a cut within *tolerance* frames, or a gradual
+    transition when its frame falls inside the transition's span extended
+    by *tolerance* on both sides.  This is the fair score for detectors
+    that cannot tell the two kinds apart.
+    """
+    spans = []
+    for t in truth.transitions:
+        start, stop = t.span
+        spans.append((start - tolerance, stop + tolerance))
+    matched: set[int] = set()
+    tp = 0
+    for boundary in sorted(detected, key=lambda b: b.frame):
+        for idx, (lo, hi) in enumerate(spans):
+            if idx in matched:
+                continue
+            if lo <= boundary.frame < hi:
+                matched.add(idx)
+                tp += 1
+                break
+    fp = len(detected) - tp
+    fn = len(spans) - tp
+    return MatchResult(true_positives=tp, false_positives=fp, false_negatives=fn)
+
+
+def confusion_matrix(
+    detected: list[DetectedShot],
+    truth: GroundTruth,
+    categories: tuple[str, ...],
+) -> np.ndarray:
+    """Frame-level confusion matrix ``[true, predicted]``.
+
+    Frames inside transitions (no true category) are skipped; frames not
+    covered by any detected shot are skipped as well, so the matrix
+    measures pure classification quality.
+    """
+    index = {name: i for i, name in enumerate(categories)}
+    matrix = np.zeros((len(categories), len(categories)), dtype=np.int64)
+    for shot in detected:
+        if shot.category not in index:
+            raise ValueError(f"unknown predicted category {shot.category!r}")
+        for frame in range(shot.start, shot.stop):
+            true_cat = truth.category_at(frame)
+            if true_cat is None:
+                continue
+            matrix[index[true_cat], index[shot.category]] += 1
+    return matrix
+
+
+def category_accuracy(matrix: np.ndarray) -> float:
+    """Overall frame accuracy from a confusion matrix."""
+    total = matrix.sum()
+    return float(np.trace(matrix) / total) if total else 1.0

@@ -1,0 +1,101 @@
+"""The segment detector: boundary detection + shot classification.
+
+This is the externally-implemented detector the tennis FDE executes
+first: it "segments the video into different shots" and "encapsulates
+shot classification".  The output — classified shots — drives which
+downstream detectors (player tracking, events) run on which frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.shots.boundary import Boundary, ThresholdCutDetector
+from repro.shots.classify import (
+    RuleBasedShotClassifier,
+    ShotFeatureExtractor,
+    ShotFeatures,
+)
+from repro.video.frames import VideoClip
+
+__all__ = ["DetectedShot", "SegmentDetector"]
+
+
+@dataclass(frozen=True)
+class DetectedShot:
+    """A classified shot produced by the segment detector.
+
+    Attributes:
+        start: first frame (inclusive).
+        stop: one past the last frame.
+        category: predicted category (tennis/closeup/audience/other).
+        features: the features the classification was based on.
+    """
+
+    start: int
+    stop: int
+    category: str
+    features: ShotFeatures
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+class SegmentDetector:
+    """Segment a clip into classified shots.
+
+    Args:
+        boundary_detector: any object with ``detect(clip) -> list[Boundary]``;
+            defaults to the paper's fixed-threshold histogram detector.
+        extractor: shot feature extractor (court colour etc.).
+        classifier: any object with ``classify(ShotFeatures) -> str``.
+        min_shot_length: shots shorter than this are merged forward —
+            transition residue and detector chatter, not real shots.
+    """
+
+    def __init__(
+        self,
+        boundary_detector=None,
+        extractor: ShotFeatureExtractor | None = None,
+        classifier=None,
+        min_shot_length: int = 5,
+    ):
+        if min_shot_length < 1:
+            raise ValueError(f"min_shot_length must be >= 1, got {min_shot_length}")
+        self.boundary_detector = boundary_detector or ThresholdCutDetector()
+        self.extractor = extractor or ShotFeatureExtractor()
+        self.classifier = classifier or RuleBasedShotClassifier()
+        self.min_shot_length = min_shot_length
+
+    def shot_ranges(self, clip: VideoClip) -> list[tuple[int, int]]:
+        """Split the clip into ``[start, stop)`` shot ranges.
+
+        Gradual-boundary spans are excluded from both adjacent shots;
+        ranges shorter than ``min_shot_length`` are dropped (their frames
+        are transition residue).
+        """
+        boundaries = self.boundary_detector.detect(clip)
+        ranges: list[tuple[int, int]] = []
+        cursor = 0
+        for boundary in sorted(boundaries, key=lambda b: b.frame):
+            span_start, span_stop = boundary.span
+            if boundary.kind == "cut":
+                span_stop = span_start
+            if span_start > cursor:
+                ranges.append((cursor, span_start))
+            cursor = max(cursor, span_stop)
+        if cursor < len(clip):
+            ranges.append((cursor, len(clip)))
+        return [(a, b) for a, b in ranges if b - a >= self.min_shot_length]
+
+    def detect(self, clip: VideoClip) -> list[DetectedShot]:
+        """Full segment-detector run: boundaries, then classification."""
+        shots = []
+        for start, stop in self.shot_ranges(clip):
+            features = self.extractor.extract_from_clip(clip, start, stop)
+            category = self.classifier.classify(features)
+            shots.append(
+                DetectedShot(start=start, stop=stop, category=category, features=features)
+            )
+        return shots

@@ -1,0 +1,41 @@
+"""A small main-memory column store.
+
+The paper's systems run inside Monet (the MonetDB predecessor): the
+meta-index lives in database tables, and the IR engine of Blok et al.
+runs "the database approach" — set-oriented operators over columns — in
+main memory.  This package is the corresponding substrate:
+
+- :mod:`repro.storage.columns` — typed, append-only columns over NumPy
+  buffers,
+- :mod:`repro.storage.table` — tables: schema, append, scan, select,
+- :mod:`repro.storage.index` — hash and sorted secondary indexes,
+- :mod:`repro.storage.catalog` — the named-table catalogue,
+- :mod:`repro.storage.query` — joins and aggregate helpers,
+- :mod:`repro.storage.persist` — JSON persistence of a catalogue.
+"""
+
+from repro.storage.columns import Column, IntColumn, FloatColumn, StrColumn, BoolColumn
+from repro.storage.table import Table, Schema, SchemaError
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.catalog import Catalog
+from repro.storage.query import hash_join, group_count, order_by
+from repro.storage.persist import save_catalog, load_catalog
+
+__all__ = [
+    "Column",
+    "IntColumn",
+    "FloatColumn",
+    "StrColumn",
+    "BoolColumn",
+    "Table",
+    "Schema",
+    "SchemaError",
+    "HashIndex",
+    "SortedIndex",
+    "Catalog",
+    "hash_join",
+    "group_count",
+    "order_by",
+    "save_catalog",
+    "load_catalog",
+]

@@ -1,0 +1,60 @@
+"""Catalogue persistence.
+
+The meta-index survives process restarts by saving the catalogue to a
+single JSON document: schemas plus column values.  JSON keeps the format
+inspectable (handy when debugging detector output); the data volumes of
+a video meta-index are tiny by database standards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.storage.catalog import Catalog
+
+__all__ = ["save_catalog", "load_catalog"]
+
+_FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: Catalog, path: str | Path) -> None:
+    """Write every table of *catalog* to *path* as JSON."""
+    document = {"version": _FORMAT_VERSION, "tables": {}}
+    for name in catalog.table_names:
+        table = catalog.table(name)
+        document["tables"][name] = {
+            "schema": table.schema,
+            "columns": {
+                column: [
+                    value.item() if hasattr(value, "item") else value
+                    for value in table.column(column).values()
+                ]
+                for column in table.column_names
+            },
+        }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_catalog(path: str | Path) -> Catalog:
+    """Rebuild a catalogue from a JSON document written by :func:`save_catalog`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported catalogue format version {version!r}")
+    catalog = Catalog()
+    for name, payload in document["tables"].items():
+        table = catalog.create_table(name, payload["schema"])
+        columns = payload["columns"]
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"table {name!r} has ragged columns: {lengths}")
+        n_rows = lengths.pop() if lengths else 0
+        bools = {c for c, t in payload["schema"].items() if t == "bool"}
+        for row_id in range(n_rows):
+            row = {
+                column: (bool(values[row_id]) if column in bools else values[row_id])
+                for column, values in columns.items()
+            }
+            table.append(row)
+    return catalog

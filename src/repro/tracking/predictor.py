@@ -1,0 +1,122 @@
+"""Position predictors for the predict-and-search tracker.
+
+"In the next frames, we predict the player position and search for a
+similar region in the neighborhood" — the quality of that prediction
+determines how small the search window can be.  Three predictors of
+increasing sophistication support the E4 ablation:
+
+- :class:`StaticPredictor` — tomorrow is like today.
+- :class:`ConstantVelocityPredictor` — linear extrapolation of the last step.
+- :class:`KalmanPredictor` — constant-velocity Kalman filter, which
+  smooths measurement noise instead of amplifying it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StaticPredictor", "ConstantVelocityPredictor", "KalmanPredictor"]
+
+
+class StaticPredictor:
+    """Predicts the player stays where it was last seen."""
+
+    def __init__(self) -> None:
+        self._last: tuple[float, float] | None = None
+
+    def update(self, position: tuple[float, float]) -> None:
+        """Record an observed position."""
+        self._last = position
+
+    def predict(self) -> tuple[float, float] | None:
+        """Predicted position for the next frame (None before any update)."""
+        return self._last
+
+
+class ConstantVelocityPredictor:
+    """Linear extrapolation from the last two observed positions."""
+
+    def __init__(self) -> None:
+        self._last: tuple[float, float] | None = None
+        self._velocity = (0.0, 0.0)
+
+    def update(self, position: tuple[float, float]) -> None:
+        if self._last is not None:
+            self._velocity = (
+                position[0] - self._last[0],
+                position[1] - self._last[1],
+            )
+        self._last = position
+
+    def predict(self) -> tuple[float, float] | None:
+        if self._last is None:
+            return None
+        return (
+            self._last[0] + self._velocity[0],
+            self._last[1] + self._velocity[1],
+        )
+
+
+class KalmanPredictor:
+    """Constant-velocity Kalman filter over (row, col, v_row, v_col).
+
+    Args:
+        process_noise: acceleration noise std (pixels/frame^2); larger
+            values let the filter follow direction changes faster.
+        measurement_noise: centroid measurement noise std (pixels).
+    """
+
+    def __init__(self, process_noise: float = 1.0, measurement_noise: float = 1.5):
+        if process_noise <= 0 or measurement_noise <= 0:
+            raise ValueError("noise parameters must be positive")
+        self._state: np.ndarray | None = None  # (row, col, v_row, v_col)
+        self._cov = np.eye(4) * 10.0
+        # State transition: position advances by velocity each frame.
+        self._f = np.array(
+            [
+                [1.0, 0.0, 1.0, 0.0],
+                [0.0, 1.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        self._h = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0, 0.0],
+            ]
+        )
+        q = process_noise**2
+        # Discrete white-acceleration model (simplified block form).
+        self._q = np.diag([q / 4.0, q / 4.0, q, q])
+        self._r = np.eye(2) * measurement_noise**2
+
+    def update(self, position: tuple[float, float]) -> None:
+        """Fuse an observed centroid into the filter."""
+        z = np.asarray(position, dtype=np.float64)
+        if self._state is None:
+            self._state = np.array([z[0], z[1], 0.0, 0.0])
+            return
+        # Predict step.
+        state = self._f @ self._state
+        cov = self._f @ self._cov @ self._f.T + self._q
+        # Update step.
+        innovation = z - self._h @ state
+        s = self._h @ cov @ self._h.T + self._r
+        gain = cov @ self._h.T @ np.linalg.inv(s)
+        self._state = state + gain @ innovation
+        self._cov = (np.eye(4) - gain @ self._h) @ cov
+
+    def predict(self) -> tuple[float, float] | None:
+        """One-step-ahead position prediction."""
+        if self._state is None:
+            return None
+        ahead = self._f @ self._state
+        return float(ahead[0]), float(ahead[1])
+
+    @property
+    def velocity(self) -> tuple[float, float]:
+        """Current velocity estimate (pixels/frame)."""
+        if self._state is None:
+            return 0.0, 0.0
+        return float(self._state[2]), float(self._state[3])

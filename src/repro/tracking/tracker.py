@@ -1,0 +1,242 @@
+"""The predict-and-search player tracker.
+
+For a shot classified as tennis, the tracker:
+
+1. estimates court colour statistics from the first frame,
+2. finds the player by initial segmentation of the near court half,
+3. for each following frame predicts the player position and searches a
+   window around the prediction for the most similar not-court region,
+4. re-acquires by full near-half segmentation when the track is lost.
+
+The output :class:`Track` carries a :class:`TrackPoint` per frame with
+the blob position and the full shape observation (or a miss marker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tracking.court_model import CourtColorModel
+from repro.tracking.predictor import KalmanPredictor
+from repro.tracking.segmentation import (
+    SearchWindow,
+    clean_mask,
+    court_bounds,
+    initial_player_region,
+    not_court_mask,
+    restrict_to_bounds,
+)
+from repro.tracking.shape import PlayerObservation, observe_player
+from repro.vision.regions import Region, regions_in
+
+__all__ = ["PlayerTracker", "Track", "TrackPoint"]
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """Tracker output for one frame.
+
+    Attributes:
+        frame: frame index within the shot.
+        found: whether the player was located this frame.
+        observation: the player observation (``None`` when not found).
+    """
+
+    frame: int
+    found: bool
+    observation: PlayerObservation | None = None
+
+    @property
+    def position(self) -> tuple[float, float] | None:
+        return self.observation.position if self.observation else None
+
+
+@dataclass
+class Track:
+    """A complete track through one shot."""
+
+    points: list[TrackPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def positions(self) -> list[tuple[float, float] | None]:
+        """Per-frame positions (None where the player was lost)."""
+        return [p.position for p in self.points]
+
+    @property
+    def found_fraction(self) -> float:
+        """Fraction of frames where the player was located."""
+        if not self.points:
+            return 0.0
+        return sum(p.found for p in self.points) / len(self.points)
+
+    def mean_error(self, truth: list[tuple[float, float]]) -> float:
+        """Mean Euclidean error against a ground-truth trajectory.
+
+        Frames where the player was not found are excluded from the mean;
+        combine with ``found_fraction`` for the full picture.
+        """
+        if len(truth) != len(self.points):
+            raise ValueError(
+                f"truth has {len(truth)} frames, track has {len(self.points)}"
+            )
+        errors = [
+            float(np.hypot(p.position[0] - t[0], p.position[1] - t[1]))
+            for p, t in zip(self.points, truth)
+            if p.position is not None
+        ]
+        return float(np.mean(errors)) if errors else float("inf")
+
+
+class PlayerTracker:
+    """Track the near player through a tennis shot.
+
+    Args:
+        search_half_size: half-size (pixels) of the window searched around
+            the predicted position.
+        predictor_factory: zero-argument callable building a fresh
+            predictor per shot (defaults to a Kalman filter).
+        court_k: court-colour threshold in scaled stds.
+        min_area: smallest blob accepted as the player.
+        open_size: morphological opening element size.
+    """
+
+    def __init__(
+        self,
+        search_half_size: int = 14,
+        predictor_factory=KalmanPredictor,
+        court_k: float = 4.0,
+        min_area: int = 12,
+        open_size: int = 3,
+        max_color_std: float = 15.0,
+        half: str = "near",
+    ):
+        if search_half_size < 2:
+            raise ValueError(f"search_half_size must be >= 2, got {search_half_size}")
+        if max_color_std <= 0:
+            raise ValueError(f"max_color_std must be positive, got {max_color_std}")
+        if half not in ("near", "far"):
+            raise ValueError(f"half must be 'near' or 'far', got {half!r}")
+        self.search_half_size = search_half_size
+        self.predictor_factory = predictor_factory
+        self.court_k = court_k
+        self.min_area = min_area
+        self.open_size = open_size
+        self.max_color_std = max_color_std
+        self.half = half
+
+    @staticmethod
+    def _near_half(bounds: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
+        """The lower (near) half of the court bounding box."""
+        r0, c0, r1, c1 = bounds
+        return (r0 + r1) // 2, c0, r1, c1
+
+    @staticmethod
+    def _far_half(bounds: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
+        """The upper (far) half of the court bounding box."""
+        r0, c0, r1, c1 = bounds
+        return r0, c0, (r0 + r1) // 2, c1
+
+    def _search_half(self, bounds: tuple[int, int, int, int]) -> tuple[int, int, int, int]:
+        return self._far_half(bounds) if self.half == "far" else self._near_half(bounds)
+
+    def _acquire(
+        self,
+        frame: np.ndarray,
+        model: CourtColorModel,
+        bounds: tuple[int, int, int, int],
+    ) -> Region | None:
+        """Full near-half segmentation (initial detection / re-acquisition)."""
+        return initial_player_region(
+            frame,
+            model,
+            bounds=self._search_half(bounds),
+            k=self.court_k,
+            min_area=self.min_area,
+            open_size=self.open_size,
+        )
+
+    def _search(
+        self,
+        frame: np.ndarray,
+        model: CourtColorModel,
+        bounds: tuple[int, int, int, int],
+        prediction: tuple[float, float],
+    ) -> tuple[Region | None, np.ndarray]:
+        """Search the window around *prediction* for the player blob.
+
+        Returns the best region (frame coordinates) and the cleaned
+        court-restricted mask it was found in.
+        """
+        mask = restrict_to_bounds(
+            clean_mask(
+                not_court_mask(frame, model, k=self.court_k), open_size=self.open_size
+            ),
+            bounds,
+        )
+        window = SearchWindow(
+            prediction, self.search_half_size, (frame.shape[0], frame.shape[1])
+        )
+        if window.empty:
+            return None, mask
+        local = window.crop(mask)
+        regions = regions_in(local, min_area=self.min_area)
+        if not regions:
+            return None, mask
+        # The most similar region: nearest centroid to the prediction.
+        def distance(region: Region) -> float:
+            centre = window.to_frame(region).centroid
+            return float(
+                np.hypot(centre[0] - prediction[0], centre[1] - prediction[1])
+            )
+
+        best = min(regions, key=distance)
+        return window.to_frame(best), mask
+
+    def track(self, frames: list[np.ndarray]) -> Track:
+        """Track the player through the frames of one tennis shot."""
+        if not frames:
+            raise ValueError("cannot track an empty shot")
+        model = CourtColorModel.estimate(frames[0])
+        if float(model.std.max()) > self.max_color_std:
+            # No coherent field colour (not actually a court shot): the
+            # "court" model would cover arbitrary pixels, so every frame
+            # is a miss rather than a fabricated track.
+            return Track(
+                points=[TrackPoint(frame=i, found=False) for i in range(len(frames))]
+            )
+        bounds = court_bounds(frames[0], model, k=self.court_k)
+        if bounds is None:
+            # No court surface: every frame is a miss (not a tennis shot).
+            return Track(points=[TrackPoint(frame=i, found=False) for i in range(len(frames))])
+        predictor = self.predictor_factory()
+        track = Track()
+
+        for index, frame in enumerate(frames):
+            prediction = predictor.predict()
+            region: Region | None = None
+            mask: np.ndarray | None = None
+            if prediction is not None:
+                region, mask = self._search(frame, model, bounds, prediction)
+            if region is None:
+                region = self._acquire(frame, model, bounds)
+                mask = restrict_to_bounds(
+                    clean_mask(
+                        not_court_mask(frame, model, k=self.court_k),
+                        open_size=self.open_size,
+                    ),
+                    self._search_half(bounds),
+                )
+            if region is None:
+                track.points.append(TrackPoint(frame=index, found=False))
+                continue
+            observation = observe_player(frame, mask, region)
+            predictor.update(observation.position)
+            track.points.append(
+                TrackPoint(frame=index, found=True, observation=observation)
+            )
+        return track

@@ -1,0 +1,60 @@
+"""Synthetic tennis-broadcast video substrate.
+
+The paper indexes real Australian Open broadcast video.  That footage is
+unavailable, so this package synthesises broadcasts with the same
+*statistical* structure the paper's detectors consume:
+
+- court shots dominated by a known court colour, containing two moving
+  player blobs whose scripted trajectories realise tennis events
+  (rallies, net approaches, services),
+- close-up shots dominated by skin-coloured pixels,
+- audience shots with high intensity entropy,
+- "other" shots (studio graphics) with low entropy and no court colour,
+- hard cuts and gradual transitions between shots,
+
+together with frame-accurate ground truth (shot boundaries, categories,
+player trajectories, event intervals) so every pipeline stage can be
+scored.
+
+Entry point: :class:`repro.video.generator.BroadcastGenerator`.
+"""
+
+from repro.video.frames import VideoClip, FRAME_HEIGHT, FRAME_WIDTH
+from repro.video.ground_truth import (
+    GroundTruth,
+    ShotTruth,
+    EventTruth,
+    TransitionTruth,
+)
+from repro.video.court import CourtStyle, render_court
+from repro.video.players import PlayerAppearance, MotionScript, motion_script
+from repro.video.shots import (
+    ShotCategory,
+    CourtShotSpec,
+    CloseUpSpec,
+    AudienceSpec,
+    OtherSpec,
+)
+from repro.video.generator import BroadcastGenerator, BroadcastConfig
+
+__all__ = [
+    "VideoClip",
+    "FRAME_HEIGHT",
+    "FRAME_WIDTH",
+    "GroundTruth",
+    "ShotTruth",
+    "EventTruth",
+    "TransitionTruth",
+    "CourtStyle",
+    "render_court",
+    "PlayerAppearance",
+    "MotionScript",
+    "motion_script",
+    "ShotCategory",
+    "CourtShotSpec",
+    "CloseUpSpec",
+    "AudienceSpec",
+    "OtherSpec",
+    "BroadcastGenerator",
+    "BroadcastConfig",
+]

@@ -1,0 +1,111 @@
+"""Tennis court rendering.
+
+Draws the broadcast camera view of a tennis court: surround, court
+surface in a configurable colour (Rebound Ace blue/green for the
+Australian Open), white lines, and the net band.  The geometry is a
+simple trapezoid-free orthographic view — what matters to the detectors
+is colour statistics and the vertical position of the net, not
+perspective fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.video.frames import FRAME_HEIGHT, FRAME_WIDTH
+
+__all__ = ["CourtStyle", "CourtGeometry", "render_court", "AUSTRALIAN_OPEN_STYLE"]
+
+
+@dataclass(frozen=True)
+class CourtStyle:
+    """Colours of the rendered court scene (RGB triples)."""
+
+    surface: tuple[int, int, int] = (40, 130, 80)  # rebound ace green
+    surround: tuple[int, int, int] = (25, 70, 110)  # darker surround
+    line: tuple[int, int, int] = (235, 235, 235)
+    net: tuple[int, int, int] = (20, 20, 25)
+
+
+#: Style used by the dataset generator for Australian Open matches.
+AUSTRALIAN_OPEN_STYLE = CourtStyle()
+
+
+@dataclass(frozen=True)
+class CourtGeometry:
+    """Pixel geometry of the court inside a frame.
+
+    All values are fractions of frame height/width so the same geometry
+    works at any resolution.
+    """
+
+    top: float = 0.12  # far baseline
+    bottom: float = 0.95  # near baseline
+    left: float = 0.15
+    right: float = 0.85
+    net_row: float = 0.52  # the net's vertical position
+    net_half_height: float = 0.015
+    line_thickness: int = 1
+
+    def rows(self, height: int) -> tuple[int, int, int]:
+        """(top_row, net_row, bottom_row) in pixels."""
+        return (
+            int(self.top * height),
+            int(self.net_row * height),
+            int(self.bottom * height),
+        )
+
+    def cols(self, width: int) -> tuple[int, int]:
+        """(left_col, right_col) in pixels."""
+        return int(self.left * width), int(self.right * width)
+
+
+DEFAULT_GEOMETRY = CourtGeometry()
+
+#: Broadcast camera presets.  Consecutive court shots in a real broadcast
+#: come from different cameras (wide master, tight baseline camera), which
+#: is what makes same-category cuts detectable at all.
+CAMERA_PRESETS: dict[str, CourtGeometry] = {
+    "standard": DEFAULT_GEOMETRY,
+    "wide": CourtGeometry(top=0.08, bottom=0.97, left=0.10, right=0.90, net_row=0.50),
+    "tight": CourtGeometry(top=0.15, bottom=0.92, left=0.18, right=0.82, net_row=0.54),
+}
+
+
+def render_court(
+    height: int = FRAME_HEIGHT,
+    width: int = FRAME_WIDTH,
+    style: CourtStyle = AUSTRALIAN_OPEN_STYLE,
+    geometry: CourtGeometry = DEFAULT_GEOMETRY,
+) -> np.ndarray:
+    """Render the static court scene as an ``(H, W, 3)`` uint8 frame.
+
+    The court surface dominates the frame (the basis of the paper's
+    dominant-colour court recognition); white baselines, sidelines, a
+    service line and the dark net band are drawn on top.
+    """
+    frame = np.empty((height, width, 3), dtype=np.uint8)
+    frame[:] = style.surround
+
+    top, net, bottom = geometry.rows(height)
+    left, right = geometry.cols(width)
+    frame[top:bottom, left:right] = style.surface
+
+    t = geometry.line_thickness
+    # Baselines and sidelines.
+    frame[top : top + t, left:right] = style.line
+    frame[bottom - t : bottom, left:right] = style.line
+    frame[top:bottom, left : left + t] = style.line
+    frame[top:bottom, right - t : right] = style.line
+    # Service lines halfway between each baseline and the net.
+    for service_row in ((top + net) // 2, (net + bottom) // 2):
+        frame[service_row : service_row + t, left:right] = style.line
+    # Centre service line.
+    centre = (left + right) // 2
+    frame[(top + net) // 2 : (net + bottom) // 2, centre : centre + t] = style.line
+    # The net band.
+    half = max(1, int(geometry.net_half_height * height))
+    frame[net - half : net + half, left:right] = style.net
+    return frame

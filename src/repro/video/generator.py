@@ -1,0 +1,248 @@
+"""Broadcast assembly: shots + transitions -> clip + ground truth.
+
+:class:`BroadcastGenerator` is the main entry point of the video
+substrate.  It samples a sequence of shot specs (or takes an explicit
+list), renders each shot, splices them with hard cuts and gradual
+transitions, and returns the :class:`~repro.video.frames.VideoClip`
+together with the :class:`~repro.video.ground_truth.GroundTruth` that
+the benchmark harness scores against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.video.court import CAMERA_PRESETS
+from repro.video.frames import FRAME_HEIGHT, FRAME_WIDTH, VideoClip
+from repro.video.ground_truth import EventTruth, GroundTruth, ShotTruth, TransitionTruth
+from repro.video.players import SCRIPT_KINDS
+from repro.video.shots import (
+    AudienceSpec,
+    CloseUpSpec,
+    CourtShotSpec,
+    OtherSpec,
+    RenderedShot,
+    ShotCategory,
+)
+from repro.video.transitions import dissolve_frames, fade_frames
+
+__all__ = ["BroadcastConfig", "BroadcastGenerator"]
+
+ShotSpec = CourtShotSpec | CloseUpSpec | AudienceSpec | OtherSpec
+
+_SPEC_CATEGORIES = {
+    CourtShotSpec: ShotCategory.TENNIS,
+    CloseUpSpec: ShotCategory.CLOSEUP,
+    AudienceSpec: ShotCategory.AUDIENCE,
+    OtherSpec: ShotCategory.OTHER,
+}
+
+
+def _spec_category(spec: ShotSpec) -> str:
+    return _SPEC_CATEGORIES[type(spec)]
+
+
+@dataclass(frozen=True)
+class BroadcastConfig:
+    """Parameters of a synthetic broadcast.
+
+    Attributes:
+        height: frame height in pixels.
+        width: frame width in pixels.
+        fps: frames per second.
+        noise_sigma: per-pixel Gaussian noise std (grey levels).
+        gradual_fraction: probability that a shot change is gradual rather
+            than a hard cut.
+        gradual_length: ``(min, max)`` frame count of gradual transitions.
+        category_weights: sampling weights for (tennis, closeup, audience,
+            other) when shot specs are drawn randomly.
+        shot_length: ``(min, max)`` shot length in frames.
+    """
+
+    height: int = FRAME_HEIGHT
+    width: int = FRAME_WIDTH
+    fps: float = 25.0
+    noise_sigma: float = 6.0
+    gradual_fraction: float = 0.2
+    gradual_length: tuple[int, int] = (10, 18)
+    category_weights: tuple[float, float, float, float] = (0.45, 0.2, 0.2, 0.15)
+    shot_length: tuple[int, int] = (30, 70)
+    gain_range: tuple[float, float] = (0.85, 1.15)
+
+    def __post_init__(self) -> None:
+        if self.height < 32 or self.width < 32:
+            raise ValueError("frames must be at least 32x32")
+        if not 0 <= self.gradual_fraction <= 1:
+            raise ValueError("gradual_fraction must be in [0, 1]")
+        if self.gradual_length[0] < 2 or self.gradual_length[1] < self.gradual_length[0]:
+            raise ValueError(f"bad gradual_length range {self.gradual_length}")
+        if self.shot_length[0] < 10 or self.shot_length[1] < self.shot_length[0]:
+            raise ValueError(f"bad shot_length range {self.shot_length}")
+        if any(w < 0 for w in self.category_weights) or sum(self.category_weights) <= 0:
+            raise ValueError(f"bad category weights {self.category_weights}")
+
+
+class BroadcastGenerator:
+    """Deterministic synthetic broadcast factory.
+
+    Args:
+        config: broadcast parameters.
+        seed: seed for the internal :class:`numpy.random.Generator`; the
+            same (config, seed) pair always yields the same broadcast.
+    """
+
+    def __init__(self, config: BroadcastConfig | None = None, seed: int = 0):
+        self.config = config or BroadcastConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Spec sampling
+    # ------------------------------------------------------------------ #
+
+    def sample_spec(self, previous: ShotSpec | None = None) -> ShotSpec:
+        """Draw one random shot spec according to the category weights.
+
+        When *previous* is given, the new shot is kept visually distinct
+        from it: a repeat of the same category is redrawn once (broadcast
+        direction rarely cuts between identical framings), and when the
+        category does repeat the camera gain is forced at least 0.12 away
+        from the previous shot's and, for tennis, a different camera
+        preset is used.
+        """
+        cfg = self.config
+        weights = np.asarray(cfg.category_weights, dtype=np.float64)
+        weights = weights / weights.sum()
+        category = ShotCategory.ALL[int(self._rng.choice(len(ShotCategory.ALL), p=weights))]
+        prev_category = _spec_category(previous) if previous is not None else None
+        if category == prev_category:
+            category = ShotCategory.ALL[int(self._rng.choice(len(ShotCategory.ALL), p=weights))]
+
+        n_frames = int(self._rng.integers(cfg.shot_length[0], cfg.shot_length[1] + 1))
+        gain = self._sample_gain(previous if category == prev_category else None)
+        if category == ShotCategory.TENNIS:
+            script = SCRIPT_KINDS[int(self._rng.integers(0, len(SCRIPT_KINDS)))]
+            geometry = self._sample_camera(
+                previous if isinstance(previous, CourtShotSpec) and category == prev_category else None
+            )
+            return CourtShotSpec(n_frames=n_frames, script=script, gain=gain, geometry=geometry)
+        if category == ShotCategory.CLOSEUP:
+            return CloseUpSpec(n_frames=n_frames, gain=gain)
+        if category == ShotCategory.AUDIENCE:
+            return AudienceSpec(n_frames=n_frames, gain=gain)
+        return OtherSpec(n_frames=n_frames, gain=gain)
+
+    def _sample_gain(self, previous: ShotSpec | None) -> float:
+        """Camera gain, at least 0.12 from the previous shot's when repeating."""
+        low, high = self.config.gain_range
+        for _ in range(16):
+            gain = float(self._rng.uniform(low, high))
+            if previous is None or abs(gain - previous.gain) >= 0.12:
+                return gain
+        # Degenerate gain_range; fall back to the range edge furthest away.
+        if previous is None:
+            return float(self._rng.uniform(low, high))
+        return low if abs(low - previous.gain) > abs(high - previous.gain) else high
+
+    def _sample_camera(self, previous: CourtShotSpec | None):
+        """A camera preset, different from the previous court shot's."""
+        names = list(CAMERA_PRESETS)
+        if previous is not None:
+            names = [n for n in names if CAMERA_PRESETS[n] != previous.geometry] or names
+        return CAMERA_PRESETS[names[int(self._rng.integers(0, len(names)))]]
+
+    def sample_specs(self, n_shots: int) -> list[ShotSpec]:
+        """Draw *n_shots* random shot specs, consecutive ones kept distinct."""
+        if n_shots < 1:
+            raise ValueError(f"need at least one shot, got {n_shots}")
+        specs: list[ShotSpec] = []
+        for _ in range(n_shots):
+            specs.append(self.sample_spec(specs[-1] if specs else None))
+        return specs
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+
+    def generate(self, n_shots: int = 12, name: str = "broadcast") -> tuple[VideoClip, GroundTruth]:
+        """Generate a random broadcast of *n_shots* shots."""
+        return self.assemble(self.sample_specs(n_shots), name=name)
+
+    def assemble(
+        self, specs: list[ShotSpec], name: str = "broadcast"
+    ) -> tuple[VideoClip, GroundTruth]:
+        """Render *specs* in order and splice them with transitions.
+
+        The first shot always starts at frame 0; each subsequent shot is
+        joined to its predecessor by a hard cut (probability
+        ``1 - gradual_fraction``) or a fade/dissolve.
+        """
+        if not specs:
+            raise ValueError("need at least one shot spec")
+        cfg = self.config
+        frames: list[np.ndarray] = []
+        truth = GroundTruth()
+
+        for index, spec in enumerate(specs):
+            rendered = spec.render(cfg.height, cfg.width, self._rng, cfg.noise_sigma)
+            if index > 0:
+                self._splice(frames, rendered, truth)
+            start = len(frames)
+            frames.extend(rendered.frames)
+            self._record_shot(rendered, start, truth)
+
+        clip = VideoClip(frames, fps=cfg.fps, name=name)
+        truth.validate(len(clip))
+        return clip, truth
+
+    def _splice(
+        self, frames: list[np.ndarray], incoming: RenderedShot, truth: GroundTruth
+    ) -> None:
+        """Append transition frames (if gradual) and record the transition."""
+        cfg = self.config
+        if self._rng.random() >= cfg.gradual_fraction:
+            truth.transitions.append(TransitionTruth(frame=len(frames), kind="cut"))
+            return
+        length = int(self._rng.integers(cfg.gradual_length[0], cfg.gradual_length[1] + 1))
+        kind = "dissolve" if self._rng.random() < 0.5 else "fade"
+        make = dissolve_frames if kind == "dissolve" else fade_frames
+        transition = make(frames[-1], incoming.frames[0], length)
+        truth.transitions.append(
+            TransitionTruth(frame=len(frames), kind=kind, length=len(transition))
+        )
+        frames.extend(transition)
+
+    @staticmethod
+    def _record_shot(rendered: RenderedShot, start: int, truth: GroundTruth) -> None:
+        stop = start + len(rendered.frames)
+        shot_index = len(truth.shots)
+        truth.shots.append(
+            ShotTruth(
+                start=start,
+                stop=stop,
+                category=rendered.category,
+                trajectory=rendered.trajectory,
+                far_trajectory=rendered.far_trajectory,
+            )
+        )
+        for offset_start, offset_stop, label in rendered.events:
+            truth.events.append(
+                EventTruth(
+                    start=start + offset_start,
+                    stop=start + offset_stop,
+                    label=label,
+                    shot_index=shot_index,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Convenience clips
+    # ------------------------------------------------------------------ #
+
+    def tennis_clip(
+        self, script: str = "rally", n_frames: int = 60, name: str = "tennis"
+    ) -> tuple[VideoClip, GroundTruth]:
+        """A single court shot — the tracker and event tests start here."""
+        spec = CourtShotSpec(n_frames=n_frames, script=script)
+        return self.assemble([spec], name=name)

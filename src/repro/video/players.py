@@ -1,0 +1,245 @@
+"""Player sprites and scripted motion.
+
+A player is rendered as a shirt-coloured body ellipse topped by a
+skin-coloured head — enough structure for the tracker's "not court
+colour" segmentation and for the skin model to behave as it does on real
+footage.  Motion scripts move the near player through trajectories that
+*realise semantic events*: a rally is sustained lateral movement along
+the baseline, a net approach drives the player into the net zone, a
+service starts from a still stance at the baseline corner.
+
+The scripts return both the per-frame positions (the tracker's target)
+and the event intervals they realise (the event recogniser's target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.video.court import CourtGeometry, DEFAULT_GEOMETRY
+
+__all__ = [
+    "PlayerAppearance",
+    "MotionScript",
+    "motion_script",
+    "draw_player",
+    "NEAR_PLAYER",
+    "FAR_PLAYER",
+    "SCRIPT_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class PlayerAppearance:
+    """Visual parameters of a player sprite.
+
+    Attributes:
+        shirt: RGB shirt colour — chosen far from court/skin colours.
+        skin: RGB skin colour — inside :class:`repro.vision.skin.SkinColorModel`.
+        body_height: body ellipse height in pixels.
+        body_width: body ellipse width in pixels.
+        head_radius: head circle radius in pixels.
+    """
+
+    shirt: tuple[int, int, int] = (200, 40, 40)
+    skin: tuple[int, int, int] = (224, 172, 120)
+    body_height: int = 14
+    body_width: int = 7
+    head_radius: int = 3
+
+
+NEAR_PLAYER = PlayerAppearance()
+FAR_PLAYER = PlayerAppearance(
+    shirt=(230, 210, 60), body_height=9, body_width=5, head_radius=2
+)
+
+
+@dataclass(frozen=True)
+class MotionScript:
+    """A scripted trajectory plus the events it realises.
+
+    Attributes:
+        kind: script name (one of :data:`SCRIPT_KINDS`).
+        positions: per-frame ``(row, col)`` centroids in pixels.
+        events: ``(start_offset, stop_offset, label)`` intervals relative to
+            the first frame of the shot.
+    """
+
+    kind: str
+    positions: tuple[tuple[float, float], ...]
+    events: tuple[tuple[int, int, str], ...]
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+SCRIPT_KINDS = ("rally", "net_approach", "service", "baseline_play")
+
+
+def _lateral_wave(
+    n: int, centre: float, amplitude: float, period: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sinusoidal lateral motion with a random phase."""
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    t = np.arange(n)
+    return centre + amplitude * np.sin(2.0 * np.pi * t / period + phase)
+
+
+def motion_script(
+    kind: str,
+    n_frames: int,
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    geometry: CourtGeometry = DEFAULT_GEOMETRY,
+) -> MotionScript:
+    """Build the near player's trajectory for a shot of *n_frames* frames.
+
+    Args:
+        kind: one of :data:`SCRIPT_KINDS`.
+        n_frames: shot length; must be >= 10 so events are observable.
+        rng: randomness source (phases, jitter, pauses).
+        height: frame height in pixels.
+        width: frame width in pixels.
+        geometry: court geometry the trajectory moves within.
+
+    Returns:
+        A :class:`MotionScript` whose positions stay inside the near half
+        of the court and whose ``events`` mark the realised semantics.
+    """
+    if kind not in SCRIPT_KINDS:
+        raise ValueError(f"unknown motion script {kind!r}; expected one of {SCRIPT_KINDS}")
+    if n_frames < 10:
+        raise ValueError(f"shots need >= 10 frames for events, got {n_frames}")
+
+    top, net, bottom = geometry.rows(height)
+    left, right = geometry.cols(width)
+    baseline_row = bottom - 0.08 * height  # just inside the near baseline
+    net_zone_row = net + 0.10 * height  # "at the net" boundary
+    centre_col = (left + right) / 2.0
+    lateral_room = (right - left) / 2.0 - 6.0
+
+    jitter = rng.normal(0.0, 0.6, size=(n_frames, 2))
+    events: list[tuple[int, int, str]] = []
+
+    if kind == "rally":
+        cols = _lateral_wave(n_frames, centre_col, 0.8 * lateral_room, period=30.0, rng=rng)
+        rows = np.full(n_frames, baseline_row) + rng.normal(0.0, 1.0, n_frames)
+        events.append((0, n_frames, "rally"))
+
+    elif kind == "baseline_play":
+        cols = _lateral_wave(n_frames, centre_col, 0.15 * lateral_room, period=45.0, rng=rng)
+        rows = np.full(n_frames, baseline_row)
+        events.append((0, n_frames, "baseline_play"))
+
+    elif kind == "service":
+        # Still stance at the baseline corner, then a short step forward.
+        corner_col = right - 0.12 * width if rng.random() < 0.5 else left + 0.12 * width
+        still = max(6, int(n_frames * 0.4))
+        rows = np.concatenate(
+            [
+                np.full(still, baseline_row),
+                np.linspace(baseline_row, baseline_row - 0.05 * height, n_frames - still),
+            ]
+        )
+        cols = np.full(n_frames, corner_col)
+        events.append((0, still, "service"))
+
+    else:  # net_approach
+        # Rally briefly, then run from the baseline into the net zone and
+        # volley there.  The frames spent inside the net zone are the
+        # net_play event.
+        approach_start = max(3, int(n_frames * 0.25))
+        arrive = max(approach_start + 3, int(n_frames * 0.6))
+        target_row = net_zone_row - 0.02 * height
+        rows = np.concatenate(
+            [
+                np.full(approach_start, baseline_row),
+                np.linspace(baseline_row, target_row, arrive - approach_start),
+                np.full(n_frames - arrive, target_row),
+            ]
+        )
+        cols = _lateral_wave(n_frames, centre_col, 0.25 * lateral_room, period=40.0, rng=rng)
+        inside = np.nonzero(rows <= net_zone_row)[0]
+        if inside.size:
+            events.append((int(inside[0]), n_frames, "net_play"))
+
+    rows = np.clip(rows + jitter[:, 0], top + 4, bottom - 4)
+    cols = np.clip(cols + jitter[:, 1], left + 6, right - 6)
+    positions = tuple((float(r), float(c)) for r, c in zip(rows, cols))
+    return MotionScript(kind=kind, positions=positions, events=tuple(events))
+
+
+def far_player_positions(
+    n_frames: int,
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    geometry: CourtGeometry = DEFAULT_GEOMETRY,
+) -> tuple[tuple[float, float], ...]:
+    """A gentle lateral drift for the far player (not the tracked target)."""
+    top, net, _bottom = geometry.rows(height)
+    left, right = geometry.cols(width)
+    row = top + 0.35 * (net - top)
+    cols = _lateral_wave(
+        n_frames, (left + right) / 2.0, 0.3 * ((right - left) / 2.0), period=50.0, rng=rng
+    )
+    rows = np.full(n_frames, row) + rng.normal(0.0, 0.5, n_frames)
+    return tuple((float(r), float(c)) for r, c in zip(rows, cols))
+
+
+def _paint_ellipse(
+    frame: np.ndarray,
+    centre_row: float,
+    centre_col: float,
+    half_height: float,
+    half_width: float,
+    color: tuple[int, int, int],
+) -> None:
+    """Paint a filled axis-aligned ellipse, clipped to the frame."""
+    h, w, _ = frame.shape
+    r0 = max(0, int(np.floor(centre_row - half_height)))
+    r1 = min(h, int(np.ceil(centre_row + half_height)) + 1)
+    c0 = max(0, int(np.floor(centre_col - half_width)))
+    c1 = min(w, int(np.ceil(centre_col + half_width)) + 1)
+    if r0 >= r1 or c0 >= c1:
+        return
+    rows = np.arange(r0, r1).reshape(-1, 1)
+    cols = np.arange(c0, c1).reshape(1, -1)
+    mask = ((rows - centre_row) / max(half_height, 1e-6)) ** 2 + (
+        (cols - centre_col) / max(half_width, 1e-6)
+    ) ** 2 <= 1.0
+    frame[r0:r1, c0:c1][mask] = color
+
+
+def draw_player(
+    frame: np.ndarray,
+    row: float,
+    col: float,
+    appearance: PlayerAppearance = NEAR_PLAYER,
+) -> None:
+    """Paint a player sprite centred at body position ``(row, col)`` in place.
+
+    The body ellipse is centred on the given point; the head sits on top of
+    it.  The sprite's true centroid (what ground truth records) is the body
+    centre.
+    """
+    _paint_ellipse(
+        frame,
+        row,
+        col,
+        appearance.body_height / 2.0,
+        appearance.body_width / 2.0,
+        appearance.shirt,
+    )
+    head_row = row - appearance.body_height / 2.0 - appearance.head_radius + 1
+    _paint_ellipse(
+        frame,
+        head_row,
+        col,
+        appearance.head_radius,
+        appearance.head_radius,
+        appearance.skin,
+    )

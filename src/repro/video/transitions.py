@@ -1,0 +1,46 @@
+"""Shot transitions: hard cuts, fades and dissolves.
+
+Hard cuts are what the paper's histogram-difference detector targets;
+gradual transitions (fade through black, cross-dissolve) are the classic
+failure mode of a naive threshold and the reason the boundary module also
+ships a twin-comparison detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dissolve_frames", "fade_frames"]
+
+
+def dissolve_frames(
+    last_frame: np.ndarray, next_frame: np.ndarray, length: int
+) -> list[np.ndarray]:
+    """Cross-dissolve: *length* frames interpolating between two shots.
+
+    Frame ``k`` (0-based) blends with weight ``(k+1)/(length+1)`` toward the
+    incoming shot, so the transition never duplicates either endpoint.
+    """
+    if length < 1:
+        raise ValueError(f"dissolve length must be >= 1, got {length}")
+    a = last_frame.astype(np.float64)
+    b = next_frame.astype(np.float64)
+    frames = []
+    for k in range(length):
+        w = (k + 1) / (length + 1)
+        frames.append(np.clip((1.0 - w) * a + w * b, 0, 255).astype(np.uint8))
+    return frames
+
+
+def fade_frames(
+    last_frame: np.ndarray, next_frame: np.ndarray, length: int
+) -> list[np.ndarray]:
+    """Fade out to black then in from black over *length* frames total."""
+    if length < 2:
+        raise ValueError(f"fade length must be >= 2, got {length}")
+    out_len = length // 2
+    in_len = length - out_len
+    black = np.zeros_like(last_frame)
+    frames = dissolve_frames(last_frame, black, out_len)
+    frames.extend(dissolve_frames(black, next_frame, in_len))
+    return frames

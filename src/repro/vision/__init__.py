@@ -1,0 +1,61 @@
+"""Pure-NumPy image processing primitives.
+
+This package replaces the external C/C++ vision routines the paper's
+"segment detector" and "tennis detector" relied on.  Every operator the
+pipeline needs is implemented here on ``numpy.ndarray`` images:
+
+- colour space conversion (:mod:`repro.vision.color`),
+- colour histograms and histogram distances (:mod:`repro.vision.histogram`),
+- frame statistics: entropy, mean, variance (:mod:`repro.vision.stats`),
+- a parametric skin-colour model (:mod:`repro.vision.skin`),
+- dominant-colour estimation (:mod:`repro.vision.dominant`),
+- connected-component labelling (:mod:`repro.vision.regions`),
+- binary morphology (:mod:`repro.vision.morphology`),
+- geometric moments and shape features (:mod:`repro.vision.moments`).
+
+Images are ``uint8`` arrays of shape ``(H, W, 3)`` (RGB) or ``(H, W)``
+(greyscale / binary masks).  All operators are vectorised and allocate
+rather than mutate their inputs.
+"""
+
+from repro.vision.color import rgb_to_grey, rgb_to_hsv, hsv_to_rgb
+from repro.vision.histogram import (
+    color_histogram,
+    grey_histogram,
+    histogram_difference,
+    histogram_intersection,
+    chi_square_distance,
+)
+from repro.vision.stats import frame_entropy, frame_mean, frame_variance
+from repro.vision.skin import SkinColorModel, skin_ratio
+from repro.vision.dominant import dominant_color, color_coverage
+from repro.vision.regions import label_regions, region_slices, largest_region
+from repro.vision.morphology import erode, dilate, opening, closing
+from repro.vision.moments import ShapeFeatures, shape_features
+
+__all__ = [
+    "rgb_to_grey",
+    "rgb_to_hsv",
+    "hsv_to_rgb",
+    "color_histogram",
+    "grey_histogram",
+    "histogram_difference",
+    "histogram_intersection",
+    "chi_square_distance",
+    "frame_entropy",
+    "frame_mean",
+    "frame_variance",
+    "SkinColorModel",
+    "skin_ratio",
+    "dominant_color",
+    "color_coverage",
+    "label_regions",
+    "region_slices",
+    "largest_region",
+    "erode",
+    "dilate",
+    "opening",
+    "closing",
+    "ShapeFeatures",
+    "shape_features",
+]

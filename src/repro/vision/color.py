@@ -1,0 +1,106 @@
+"""Colour space conversions.
+
+The shot classifier works on RGB statistics, dominant colours are more
+stable in HSV, and the boundary detector and entropy work on greyscale.
+Conversions follow the standard ITU-R BT.601 luma weights and the usual
+hexcone HSV model, matching what the paper's 2002-era tooling (and
+OpenCV today) computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rgb_to_grey", "rgb_to_hsv", "hsv_to_rgb", "ensure_rgb"]
+
+#: ITU-R BT.601 luma weights used for RGB -> greyscale.
+_LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+def ensure_rgb(image: np.ndarray) -> np.ndarray:
+    """Validate that *image* is an ``(H, W, 3)`` array and return it.
+
+    Raises:
+        ValueError: if the array does not look like an RGB image.
+    """
+    arr = np.asarray(image)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected an (H, W, 3) RGB image, got shape {arr.shape}")
+    return arr
+
+
+def rgb_to_grey(image: np.ndarray) -> np.ndarray:
+    """Convert an RGB image to a ``uint8`` greyscale image.
+
+    Args:
+        image: ``(H, W, 3)`` array, any numeric dtype in the 0..255 range.
+
+    Returns:
+        ``(H, W)`` ``uint8`` array of luma values.
+    """
+    rgb = ensure_rgb(image).astype(np.float64)
+    grey = rgb @ _LUMA_WEIGHTS
+    return np.clip(np.rint(grey), 0, 255).astype(np.uint8)
+
+
+def rgb_to_hsv(image: np.ndarray) -> np.ndarray:
+    """Convert ``uint8`` RGB to float HSV.
+
+    Returns:
+        ``(H, W, 3)`` float64 array with hue in ``[0, 360)`` degrees and
+        saturation / value in ``[0, 1]``.
+    """
+    rgb = ensure_rgb(image).astype(np.float64) / 255.0
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    maxc = rgb.max(axis=-1)
+    minc = rgb.min(axis=-1)
+    delta = maxc - minc
+
+    hue = np.zeros_like(maxc)
+    nonzero = delta > 0
+    # Piecewise hue computation; np.where keeps it vectorised.
+    rmax = nonzero & (maxc == r)
+    gmax = nonzero & (maxc == g) & ~rmax
+    bmax = nonzero & ~rmax & ~gmax
+    with np.errstate(divide="ignore", invalid="ignore"):
+        hue[rmax] = ((g - b)[rmax] / delta[rmax]) % 6.0
+        hue[gmax] = (b - r)[gmax] / delta[gmax] + 2.0
+        hue[bmax] = (r - g)[bmax] / delta[bmax] + 4.0
+    hue *= 60.0
+
+    saturation = np.zeros_like(maxc)
+    vpos = maxc > 0
+    saturation[vpos] = delta[vpos] / maxc[vpos]
+
+    return np.stack([hue, saturation, maxc], axis=-1)
+
+
+def hsv_to_rgb(hsv: np.ndarray) -> np.ndarray:
+    """Convert float HSV (hue degrees, sat/val in 0..1) to ``uint8`` RGB."""
+    arr = np.asarray(hsv, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected an (H, W, 3) HSV image, got shape {arr.shape}")
+    h = (arr[..., 0] % 360.0) / 60.0
+    s = np.clip(arr[..., 1], 0.0, 1.0)
+    v = np.clip(arr[..., 2], 0.0, 1.0)
+
+    i = np.floor(h).astype(int) % 6
+    f = h - np.floor(h)
+    p = v * (1.0 - s)
+    q = v * (1.0 - s * f)
+    t = v * (1.0 - s * (1.0 - f))
+
+    # For each sextant pick the (r, g, b) triple.
+    choices = [
+        (v, t, p),
+        (q, v, p),
+        (p, v, t),
+        (p, q, v),
+        (t, p, v),
+        (v, p, q),
+    ]
+    r = np.choose(i, [c[0] for c in choices])
+    g = np.choose(i, [c[1] for c in choices])
+    b = np.choose(i, [c[2] for c in choices])
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(np.rint(rgb * 255.0), 0, 255).astype(np.uint8)

@@ -1,0 +1,62 @@
+"""Dominant-colour estimation.
+
+"The court shots are recognized based on the dominant color" — this module
+computes the dominant colour of a frame by histogram mode in quantised RGB
+space, and the coverage of an arbitrary reference colour (used both to
+recognise the court colour and, by the tracker, to estimate how much of the
+frame is court).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.color import ensure_rgb
+
+__all__ = ["dominant_color", "color_coverage", "color_distance"]
+
+
+def dominant_color(image: np.ndarray, bins: int = 16) -> tuple[np.ndarray, float]:
+    """Most frequent quantised colour of an RGB frame.
+
+    The frame is quantised to ``bins`` levels per channel; the returned
+    colour is the mean RGB of the pixels falling in the most populated cell,
+    which is more accurate than the cell centre.
+
+    Returns:
+        ``(color, coverage)`` where *color* is a float64 RGB triple and
+        *coverage* is the fraction of frame pixels in the winning cell.
+    """
+    rgb = ensure_rgb(image)
+    quant = (rgb.astype(np.uint32) * bins) >> 8
+    codes = (quant[..., 0] * bins + quant[..., 1]) * bins + quant[..., 2]
+    flat_codes = codes.ravel()
+    counts = np.bincount(flat_codes, minlength=bins**3)
+    winner = int(counts.argmax())
+    member = flat_codes == winner
+    pixels = rgb.reshape(-1, 3)[member]
+    color = pixels.mean(axis=0) if len(pixels) else np.zeros(3)
+    coverage = float(member.mean()) if flat_codes.size else 0.0
+    return color.astype(np.float64), coverage
+
+
+def color_distance(c1: np.ndarray, c2: np.ndarray) -> float:
+    """Euclidean distance between two RGB colours (0..~441)."""
+    a = np.asarray(c1, dtype=np.float64)
+    b = np.asarray(c2, dtype=np.float64)
+    if a.shape != (3,) or b.shape != (3,):
+        raise ValueError("colours must be RGB triples")
+    return float(np.linalg.norm(a - b))
+
+
+def color_coverage(
+    image: np.ndarray, color: np.ndarray, tolerance: float = 40.0
+) -> float:
+    """Fraction of pixels within Euclidean *tolerance* of *color*.
+
+    Used to test whether a frame is dominated by a known court colour.
+    """
+    rgb = ensure_rgb(image).astype(np.float64)
+    ref = np.asarray(color, dtype=np.float64).reshape(1, 1, 3)
+    dist = np.sqrt(((rgb - ref) ** 2).sum(axis=-1))
+    return float((dist <= tolerance).mean())

@@ -1,0 +1,136 @@
+"""Geometric moments and shape features of binary regions.
+
+The tennis detector extracts, for the segmented player's binary
+representation, "the mass center, the area, the bounding box, the
+orientation, and the eccentricity" — exactly the central-moment shape
+descriptors implemented here.
+
+Coordinates follow image convention: ``row`` (y, downwards) and ``col``
+(x, rightwards).  Orientation is the angle in radians of the major axis
+measured from the positive column (x) axis, in ``(-pi/2, pi/2]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShapeFeatures", "raw_moment", "central_moments", "shape_features"]
+
+
+@dataclass(frozen=True)
+class ShapeFeatures:
+    """Shape descriptors of a binary region.
+
+    Attributes:
+        area: pixel count of the region.
+        centroid: ``(row, col)`` mass centre.
+        bbox: ``(row_min, col_min, row_max, col_max)`` half-open bounds.
+        orientation: major-axis angle in radians from the x (column) axis.
+        eccentricity: 0 for a circle, ->1 for an elongated region.
+        aspect_ratio: bbox height / bbox width.
+    """
+
+    area: int
+    centroid: tuple[float, float]
+    bbox: tuple[int, int, int, int]
+    orientation: float
+    eccentricity: float
+    aspect_ratio: float
+
+    def as_vector(self) -> np.ndarray:
+        """Flatten to a feature vector (for classifiers / the meta-index)."""
+        return np.array(
+            [
+                self.area,
+                self.centroid[0],
+                self.centroid[1],
+                *self.bbox,
+                self.orientation,
+                self.eccentricity,
+                self.aspect_ratio,
+            ],
+            dtype=np.float64,
+        )
+
+
+def raw_moment(mask: np.ndarray, p: int, q: int) -> float:
+    """Raw image moment ``M_pq = sum(row**p * col**q)`` over true pixels."""
+    rows, cols = np.nonzero(np.asarray(mask, dtype=bool))
+    if rows.size == 0:
+        return 0.0
+    return float(np.sum((rows.astype(np.float64) ** p) * (cols.astype(np.float64) ** q)))
+
+
+def central_moments(mask: np.ndarray) -> dict[str, float]:
+    """Second-order central moments ``mu20, mu02, mu11`` of a binary mask."""
+    rows, cols = np.nonzero(np.asarray(mask, dtype=bool))
+    if rows.size == 0:
+        return {"mu20": 0.0, "mu02": 0.0, "mu11": 0.0}
+    r = rows.astype(np.float64)
+    c = cols.astype(np.float64)
+    r_mean = r.mean()
+    c_mean = c.mean()
+    dr = r - r_mean
+    dc = c - c_mean
+    return {
+        "mu20": float(np.sum(dr * dr)),
+        "mu02": float(np.sum(dc * dc)),
+        "mu11": float(np.sum(dr * dc)),
+    }
+
+
+def shape_features(mask: np.ndarray) -> ShapeFeatures | None:
+    """Extract :class:`ShapeFeatures` from a binary mask.
+
+    Returns ``None`` for an empty mask (no region to describe).
+    """
+    arr = np.asarray(mask, dtype=bool)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D mask, got shape {arr.shape}")
+    rows, cols = np.nonzero(arr)
+    if rows.size == 0:
+        return None
+
+    area = int(rows.size)
+    r_mean = float(rows.mean())
+    c_mean = float(cols.mean())
+    bbox = (int(rows.min()), int(cols.min()), int(rows.max()) + 1, int(cols.max()) + 1)
+
+    mu = central_moments(arr)
+    # Normalised second central moments (per-pixel).
+    u20 = mu["mu20"] / area
+    u02 = mu["mu02"] / area
+    u11 = mu["mu11"] / area
+
+    # Orientation of the major axis relative to the column (x) axis.  The
+    # covariance matrix here is over (row, col); converting to (x, y) with
+    # y pointing up flips the sign of the cross term.
+    if abs(u20 - u02) < 1e-12 and abs(u11) < 1e-12:
+        orientation = 0.0
+    else:
+        orientation = 0.5 * np.arctan2(2.0 * u11, u02 - u20)
+
+    # Eigenvalues of the covariance matrix give the axis lengths.
+    common = np.sqrt(max((u20 - u02) ** 2 / 4.0 + u11**2, 0.0))
+    lam1 = (u20 + u02) / 2.0 + common
+    lam2 = (u20 + u02) / 2.0 - common
+    if lam1 <= 1e-12:
+        eccentricity = 0.0
+    else:
+        ratio = max(lam2, 0.0) / lam1
+        eccentricity = float(np.sqrt(max(1.0 - ratio, 0.0)))
+
+    height = bbox[2] - bbox[0]
+    width = bbox[3] - bbox[1]
+    aspect = float(height) / float(width) if width else float("inf")
+
+    return ShapeFeatures(
+        area=area,
+        centroid=(r_mean, c_mean),
+        bbox=bbox,
+        orientation=float(orientation),
+        eccentricity=eccentricity,
+        aspect_ratio=aspect,
+    )

@@ -1,0 +1,92 @@
+"""Lossy HTML rendering of webspace objects.
+
+"Some semantic concepts, which were clearly available in the source data
+used for this page, are lost due to the translation of the source data
+into HTML."  This module performs exactly that translation: structured
+objects become prose-and-markup pages in which attribute *names*
+disappear (a page says "Serena Hingis-Practice" and "left-handed",
+never ``handedness=left`` as a queryable field).  ``page_text`` strips
+the markup, giving the bag-of-words view a crawler-based search engine
+sees — the E7 keyword baseline.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.webspace.instances import WebspaceObject
+
+__all__ = ["render_page", "page_text"]
+
+_TAG_RE = re.compile(r"<[^>]+>")
+
+
+def _player_page(player: WebspaceObject) -> str:
+    hand = "left-handed" if player.get("handedness") == "left" else "right-handed"
+    gender = "women's" if player.get("gender") == "female" else "men's"
+    titles = player.get("titles")
+    title_sentence = (
+        f"<p>{player.get('name')} has won the Australian Open {titles} "
+        f"time{'s' if titles != 1 else ''}.</p>"
+        if titles
+        else f"<p>{player.get('name')} is yet to win a grand slam title.</p>"
+    )
+    return (
+        f"<html><head><title>{player.get('name')}</title></head><body>"
+        f"<h1>{player.get('name')}</h1>"
+        f"<p>{player.get('name')} of {player.get('country')} competes in the "
+        f"{gender} singles draw. A {hand} player, currently seeded "
+        f"{player.get('seed')}.</p>"
+        f"{title_sentence}"
+        f"</body></html>"
+    )
+
+
+def _match_page(match: WebspaceObject) -> str:
+    return (
+        f"<html><head><title>{match.get('title')}</title></head><body>"
+        f"<h1>{match.get('title')}</h1>"
+        f"<p>A {match.get('round')} match of the {match.get('year')} "
+        f"Australian Open, won in {match.get('sets')} sets "
+        f"({match.get('score')}).</p>"
+        f"</body></html>"
+    )
+
+
+def _video_page(video: WebspaceObject) -> str:
+    return (
+        f"<html><head><title>{video.get('name')}</title></head><body>"
+        f"<h1>Video: {video.get('name')}</h1>"
+        f"<p>Broadcast footage, {video.get('n_frames')} frames.</p>"
+        f"</body></html>"
+    )
+
+
+def _interview_page(interview: WebspaceObject) -> str:
+    return (
+        f"<html><head><title>Interview</title></head><body>"
+        f"<h1>Interview transcript</h1>"
+        f"<p>{interview.get('text')}</p>"
+        f"</body></html>"
+    )
+
+
+_RENDERERS = {
+    "Player": _player_page,
+    "Match": _match_page,
+    "Video": _video_page,
+    "Interview": _interview_page,
+}
+
+
+def render_page(obj: WebspaceObject) -> str:
+    """Render one webspace object to its HTML page."""
+    renderer = _RENDERERS.get(obj.class_name)
+    if renderer is None:
+        raise ValueError(f"no page template for class {obj.class_name!r}")
+    return renderer(obj)
+
+
+def page_text(html: str) -> str:
+    """Strip markup: the text a crawler indexes."""
+    return _TAG_RE.sub(" ", html)

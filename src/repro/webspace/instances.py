@@ -1,0 +1,115 @@
+"""The webspace object graph: typed objects + association links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.webspace.schema import SchemaViolation, WebspaceSchema
+
+__all__ = ["WebspaceObject", "WebspaceInstance"]
+
+
+@dataclass(frozen=True)
+class WebspaceObject:
+    """One instance of a schema class.
+
+    Attributes:
+        oid: instance-wide object id.
+        class_name: the schema class.
+        attributes: attribute name -> value, validated against the schema.
+    """
+
+    oid: int
+    class_name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def get(self, name: str):
+        if name not in self.attributes:
+            raise KeyError(f"object {self.oid} ({self.class_name}) has no {name!r}")
+        return self.attributes[name]
+
+
+class WebspaceInstance:
+    """Objects and links conforming to a :class:`WebspaceSchema`."""
+
+    def __init__(self, schema: WebspaceSchema):
+        self.schema = schema
+        self._objects: dict[int, WebspaceObject] = {}
+        self._by_class: dict[str, list[int]] = {}
+        # association name -> source oid -> [target oids]
+        self._links: dict[str, dict[int, list[int]]] = {}
+        self._next_oid = 1
+
+    # -- population --------------------------------------------------------#
+
+    def create(self, class_name: str, **attributes) -> WebspaceObject:
+        """Create a validated object of *class_name*."""
+        cls = self.schema.cls(class_name)
+        unknown = set(attributes) - set(cls.attribute_names)
+        if unknown:
+            raise SchemaViolation(
+                f"class {class_name!r} has no attributes {sorted(unknown)}"
+            )
+        missing = set(cls.attribute_names) - set(attributes)
+        if missing:
+            raise SchemaViolation(
+                f"object of {class_name!r} missing attributes {sorted(missing)}"
+            )
+        for name, value in attributes.items():
+            cls.attribute(name).check(value)
+        obj = WebspaceObject(
+            oid=self._next_oid, class_name=class_name, attributes=dict(attributes)
+        )
+        self._next_oid += 1
+        self._objects[obj.oid] = obj
+        self._by_class.setdefault(class_name, []).append(obj.oid)
+        return obj
+
+    def link(self, association: str, source: WebspaceObject, target: WebspaceObject) -> None:
+        """Connect two objects along a declared association."""
+        assoc = self.schema.association(association)
+        if source.class_name != assoc.source:
+            raise SchemaViolation(
+                f"association {association!r} starts at {assoc.source!r}, "
+                f"not {source.class_name!r}"
+            )
+        if target.class_name != assoc.target:
+            raise SchemaViolation(
+                f"association {association!r} ends at {assoc.target!r}, "
+                f"not {target.class_name!r}"
+            )
+        targets = self._links.setdefault(association, {}).setdefault(source.oid, [])
+        if not assoc.to_many and targets:
+            raise SchemaViolation(
+                f"association {association!r} is to-one and {source.oid} is already linked"
+            )
+        if target.oid not in targets:
+            targets.append(target.oid)
+
+    # -- navigation ----------------------------------------------------------#
+
+    def object(self, oid: int) -> WebspaceObject:
+        return self._objects[oid]
+
+    def objects(self, class_name: str) -> list[WebspaceObject]:
+        """All objects of one class, in creation order."""
+        self.schema.cls(class_name)  # validates the name
+        return [self._objects[oid] for oid in self._by_class.get(class_name, [])]
+
+    def follow(self, association: str, source: WebspaceObject) -> list[WebspaceObject]:
+        """Objects linked from *source* along *association*."""
+        self.schema.association(association)
+        oids = self._links.get(association, {}).get(source.oid, [])
+        return [self._objects[oid] for oid in oids]
+
+    def sources_of(self, association: str, target: WebspaceObject) -> list[WebspaceObject]:
+        """Inverse navigation: objects linking *to* target."""
+        self.schema.association(association)
+        out = []
+        for source_oid, targets in self._links.get(association, {}).items():
+            if target.oid in targets:
+                out.append(self._objects[source_oid])
+        return out
+
+    def counts(self) -> dict[str, int]:
+        return {name: len(oids) for name, oids in sorted(self._by_class.items())}

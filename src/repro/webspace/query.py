@@ -1,0 +1,152 @@
+"""Conceptual queries over a webspace instance.
+
+A :class:`ConceptQuery` selects objects of a class by attribute
+conditions and navigates associations, each hop optionally filtered
+again — the "more precise" query formulation the paper contrasts with
+keyword search.  Example::
+
+    ConceptQuery("Player")
+        .where("handedness", "=", "left")
+        .where("gender", "=", "female")
+        .follow("played", "Match")
+        .where("round", "=", "final")
+        .run(instance)
+
+returns the (Player, ..., Match) binding tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.webspace.instances import WebspaceInstance, WebspaceObject
+from repro.webspace.schema import SchemaViolation
+
+__all__ = ["Condition", "ConceptQuery"]
+
+_OPS = ("=", "!=", ">", ">=", "<", "<=", "contains")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One attribute condition: ``attribute op value``."""
+
+    attribute: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise SchemaViolation(f"unknown operator {self.op!r}")
+
+    def holds(self, obj: WebspaceObject) -> bool:
+        actual = obj.get(self.attribute)
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        if self.op == "contains":
+            return isinstance(actual, str) and str(self.value).lower() in actual.lower()
+        if actual is None:
+            return False
+        if self.op == ">":
+            return actual > self.value
+        if self.op == ">=":
+            return actual >= self.value
+        if self.op == "<":
+            return actual < self.value
+        return actual <= self.value
+
+
+@dataclass(frozen=True)
+class _Hop:
+    association: str
+    target_class: str
+    conditions: tuple[Condition, ...]
+
+
+class ConceptQuery:
+    """A fluent conceptual query: root class, conditions, navigation hops.
+
+    The builder methods return ``self`` for chaining; ``run`` evaluates
+    against an instance and returns binding tuples, one object per hop
+    (root first).
+    """
+
+    def __init__(self, root_class: str):
+        self.root_class = root_class
+        self._root_conditions: list[Condition] = []
+        self._hops: list[_Hop] = []
+
+    def where(self, attribute: str, op: str, value) -> "ConceptQuery":
+        """Add a condition to the most recent step (root or last hop)."""
+        condition = Condition(attribute, op, value)
+        if self._hops:
+            last = self._hops[-1]
+            self._hops[-1] = _Hop(
+                association=last.association,
+                target_class=last.target_class,
+                conditions=last.conditions + (condition,),
+            )
+        else:
+            self._root_conditions.append(condition)
+        return self
+
+    def follow(self, association: str, target_class: str) -> "ConceptQuery":
+        """Navigate an association to *target_class*."""
+        self._hops.append(
+            _Hop(association=association, target_class=target_class, conditions=())
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def run(self, instance: WebspaceInstance) -> list[tuple[WebspaceObject, ...]]:
+        """Evaluate and return all binding tuples."""
+        self._validate(instance)
+        bindings: list[tuple[WebspaceObject, ...]] = [
+            (obj,)
+            for obj in instance.objects(self.root_class)
+            if all(c.holds(obj) for c in self._root_conditions)
+        ]
+        for hop in self._hops:
+            extended: list[tuple[WebspaceObject, ...]] = []
+            for binding in bindings:
+                for target in instance.follow(hop.association, binding[-1]):
+                    if target.class_name != hop.target_class:
+                        continue
+                    if all(c.holds(target) for c in hop.conditions):
+                        extended.append(binding + (target,))
+            bindings = extended
+        return bindings
+
+    def run_distinct_roots(self, instance: WebspaceInstance) -> list[WebspaceObject]:
+        """Evaluate and return the distinct root objects with any binding."""
+        seen: dict[int, WebspaceObject] = {}
+        for binding in self.run(instance):
+            seen.setdefault(binding[0].oid, binding[0])
+        return list(seen.values())
+
+    def _validate(self, instance: WebspaceInstance) -> None:
+        schema = instance.schema
+        cls = schema.cls(self.root_class)
+        for condition in self._root_conditions:
+            cls.attribute(condition.attribute)
+        current = self.root_class
+        for hop in self._hops:
+            assoc = schema.association(hop.association)
+            if assoc.source != current:
+                raise SchemaViolation(
+                    f"association {hop.association!r} does not start at {current!r}"
+                )
+            if assoc.target != hop.target_class:
+                raise SchemaViolation(
+                    f"association {hop.association!r} ends at {assoc.target!r}, "
+                    f"not {hop.target_class!r}"
+                )
+            target_cls = schema.cls(hop.target_class)
+            for condition in hop.conditions:
+                target_cls.attribute(condition.attribute)
+            current = hop.target_class

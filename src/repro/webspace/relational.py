@@ -1,0 +1,139 @@
+"""Relational compilation of the webspace.
+
+"The database approach": the paper's engines run inside a main-memory
+DBMS, so the webspace, too, must be queryable as *tables*, not only as
+a Python object graph.  This module materialises a
+:class:`~repro.webspace.instances.WebspaceInstance` into the column
+store — one table per class, one link table per association — and
+compiles :class:`~repro.webspace.query.ConceptQuery` objects into scans
+and hash joins over those tables.
+
+The compiled evaluation is verified (by tests and the E7 harness) to
+return exactly the bindings the object-graph evaluator returns.
+"""
+
+from __future__ import annotations
+
+from repro.storage.catalog import Catalog
+from repro.webspace.instances import WebspaceInstance
+from repro.webspace.query import ConceptQuery, Condition
+from repro.webspace.schema import SchemaViolation
+
+__all__ = ["instance_to_catalog", "RelationalConceptEvaluator"]
+
+_TYPE_MAP = {"str": "str", "int": "int", "float": "float", "bool": "bool"}
+
+
+def instance_to_catalog(instance: WebspaceInstance, catalog: Catalog | None = None) -> Catalog:
+    """Materialise a webspace instance as relational tables.
+
+    Per class ``C``: table ``ws_C`` with an ``oid`` column plus the
+    class attributes.  Per association ``a``: table ``ws_link_a`` with
+    ``source_oid`` / ``target_oid``.
+    """
+    catalog = catalog or Catalog()
+    schema = instance.schema
+
+    for class_name in schema.class_names:
+        cls = schema.cls(class_name)
+        table_schema = {"oid": "int"}
+        for attribute in cls.attributes:
+            table_schema[attribute.name] = _TYPE_MAP[attribute.type_name]
+        table = catalog.create_table(f"ws_{class_name}", table_schema)
+        for obj in instance.objects(class_name):
+            row = {"oid": obj.oid}
+            row.update(obj.attributes)
+            table.append(row)
+
+    for assoc_name in schema.association_names:
+        table = catalog.create_table(
+            f"ws_link_{assoc_name}", {"source_oid": "int", "target_oid": "int"}
+        )
+        assoc = schema.association(assoc_name)
+        for source in instance.objects(assoc.source):
+            for target in instance.follow(assoc_name, source):
+                table.append({"source_oid": source.oid, "target_oid": target.oid})
+        catalog.create_hash_index(f"ws_link_{assoc_name}", "source_oid")
+    return catalog
+
+
+class RelationalConceptEvaluator:
+    """Evaluate concept queries against the relational webspace.
+
+    Args:
+        instance: the source instance (schema + objects, used for query
+            validation and to hand back :class:`WebspaceObject` results).
+        catalog: a catalogue produced by :func:`instance_to_catalog`
+            (built on demand when omitted).
+    """
+
+    def __init__(self, instance: WebspaceInstance, catalog: Catalog | None = None):
+        self.instance = instance
+        self.catalog = catalog or instance_to_catalog(instance)
+
+    def _matching_oids(self, class_name: str, conditions) -> list[int]:
+        """Scan ``ws_<class>`` and filter by the conditions."""
+        table = self.catalog.table(f"ws_{class_name}")
+        out = []
+        for row in table.scan():
+            if all(self._holds(condition, row) for condition in conditions):
+                out.append(row["oid"])
+        return out
+
+    @staticmethod
+    def _holds(condition: Condition, row: dict) -> bool:
+        if condition.attribute not in row:
+            raise SchemaViolation(
+                f"row has no attribute {condition.attribute!r}"
+            )
+        actual = row[condition.attribute]
+        if condition.op == "=":
+            return actual == condition.value
+        if condition.op == "!=":
+            return actual != condition.value
+        if condition.op == "contains":
+            return isinstance(actual, str) and str(condition.value).lower() in actual.lower()
+        if condition.op == ">":
+            return actual > condition.value
+        if condition.op == ">=":
+            return actual >= condition.value
+        if condition.op == "<":
+            return actual < condition.value
+        return actual <= condition.value
+
+    def run(self, query: ConceptQuery) -> list[tuple]:
+        """Evaluate and return binding tuples of :class:`WebspaceObject`.
+
+        The plan: filter the root table, then for each hop an indexed
+        lookup into the association link table followed by a filtered
+        probe of the target class table.
+        """
+        query._validate(self.instance)  # same validation as the graph path
+        bindings: list[tuple[int, ...]] = [
+            (oid,) for oid in self._matching_oids(query.root_class, query._root_conditions)
+        ]
+        for hop in query._hops:
+            link_index = self.catalog.hash_index(f"ws_link_{hop.association}", "source_oid")
+            link_table = self.catalog.table(f"ws_link_{hop.association}")
+            target_table = self.catalog.table(f"ws_{hop.target_class}")
+            target_rows = {row["oid"]: row for row in target_table.scan()}
+            extended: list[tuple[int, ...]] = []
+            for binding in bindings:
+                for link_row_id in link_index.lookup(binding[-1]):
+                    target_oid = link_table.row(int(link_row_id))["target_oid"]
+                    row = target_rows.get(target_oid)
+                    if row is None:
+                        continue  # association target of a different class
+                    if all(self._holds(c, row) for c in hop.conditions):
+                        extended.append(binding + (target_oid,))
+            bindings = extended
+        return [
+            tuple(self.instance.object(oid) for oid in binding) for binding in bindings
+        ]
+
+    def run_distinct_roots(self, query: ConceptQuery) -> list:
+        """Distinct root objects with at least one binding."""
+        seen: dict[int, object] = {}
+        for binding in self.run(query):
+            seen.setdefault(binding[0].oid, binding[0])
+        return list(seen.values())

@@ -1,0 +1,86 @@
+"""Materialised association-path views.
+
+The webspace engine materialises frequently-navigated association paths
+(e.g. Player -> Match -> Video) into flat binding tables, so conceptual
+queries over long paths do not re-walk the object graph.  Views are
+rebuilt explicitly; staleness is tracked by instance object count.
+"""
+
+from __future__ import annotations
+
+from repro.webspace.instances import WebspaceInstance, WebspaceObject
+from repro.webspace.schema import SchemaViolation
+
+__all__ = ["PathView"]
+
+
+class PathView:
+    """A materialised view over an association path.
+
+    Args:
+        instance: the webspace instance.
+        root_class: the path's first class.
+        path: ordered association names to follow from the root.
+    """
+
+    def __init__(self, instance: WebspaceInstance, root_class: str, path: list[str]):
+        self.instance = instance
+        self.root_class = root_class
+        self.path = list(path)
+        self._validate()
+        self._rows: list[tuple[WebspaceObject, ...]] = []
+        self._built_at = -1
+        self.refresh()
+
+    def _validate(self) -> None:
+        schema = self.instance.schema
+        current = self.root_class
+        schema.cls(current)
+        for name in self.path:
+            assoc = schema.association(name)
+            if assoc.source != current:
+                raise SchemaViolation(
+                    f"path step {name!r} does not start at {current!r}"
+                )
+            current = assoc.target
+        self.leaf_class = current
+
+    def refresh(self) -> None:
+        """Rebuild the view from the current instance contents."""
+        rows: list[tuple[WebspaceObject, ...]] = [
+            (obj,) for obj in self.instance.objects(self.root_class)
+        ]
+        for name in self.path:
+            rows = [
+                row + (target,)
+                for row in rows
+                for target in self.instance.follow(name, row[-1])
+            ]
+        self._rows = rows
+        self._built_at = sum(self.instance.counts().values())
+
+    @property
+    def stale(self) -> bool:
+        """True when objects were added since the last refresh."""
+        return sum(self.instance.counts().values()) != self._built_at
+
+    def rows(self) -> list[tuple[WebspaceObject, ...]]:
+        """The binding tuples (root, ..., leaf)."""
+        return list(self._rows)
+
+    def select(self, **root_equals) -> list[tuple[WebspaceObject, ...]]:
+        """Rows whose root object matches the attribute equalities."""
+        out = []
+        for row in self._rows:
+            root = row[0]
+            if all(root.get(k) == v for k, v in root_equals.items()):
+                out.append(row)
+        return out
+
+    def leaves_for(self, root: WebspaceObject) -> list[WebspaceObject]:
+        """Distinct leaf objects reachable from *root* along the path."""
+        seen: dict[int, WebspaceObject] = {}
+        for row in self._rows:
+            if row[0].oid == root.oid:
+                seen.setdefault(row[-1].oid, row[-1])
+        return list(seen.values())

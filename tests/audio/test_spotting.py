@@ -1,0 +1,111 @@
+"""Keyword spotting and interview FDE tests."""
+
+import numpy as np
+import pytest
+
+from repro.audio.signal import AudioSignal
+from repro.audio.spotting import KeywordSpotter
+from repro.audio.synth import synthesize_utterance
+from repro.grammar.interview import TENNIS_KEYWORDS, build_interview_fde
+
+SENTENCE = "i tried to come to the net early and the volley felt natural".split()
+
+
+@pytest.fixture(scope="module")
+def utterance():
+    return synthesize_utterance(SENTENCE, name="spot_test")
+
+
+@pytest.fixture(scope="module")
+def spotter():
+    return KeywordSpotter(vocabulary=sorted(set(SENTENCE)) + ["rally", "serve"])
+
+
+class TestSpotter:
+    def test_vocabulary_required(self):
+        with pytest.raises(ValueError):
+            KeywordSpotter([])
+
+    def test_perfect_transcription_clean(self, utterance, spotter):
+        signal, truth = utterance
+        transcription = spotter.transcribe(signal)
+        assert [w for _seg, w in transcription] == [w for _s, _e, w in truth]
+
+    def test_spot_keyword_positions(self, utterance, spotter):
+        signal, truth = utterance
+        hits = spotter.spot(signal, "net")
+        true_spans = [(s, e) for s, e, w in truth if w == "net"]
+        assert len(hits) == len(true_spans)
+        for hit, (start, stop) in zip(hits, true_spans):
+            assert abs(hit.start - start) <= 120
+
+    def test_unknown_keyword_rejected(self, utterance, spotter):
+        signal, _ = utterance
+        with pytest.raises(KeyError):
+            spotter.spot(signal, "zeppelin")
+
+    def test_out_of_vocabulary_segments_are_none(self, utterance):
+        signal, truth = utterance
+        # A spotter that only knows two words rejects the rest.
+        narrow = KeywordSpotter(vocabulary=["net", "volley"])
+        transcription = narrow.transcribe(signal)
+        labels = [w for _seg, w in transcription]
+        assert "net" in labels and "volley" in labels
+        assert labels.count(None) == len(truth) - 2
+
+    def test_degrades_with_noise(self, utterance, spotter):
+        signal, truth = utterance
+        rng = np.random.default_rng(1)
+
+        def accuracy(snr):
+            noisy = signal.with_noise(snr, rng)
+            transcription = spotter.transcribe(noisy)
+            got = [w for _seg, w in transcription]
+            want = [w for _s, _e, w in truth]
+            if len(got) != len(want):
+                return 0.0
+            return sum(g == w for g, w in zip(got, want)) / len(want)
+
+        assert accuracy(40.0) == 1.0
+        assert accuracy(-5.0) < 1.0
+
+
+class TestInterviewFde:
+    def test_audio_axiom_pipeline(self, utterance):
+        signal, _truth = utterance
+        fde = build_interview_fde(vocabulary=sorted(set(SENTENCE)))
+        assert fde.grammar.axiom == "audio"
+        assert fde.execution_order() == ["words", "spot", "mentions"]
+        context = fde.index_video(signal)
+        assert context.invocations == {"words": 1, "spot": 1, "mentions": 1}
+
+    def test_mentions_registered_as_events(self, utterance):
+        signal, truth = utterance
+        fde = build_interview_fde(vocabulary=sorted(set(SENTENCE)))
+        fde.index_video(signal)
+        labels = sorted(e.label for e in fde.model.events)
+        assert labels == ["mention:net", "mention:volley"]
+        # Sample positions align with truth.
+        net_event = next(e for e in fde.model.events if e.label == "mention:net")
+        net_truth = next((s, e) for s, e, w in truth if w == "net")
+        assert abs(net_event.start - net_truth[0]) <= 120
+
+    def test_incremental_revalidation_on_audio(self, utterance):
+        signal, _ = utterance
+        fde = build_interview_fde(vocabulary=sorted(set(SENTENCE)))
+        fde.index_video(signal)
+        fde.registry.bump_version("mentions")
+        report = fde.revalidate(signal.name)
+        assert set(report.executed) == {"mentions"}
+        assert set(report.reused) == {"words", "spot"}
+
+    def test_raw_layer_records_audio(self, utterance):
+        signal, _ = utterance
+        fde = build_interview_fde(vocabulary=sorted(set(SENTENCE)))
+        fde.index_video(signal)
+        video = fde.model.videos[0]
+        assert video.fps == signal.sample_rate
+        assert video.n_frames == len(signal)
+
+    def test_keyword_list_is_lowercase(self):
+        assert all(k == k.lower() for k in TENNIS_KEYWORDS)

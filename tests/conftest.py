@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Video generation is the expensive part of the suite, so clips and the
+tournament dataset are built once per session and shared read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.video import BroadcastConfig, BroadcastGenerator
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def broadcast():
+    """A 12-shot broadcast with ~30% gradual transitions, plus its truth."""
+    generator = BroadcastGenerator(BroadcastConfig(gradual_fraction=0.3), seed=42)
+    return generator.generate(12, name="fixture_broadcast")
+
+
+@pytest.fixture(scope="session")
+def tennis_clips():
+    """One tennis clip per motion script: kind -> (clip, truth)."""
+    generator = BroadcastGenerator(seed=7)
+    return {
+        kind: generator.tennis_clip(script=kind, n_frames=60, name=f"tennis_{kind}")
+        for kind in ("rally", "net_approach", "service", "baseline_play")
+    }
+
+
+@pytest.fixture(scope="session")
+def court_frame(tennis_clips):
+    """A single clean court frame."""
+    clip, _truth = tennis_clips["rally"]
+    return clip[0]
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The full tournament dataset (no videos indexed)."""
+    return build_australian_open(seed=7, video_shots=8)

@@ -1,0 +1,50 @@
+"""Entity record tests."""
+
+import pytest
+
+from repro.core.entities import Event, ShotRecord, Video, VideoObject
+
+
+class TestVideo:
+    def test_duration(self):
+        video = Video(video_id=1, name="v", fps=25.0, n_frames=100)
+        assert video.duration == pytest.approx(4.0)
+
+
+class TestShotRecord:
+    def test_interval_and_length(self):
+        shot = ShotRecord(shot_id=1, video_id=1, start=10, stop=30, category="tennis")
+        assert shot.length == 20
+        assert shot.interval.start == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ShotRecord(shot_id=1, video_id=1, start=5, stop=5, category="tennis")
+
+
+class TestVideoObject:
+    def test_found_fraction(self):
+        obj = VideoObject(
+            object_id=1, shot_id=1, label="player", trajectory=((1.0, 2.0), None, (3.0, 4.0))
+        )
+        assert obj.found_fraction == pytest.approx(2 / 3)
+
+    def test_empty_trajectory(self):
+        obj = VideoObject(object_id=1, shot_id=1, label="player", trajectory=())
+        assert obj.found_fraction == 0.0
+
+
+class TestEvent:
+    def test_interval(self):
+        event = Event(event_id=1, shot_id=1, label="rally", start=5, stop=20)
+        assert event.interval.length == 15
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            Event(event_id=1, shot_id=1, label="rally", start=5, stop=20, confidence=0.0)
+        with pytest.raises(ValueError):
+            Event(event_id=1, shot_id=1, label="rally", start=5, stop=20, confidence=1.5)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            Event(event_id=1, shot_id=1, label="rally", start=20, stop=5)

@@ -1,0 +1,117 @@
+"""MPEG-7 export/import tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.model import CobraModel
+from repro.core.mpeg7 import export_mpeg7, import_mpeg7
+
+
+def parse(xml_text):
+    """Parse and strip the default-namespace qualification for XPath use."""
+    root = ET.fromstring(xml_text)
+    for element in root.iter():
+        if element.tag.startswith("{"):
+            element.tag = element.tag.split("}", 1)[1]
+    return root
+
+
+@pytest.fixture
+def model():
+    model = CobraModel()
+    video = model.add_video("final_set3", fps=25.0, n_frames=500, match_id=7)
+    shot_a = model.add_shot(video.video_id, 0, 200, "tennis", {"entropy": 2.5, "skin_ratio": 0.01})
+    shot_b = model.add_shot(video.video_id, 200, 500, "closeup")
+    obj = model.add_object(
+        shot_a.shot_id,
+        "player",
+        [(10.0, 20.0), None, (11.5, 21.25)],
+        dominant_color=(200.0, 40.0, 40.0),
+        mean_area=82.0,
+    )
+    model.add_event(shot_a.shot_id, "net_play", 50, 120, confidence=0.9, object_id=obj.object_id)
+    model.add_event(shot_a.shot_id, "rally", 130, 190)
+    return model
+
+
+class TestExport:
+    def test_well_formed_xml(self, model):
+        root = parse(export_mpeg7(model))
+        assert root.tag == "Mpeg7"
+
+    def test_structure(self, model):
+        root = parse(export_mpeg7(model))
+        videos = root.findall(".//Video")
+        assert len(videos) == 1
+        segments = root.findall(".//VideoSegment")
+        assert len(segments) == 2
+        regions = root.findall(".//MovingRegion")
+        assert len(regions) == 1
+        events = root.findall(".//Semantic/Event")
+        assert len(events) == 2
+
+    def test_media_time_attributes(self, model):
+        root = parse(export_mpeg7(model))
+        segment = root.find(".//VideoSegment")
+        time_el = segment.find("MediaTime")
+        assert time_el.get("startFrame") == "0"
+        assert time_el.get("stopFrame") == "200"
+        assert time_el.find("MediaDuration").text == "8.000s"
+
+    def test_event_references(self, model):
+        root = parse(export_mpeg7(model))
+        event = root.find(".//Semantic/Event[@label='net_play']")
+        assert event.get("segment") == "shot-1"
+        assert event.get("agent") == "object-1"
+
+    def test_lost_frames_marked(self, model):
+        root = parse(export_mpeg7(model))
+        points = root.findall(".//FigureTrajectory")
+        assert len(points) == 3
+        assert points[1].get("lost") == "true"
+        assert points[0].get("row") == "10.00"
+
+    def test_empty_model(self):
+        root = parse(export_mpeg7(CobraModel()))
+        assert root.find("Description") is not None
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, model):
+        loaded = import_mpeg7(export_mpeg7(model))
+        assert loaded.counts() == model.counts()
+
+    def test_layer_content_preserved(self, model):
+        loaded = import_mpeg7(export_mpeg7(model))
+        video = loaded.videos[0]
+        assert (video.name, video.fps, video.n_frames) == ("final_set3", 25.0, 500)
+        assert video.match_id == 7
+        categories = sorted(s.category for s in loaded.shots)
+        assert categories == ["closeup", "tennis"]
+        obj = loaded.objects[0]
+        assert obj.trajectory[1] is None
+        assert obj.trajectory[0] == (10.0, 20.0)
+        events = sorted(loaded.events, key=lambda e: e.start)
+        assert [e.label for e in events] == ["net_play", "rally"]
+        assert events[0].confidence == pytest.approx(0.9)
+        assert events[0].object_id == obj.object_id
+
+    def test_features_preserved(self, model):
+        loaded = import_mpeg7(export_mpeg7(model))
+        tennis = next(s for s in loaded.shots if s.category == "tennis")
+        assert tennis.features["entropy"] == pytest.approx(2.5)
+
+    def test_rejects_non_mpeg7(self):
+        with pytest.raises(ValueError):
+            import_mpeg7("<NotMpeg7/>")
+
+    def test_pipeline_model_round_trips(self, broadcast):
+        """The real FDE output survives the MPEG-7 round trip."""
+        from repro.grammar.tennis import build_tennis_fde
+
+        clip, _truth = broadcast
+        fde = build_tennis_fde()
+        fde.index_video(clip.subclip(0, min(len(clip), 200), name="mpeg7_rt"))
+        loaded = import_mpeg7(export_mpeg7(fde.model))
+        assert loaded.counts() == fde.model.counts()

@@ -1,0 +1,60 @@
+"""Spatial predicate tests."""
+
+import pytest
+
+from repro.core.spatial import (
+    above,
+    below,
+    boxes_overlap,
+    distance,
+    inside,
+    left_of,
+    near,
+    right_of,
+)
+
+
+class TestDirectional:
+    def test_left_right(self):
+        assert left_of((0, 1), (0, 5))
+        assert right_of((0, 5), (0, 1))
+        assert not left_of((0, 5), (0, 1))
+
+    def test_margin(self):
+        assert not left_of((0, 4), (0, 5), margin=2)
+        assert left_of((0, 2), (0, 5), margin=2)
+
+    def test_above_below(self):
+        assert above((1, 0), (5, 0))  # smaller row = higher
+        assert below((5, 0), (1, 0))
+
+    def test_antisymmetry(self):
+        assert left_of((0, 1), (0, 5)) != left_of((0, 5), (0, 1))
+
+
+class TestMetric:
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_near(self):
+        assert near((0, 0), (3, 4), radius=5)
+        assert not near((0, 0), (3, 4), radius=4.9)
+
+    def test_near_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            near((0, 0), (0, 0), radius=-1)
+
+
+class TestBoxes:
+    def test_overlap(self):
+        assert boxes_overlap((0, 0, 5, 5), (4, 4, 8, 8))
+        assert not boxes_overlap((0, 0, 5, 5), (5, 5, 8, 8))  # touching only
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            boxes_overlap((0, 0, 0, 5), (0, 0, 2, 2))
+
+    def test_inside(self):
+        assert inside((2, 2), (0, 0, 5, 5))
+        assert not inside((5, 2), (0, 0, 5, 5))  # half-open rows
+        assert inside((0, 0), (0, 0, 5, 5))

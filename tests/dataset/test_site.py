@@ -1,0 +1,64 @@
+"""Site writer / crawler tests."""
+
+import pytest
+
+from repro.dataset.site import crawl_site, write_site
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.ranking import rank_full_scan
+
+
+@pytest.fixture(scope="module")
+def site(dataset, tmp_path_factory):
+    out = tmp_path_factory.mktemp("site")
+    paths = write_site(dataset, out)
+    return out, paths
+
+
+class TestWriteSite:
+    def test_one_file_per_page(self, dataset, site):
+        _out, paths = site
+        assert len(paths) == len(dataset.pages)
+
+    def test_layout(self, site):
+        out, _paths = site
+        assert (out / "players").is_dir()
+        assert (out / "matches").is_dir()
+        assert (out / "interviews").is_dir()
+
+    def test_files_are_html(self, site):
+        out, paths = site
+        text = paths[0].read_text()
+        assert text.startswith("<html>")
+
+
+class TestCrawlSite:
+    def test_round_trip_document_names(self, dataset, site):
+        out, _paths = site
+        crawled = crawl_site(out)
+        assert sorted(d.name for d in crawled) == sorted(d.name for d in dataset.pages)
+
+    def test_crawled_text_matches_dataset_text(self, dataset, site):
+        out, _paths = site
+        crawled = crawl_site(out)
+        for document in list(dataset.pages)[:10]:
+            assert crawled.by_name(document.name).text.split() == document.text.split()
+
+    def test_crawled_index_ranks_like_dataset_index(self, dataset, site):
+        out, _paths = site
+        crawled = crawl_site(out)
+        crawled_index = InvertedIndex(crawled)
+        dataset_index = InvertedIndex(dataset.pages)
+        terms = crawled.query_terms("Australian Open champion net volley")
+        crawled_names = [
+            crawled.document(h.doc_id).name
+            for h in rank_full_scan(crawled_index, terms, 10)
+        ]
+        dataset_names = [
+            dataset.pages.document(h.doc_id).name
+            for h in rank_full_scan(dataset_index, terms, 10)
+        ]
+        assert set(crawled_names) == set(dataset_names)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            crawl_site(tmp_path / "ghost")

@@ -1,0 +1,99 @@
+"""Shot-level event recogniser tests (rules vs HMM) on real pipeline output."""
+
+import numpy as np
+import pytest
+
+from repro.events.quantize import CourtZones, TrajectoryQuantizer
+from repro.events.recognizer import (
+    EVENT_LABELS,
+    HmmRecognizer,
+    RuleBasedRecognizer,
+    train_hmm_recognizer,
+)
+from repro.events.rules import RuleEventDetector
+from repro.tracking.court_model import CourtColorModel
+from repro.tracking.segmentation import court_bounds
+from repro.tracking.tracker import PlayerTracker
+from repro.video.generator import BroadcastGenerator
+
+SCRIPT_TO_LABEL = {
+    "rally": "rally",
+    "net_approach": "net_play",
+    "service": "service",
+    "baseline_play": "baseline_play",
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Tracked trajectories per label: 4 train + 2 test per script."""
+    generator = BroadcastGenerator(seed=23)
+    tracker = PlayerTracker()
+    zones = None
+    train = {label: [] for label in SCRIPT_TO_LABEL.values()}
+    test = []
+    for i in range(24):
+        script = list(SCRIPT_TO_LABEL)[i % 4]
+        clip, _truth = generator.tennis_clip(script=script, n_frames=50)
+        trajectory = tracker.track(list(clip)).positions
+        if zones is None:
+            model = CourtColorModel.estimate(clip[0])
+            zones = CourtZones.from_court_bounds(court_bounds(clip[0], model))
+        if i < 16:
+            train[SCRIPT_TO_LABEL[script]].append([p for p in trajectory if p])
+        else:
+            test.append((SCRIPT_TO_LABEL[script], trajectory))
+    return zones, train, test
+
+
+class TestRuleBasedRecognizer:
+    def test_classifies_test_set(self, corpus):
+        zones, _train, test = corpus
+        recognizer = RuleBasedRecognizer(RuleEventDetector(zones))
+        correct = sum(recognizer.classify(t) == label for label, t in test)
+        assert correct / len(test) >= 0.75
+
+    def test_none_for_empty(self, corpus):
+        zones, _, _ = corpus
+        recognizer = RuleBasedRecognizer(RuleEventDetector(zones))
+        assert recognizer.classify([]) is None
+
+    def test_net_play_precedence(self, corpus):
+        zones, _, test = corpus
+        recognizer = RuleBasedRecognizer(RuleEventDetector(zones))
+        for label, trajectory in test:
+            if label == "net_play":
+                assert recognizer.classify(trajectory) == "net_play"
+
+
+class TestHmmRecognizer:
+    def test_classifies_test_set(self, corpus):
+        zones, train, test = corpus
+        recognizer = train_hmm_recognizer(TrajectoryQuantizer(zones), train, n_states=3)
+        correct = sum(recognizer.classify(t) == label for label, t in test)
+        assert correct / len(test) >= 0.75
+
+    def test_likelihoods_per_label(self, corpus):
+        zones, train, test = corpus
+        recognizer = train_hmm_recognizer(TrajectoryQuantizer(zones), train)
+        scores = recognizer.log_likelihoods(test[0][1])
+        assert set(scores) == set(EVENT_LABELS)
+        assert all(np.isfinite(v) or v == float("-inf") for v in scores.values())
+
+    def test_empty_trajectory_none(self, corpus):
+        zones, train, _ = corpus
+        recognizer = train_hmm_recognizer(TrajectoryQuantizer(zones), train)
+        assert recognizer.classify([]) is None
+
+    def test_training_validation(self, corpus):
+        zones, _, _ = corpus
+        quantizer = TrajectoryQuantizer(zones)
+        with pytest.raises(ValueError):
+            train_hmm_recognizer(quantizer, {})
+        with pytest.raises(ValueError):
+            train_hmm_recognizer(quantizer, {"rally": []})
+
+    def test_recognizer_needs_models(self, corpus):
+        zones, _, _ = corpus
+        with pytest.raises(ValueError):
+            HmmRecognizer(TrajectoryQuantizer(zones), {})

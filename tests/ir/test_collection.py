@@ -1,0 +1,46 @@
+"""Document collection tests."""
+
+import pytest
+
+from repro.ir.collection import DocumentCollection
+
+
+@pytest.fixture
+def collection():
+    coll = DocumentCollection()
+    coll.add("a.html", "The players rallied at the net.", metadata={"year": 2001})
+    coll.add("b.html", "A quiet baseline game.")
+    return coll
+
+
+class TestCollection:
+    def test_ids_sequential(self, collection):
+        assert collection.document(0).name == "a.html"
+        assert collection.document(1).doc_id == 1
+
+    def test_duplicate_names_rejected(self, collection):
+        with pytest.raises(ValueError):
+            collection.add("a.html", "again")
+
+    def test_by_name(self, collection):
+        assert collection.by_name("b.html").doc_id == 1
+
+    def test_metadata_kept(self, collection):
+        assert collection.document(0).metadata["year"] == 2001
+
+    def test_terms_normalised(self, collection):
+        terms = collection.terms(0)
+        assert "the" not in terms
+        assert "player" in terms  # stemmed
+        assert "ralli" in terms
+
+    def test_query_terms_same_pipeline(self, collection):
+        assert collection.query_terms("players rallying") == ["player", "ralli"]
+
+    def test_iteration(self, collection):
+        assert [d.name for d in collection] == ["a.html", "b.html"]
+
+    def test_unstemmed_collection(self):
+        coll = DocumentCollection(stem=False)
+        coll.add("x", "players")
+        assert coll.terms(0) == ["players"]

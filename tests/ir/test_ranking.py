@@ -1,0 +1,85 @@
+"""Ranking function tests."""
+
+import math
+
+import pytest
+
+from repro.ir.collection import DocumentCollection
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.ranking import bm25_score, rank_full_scan, tf_idf_score
+
+
+@pytest.fixture
+def index():
+    coll = DocumentCollection()
+    coll.add("d0", "net volley net volley net")
+    coll.add("d1", "net baseline rally")
+    coll.add("d2", "baseline rally rally baseline")
+    coll.add("d3", "crowd weather interview")
+    return InvertedIndex(coll)
+
+
+class TestTfIdf:
+    def test_increases_with_tf(self):
+        assert tf_idf_score(4, 2, 10) > tf_idf_score(1, 2, 10)
+
+    def test_decreases_with_df(self):
+        assert tf_idf_score(2, 1, 10) > tf_idf_score(2, 5, 10)
+
+    def test_ubiquitous_term_scores_zero(self):
+        assert tf_idf_score(3, 10, 10) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tf_idf_score(0, 1, 10)
+
+
+class TestBm25:
+    def test_increases_with_tf_saturating(self):
+        s1 = bm25_score(1, 2, 10, 10, 10.0)
+        s2 = bm25_score(2, 2, 10, 10, 10.0)
+        s8 = bm25_score(8, 2, 10, 10, 10.0)
+        assert s1 < s2 < s8
+        assert (s2 - s1) > (s8 - bm25_score(7, 2, 10, 10, 10.0))  # saturation
+
+    def test_length_normalisation(self):
+        short = bm25_score(2, 2, 10, 5, 10.0)
+        long = bm25_score(2, 2, 10, 50, 10.0)
+        assert short > long
+
+
+def terms(index, text):
+    """Queries go through the same normalisation as documents."""
+    return index.collection.query_terms(text)
+
+
+class TestFullScan:
+    def test_most_relevant_first(self, index):
+        hits = rank_full_scan(index, terms(index, "net volley"), 4)
+        assert hits[0].doc_id == 0
+
+    def test_respects_n(self, index):
+        assert len(rank_full_scan(index, terms(index, "net"), 1)) == 1
+
+    def test_no_match(self, index):
+        assert rank_full_scan(index, terms(index, "ghost"), 5) == []
+
+    def test_multi_term_accumulates(self, index):
+        hits = rank_full_scan(index, terms(index, "baseline rally"), 4)
+        assert hits[0].doc_id == 2
+
+    def test_bm25_scheme(self, index):
+        hits = rank_full_scan(index, terms(index, "net volley"), 4, scheme="bm25")
+        assert hits[0].doc_id == 0
+
+    def test_validation(self, index):
+        with pytest.raises(ValueError):
+            rank_full_scan(index, ["net"], 0)
+        with pytest.raises(ValueError):
+            rank_full_scan(index, ["net"], 5, scheme="pagerank")
+
+    def test_deterministic_tie_break(self, index):
+        hits = rank_full_scan(index, terms(index, "rally"), 4)
+        scores = [h.score for h in hits]
+        if len(hits) == 2 and scores[0] == scores[1]:
+            assert hits[0].doc_id < hits[1].doc_id

@@ -1,0 +1,44 @@
+"""Tokeniser and normalisation tests."""
+
+from repro.ir.stopwords import STOPWORDS
+from repro.ir.tokenizer import normalize_terms, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Tennis NET Volley") == ["tennis", "net", "volley"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("net-play, rally; serve!") == ["net", "play", "rally", "serve"]
+
+    def test_keeps_apostrophes(self):
+        assert tokenize("women's draw") == ["women's", "draw"]
+
+    def test_digits(self):
+        assert tokenize("the 2001 open") == ["the", "2001", "open"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   \n\t ") == []
+
+
+class TestNormalize:
+    def test_drops_stopwords(self):
+        terms = normalize_terms("the player and the net")
+        assert "the" not in terms
+        assert "and" not in terms
+
+    def test_stems(self):
+        terms = normalize_terms("players playing rallies", drop_stopwords=False)
+        assert terms == ["player", "plai", "ralli"]
+
+    def test_no_stemming_option(self):
+        terms = normalize_terms("players", stem=False)
+        assert terms == ["players"]
+
+    def test_stopwords_are_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+    def test_common_words_in_list(self):
+        for word in ("the", "and", "of", "a", "is"):
+            assert word in STOPWORDS

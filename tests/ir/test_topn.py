@@ -1,0 +1,117 @@
+"""Fragmented top-N engine tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.collection import DocumentCollection
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.ranking import rank_full_scan
+from repro.ir.topn import FragmentedIndex
+
+VOCAB = [
+    "net", "vollei", "ralli", "serv", "baselin", "match", "open",
+    "champion", "court", "crowd", "press", "coach",
+]  # already-stemmed forms so queries and postings share terms
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(0)
+    coll = DocumentCollection()
+    for i in range(150):
+        words = rng.choice(VOCAB, size=int(rng.integers(20, 80)))
+        coll.add(f"doc{i}", " ".join(words))
+    return InvertedIndex(coll)
+
+
+class TestFragmentation:
+    def test_fragments_partition_postings(self, index):
+        fragmented = FragmentedIndex(index, n_fragments=4)
+        for term in index.vocabulary:
+            fragments = fragmented.fragments(term)
+            assert len(fragments) == 4
+            total = sum(len(f) for f in fragments)
+            assert total == len(index.postings(term))
+
+    def test_fragments_ordered_by_tf(self, index):
+        fragmented = FragmentedIndex(index, n_fragments=4)
+        for term in index.vocabulary[:4]:
+            fragments = fragmented.fragments(term)
+            flat = [p.tf for fragment in fragments for p in fragment]
+            assert flat == sorted(flat, reverse=True)
+
+    def test_unknown_term_fragments_empty(self, index):
+        fragmented = FragmentedIndex(index, n_fragments=3)
+        assert all(f == [] for f in fragmented.fragments("ghost"))
+
+    def test_n_fragments_validated(self, index):
+        with pytest.raises(ValueError):
+            FragmentedIndex(index, n_fragments=0)
+
+
+class TestSearch:
+    def test_exact_matches_full_scan(self, index):
+        """Processing all fragments is exactly the unoptimised evaluation."""
+        fragmented = FragmentedIndex(index, n_fragments=5)
+        for terms in (["net"], ["net", "vollei"], ["ralli", "serv", "court"]):
+            exact = fragmented.search(terms, 10)
+            full = rank_full_scan(index, terms, 10)
+            assert exact.doc_ids() == [h.doc_id for h in full]
+
+    def test_early_termination_reduces_work(self, index):
+        fragmented = FragmentedIndex(index, n_fragments=5)
+        full = fragmented.search(["net", "vollei"], 10)
+        partial = fragmented.search(["net", "vollei"], 10, max_fragments=1)
+        assert partial.postings_processed < full.postings_processed
+        assert partial.work_fraction < 0.5
+
+    def test_quality_improves_with_fragments(self, index):
+        """E6 shape: more fragments processed -> higher overlap with exact."""
+        fragmented = FragmentedIndex(index, n_fragments=8)
+        exact = set(fragmented.search(["net", "vollei", "ralli"], 10).doc_ids())
+
+        def overlap(k):
+            approx = fragmented.search(["net", "vollei", "ralli"], 10, max_fragments=k)
+            return len(set(approx.doc_ids()) & exact) / 10
+
+        overlaps = [overlap(k) for k in (1, 4, 8)]
+        assert overlaps[-1] == 1.0
+        assert overlaps[0] <= overlaps[-1]
+        assert sorted(overlaps) == overlaps or overlaps[0] < 1.0
+
+    def test_work_accounting(self, index):
+        fragmented = FragmentedIndex(index, n_fragments=4)
+        result = fragmented.search(["net"], 5, max_fragments=2)
+        assert result.postings_total == len(index.postings("net"))
+        assert 0 < result.work_fraction <= 1.0
+        assert result.fragments_processed <= 2
+
+    def test_bm25_scheme(self, index):
+        fragmented = FragmentedIndex(index, n_fragments=4)
+        result = fragmented.search(["net", "ralli"], 5, scheme="bm25")
+        assert len(result.hits) == 5
+
+    def test_validation(self, index):
+        fragmented = FragmentedIndex(index, n_fragments=4)
+        with pytest.raises(ValueError):
+            fragmented.search(["net"], 0)
+        with pytest.raises(ValueError):
+            fragmented.search(["net"], 5, max_fragments=0)
+        with pytest.raises(ValueError):
+            fragmented.search(["net"], 5, scheme="magic")
+
+    def test_empty_query(self, index):
+        result = FragmentedIndex(index).search([], 5)
+        assert result.hits == []
+        assert result.work_fraction == 0.0
+
+    @given(k=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_monotone_work(self, index, k):
+        """Work is monotone in the number of fragments processed."""
+        fragmented = FragmentedIndex(index, n_fragments=6)
+        less = fragmented.search(["net", "vollei"], 10, max_fragments=k)
+        more = fragmented.search(["net", "vollei"], 10, max_fragments=min(k + 1, 6))
+        assert less.postings_processed <= more.postings_processed

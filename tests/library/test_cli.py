@@ -1,0 +1,89 @@
+"""CLI tests (in-process invocation of repro.cli.main)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestFigure1:
+    def test_prints_dot(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph tennis_fde")
+        assert '"segment" -> "tennis"' in out
+
+
+class TestIndexQueryRoundTrip:
+    @pytest.fixture(scope="class")
+    def metaindex(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "meta.json"
+        assert main(["index", "--seed", "7", "--videos", "1", "--out", str(path)]) == 0
+        return path
+
+    def test_index_writes_valid_json(self, metaindex):
+        document = json.loads(metaindex.read_text())
+        assert "videos" in document["tables"]
+
+    def test_query_finds_scenes(self, metaindex, capsys):
+        code = main(
+            ["query", "--seed", "7", "--metaindex", str(metaindex), "SCENES"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "whole video" in out
+
+    def test_query_event_filter(self, metaindex, capsys):
+        code = main(
+            [
+                "query",
+                "--seed",
+                "7",
+                "--metaindex",
+                str(metaindex),
+                "SCENES WHERE event = rally",
+            ]
+        )
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "rally" in out
+        else:
+            assert "no scenes" in out
+
+    def test_query_no_match_exit_code(self, metaindex, capsys):
+        code = main(
+            [
+                "query",
+                "--seed",
+                "7",
+                "--metaindex",
+                str(metaindex),
+                'SCENES WHERE player.name = "Nobody Atall"',
+            ]
+        )
+        assert code == 1
+
+    def test_build_site(self, tmp_path, capsys):
+        out = tmp_path / "site"
+        assert main(["build-site", "--seed", "7", "--out", str(out)]) == 0
+        assert (out / "players").is_dir()
+
+    def test_export_mpeg7(self, metaindex, tmp_path, capsys):
+        out_path = tmp_path / "meta.xml"
+        assert (
+            main(["export-mpeg7", "--metaindex", str(metaindex), "--out", str(out_path)])
+            == 0
+        )
+        text = out_path.read_text()
+        assert text.startswith("<Mpeg7")

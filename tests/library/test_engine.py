@@ -1,0 +1,130 @@
+"""Digital library engine integration tests.
+
+This module builds one engine with three indexed videos (the expensive
+fixture) and exercises concept, content, text and combined queries
+against it — the paper's demo scenario end to end.
+"""
+
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.library import DigitalLibraryEngine, LibraryQuery
+from repro.storage.query import hash_join
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dataset = build_australian_open(seed=7, video_shots=6)
+    engine = DigitalLibraryEngine(dataset)
+    engine.index_videos(limit=3)
+    return engine
+
+
+class TestConceptPart:
+    def test_concept_players(self, engine):
+        players = engine.concept_players({"gender": "female", "past_winner": True})
+        assert players
+        assert all(p.get("gender") == "female" and p.get("titles") > 0 for p in players)
+
+    def test_past_winner_false(self, engine):
+        losers = engine.concept_players({"past_winner": False})
+        assert all(p.get("titles") == 0 for p in losers)
+
+    def test_videos_of_players(self, engine):
+        players = engine.concept_players({})
+        videos = engine.videos_of_players(players)
+        assert len(videos) == 3  # the indexed ones
+        for names in videos.values():
+            assert len(names) == 2  # both participants
+
+
+class TestContentQueries:
+    def test_event_only_query(self, engine):
+        results = engine.search(LibraryQuery(event="net_play"))
+        assert results
+        for scene in results:
+            assert scene.event_label == "net_play"
+            assert scene.stop > scene.start
+
+    def test_any_scene_query(self, engine):
+        results = engine.search(LibraryQuery())
+        assert len(results) == 3  # whole videos
+        assert all(r.event_label is None for r in results)
+
+    def test_results_sorted_by_score(self, engine):
+        results = engine.search(LibraryQuery(event="rally"))
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_n_respected(self, engine):
+        results = engine.search(LibraryQuery(event="service", top_n=2))
+        assert len(results) <= 2
+
+
+class TestCombinedQueries:
+    def test_motivating_query_shape(self, engine):
+        """Concept + content: scenes of matching players approaching the net."""
+        query = LibraryQuery(
+            player={"gender": "female"},
+            event="net_play",
+        )
+        results = engine.search(query)
+        # Whatever comes back must satisfy both parts.
+        for scene in results:
+            assert scene.event_label == "net_play"
+            assert scene.players
+            for name in scene.players:
+                player = engine.dataset.player_objects[name]
+                assert player.get("gender") == "female"
+
+    def test_impossible_concept_returns_empty(self, engine):
+        results = engine.search(
+            LibraryQuery(player={"name": "Nobody Real"}, event="net_play")
+        )
+        assert results == []
+
+    def test_text_part_changes_scores(self, engine):
+        plain = engine.search(LibraryQuery(event="net_play"))
+        with_text = engine.search(LibraryQuery(event="net_play", text="net volley"))
+        if plain and with_text:
+            assert {r.video_name for r in plain} >= {r.video_name for r in with_text}
+
+
+class TestTextBaseline:
+    def test_keyword_search_returns_hits(self, engine):
+        hits = engine.keyword_search("Australian Open champion")
+        assert hits
+
+    def test_keyword_search_finds_pages_about_player(self, engine):
+        champion = next(p for p in engine.dataset.players if p.titles > 0)
+        hits = engine.keyword_search(champion.name, n=5)
+        # Every top hit actually mentions the champion (profile page or
+        # interviews about their matches — interviews often rank first
+        # because they repeat the name).
+        for hit in hits:
+            text = engine.dataset.pages.document(hit.doc_id).text
+            assert any(part in text for part in champion.name.split())
+
+
+class TestCatalogExport:
+    def test_export_tables(self, engine):
+        catalog = engine.indexer.export_to_catalog()
+        assert set(catalog.table_names) == {"videos", "shots", "objects", "events"}
+        assert len(catalog.table("videos")) == 3
+        assert len(catalog.table("shots")) > 0
+
+    def test_relational_queries_work(self, engine):
+        catalog = engine.indexer.export_to_catalog()
+        events = catalog.table("events")
+        net_ids = catalog.hash_index("events", "label").lookup("net_play")
+        model_count = len(
+            [e for e in engine.indexer.model.events if e.label == "net_play"]
+        )
+        assert len(net_ids) == model_count
+
+    def test_join_shots_to_videos(self, engine):
+        catalog = engine.indexer.export_to_catalog()
+        rows = hash_join(
+            catalog.table("videos"), catalog.table("shots"), "video_id", "video_id"
+        )
+        assert len(rows) == len(catalog.table("shots"))

@@ -1,0 +1,50 @@
+"""Scene keyframe export tests."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.library import DigitalLibraryEngine, LibraryQuery
+from repro.vision.io import read_ppm
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dataset = build_australian_open(seed=7, video_shots=6)
+    engine = DigitalLibraryEngine(dataset)
+    engine.index_videos(limit=1)
+    return engine
+
+
+class TestKeyframeExport:
+    def test_writes_one_image_per_scene(self, engine, tmp_path):
+        scenes = engine.search(LibraryQuery(event="rally"))
+        paths = engine.export_scene_keyframes(scenes, tmp_path)
+        assert len(paths) == len(scenes)
+        for path in paths:
+            assert path.exists()
+
+    def test_images_decode_to_frames(self, engine, tmp_path):
+        scenes = engine.search(LibraryQuery())
+        paths = engine.export_scene_keyframes(scenes, tmp_path)
+        image = read_ppm(paths[0])
+        assert image.shape == (96, 128, 3)
+        assert image.dtype == np.uint8
+
+    def test_keyframe_is_court_colored_for_rally(self, engine, tmp_path):
+        """A rally scene's keyframe is a court shot, not a transition."""
+        from repro.vision.dominant import color_coverage
+
+        scenes = engine.search(LibraryQuery(event="rally"))
+        if not scenes:
+            pytest.skip("no rally scenes in this index")
+        paths = engine.export_scene_keyframes(scenes[:1], tmp_path)
+        image = read_ppm(paths[0])
+        assert color_coverage(image, np.array([40, 130, 80]), tolerance=60) > 0.25
+
+    def test_unknown_video_rejected(self, engine, tmp_path):
+        from repro.library.results import SceneResult
+
+        fake = SceneResult("ghost_video", 0, 10, None, "nope")
+        with pytest.raises(KeyError):
+            engine.export_scene_keyframes([fake], tmp_path)

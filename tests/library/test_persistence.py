@@ -1,0 +1,89 @@
+"""Meta-index persistence tests."""
+
+import pytest
+
+from repro.core.model import CobraModel
+from repro.library.persistence import (
+    catalog_to_model,
+    load_model,
+    model_to_catalog,
+    save_model,
+)
+
+
+@pytest.fixture
+def model():
+    model = CobraModel()
+    video = model.add_video("v1", fps=25.0, n_frames=300, match_id=4)
+    shot = model.add_shot(video.video_id, 0, 150, "tennis", {"entropy": 3.1})
+    other = model.add_shot(video.video_id, 150, 300, "audience")
+    obj = model.add_object(
+        shot.shot_id,
+        "player",
+        [(5.0, 6.0), None, (7.25, 8.5)],
+        dominant_color=(10.0, 20.0, 30.0),
+        mean_area=44.0,
+    )
+    model.add_event(shot.shot_id, "rally", 10, 100, confidence=0.8, object_id=obj.object_id)
+    model.add_event(other.shot_id, "net_play", 200, 240)
+    return model
+
+
+class TestCatalogMapping:
+    def test_tables_present(self, model):
+        catalog = model_to_catalog(model)
+        assert set(catalog.table_names) == {
+            "videos",
+            "shots",
+            "shot_features",
+            "objects",
+            "trajectories",
+            "events",
+        }
+
+    def test_trajectory_rows(self, model):
+        catalog = model_to_catalog(model)
+        assert len(catalog.table("trajectories")) == 3
+
+    def test_round_trip_counts(self, model):
+        loaded = catalog_to_model(model_to_catalog(model))
+        assert loaded.counts() == model.counts()
+
+    def test_round_trip_content(self, model):
+        loaded = catalog_to_model(model_to_catalog(model))
+        assert loaded.videos[0].match_id == 4
+        obj = loaded.objects[0]
+        assert obj.trajectory == ((5.0, 6.0), None, (7.25, 8.5))
+        assert obj.dominant_color == (10.0, 20.0, 30.0)
+        rally = next(e for e in loaded.events if e.label == "rally")
+        assert rally.confidence == pytest.approx(0.8)
+        assert rally.object_id == obj.object_id
+        netp = next(e for e in loaded.events if e.label == "net_play")
+        assert netp.object_id is None
+
+    def test_shot_features_round_trip(self, model):
+        loaded = catalog_to_model(model_to_catalog(model))
+        tennis = next(s for s in loaded.shots if s.category == "tennis")
+        assert tennis.features == {"entropy": 3.1}
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, model, tmp_path):
+        path = tmp_path / "library.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.counts() == model.counts()
+
+    def test_pipeline_output_round_trips(self, broadcast, tmp_path):
+        from repro.grammar.tennis import build_tennis_fde
+
+        clip, _truth = broadcast
+        fde = build_tennis_fde()
+        fde.index_video(clip.subclip(0, min(len(clip), 150), name="persist_rt"))
+        path = tmp_path / "metaindex.json"
+        save_model(fde.model, path)
+        loaded = load_model(path)
+        assert loaded.counts() == fde.model.counts()
+        original_events = sorted((e.label, e.start, e.stop) for e in fde.model.events)
+        loaded_events = sorted((e.label, e.start, e.stop) for e in loaded.events)
+        assert loaded_events == original_events

@@ -1,0 +1,49 @@
+"""Library query structure tests."""
+
+import pytest
+
+from repro.library.query import LibraryQuery
+from repro.library.results import SceneResult, fuse_scores
+
+
+class TestLibraryQuery:
+    def test_parts_flags(self):
+        query = LibraryQuery(player={"gender": "female"}, event="net_play", text="volley")
+        assert query.has_concept_part
+        assert query.has_content_part
+        assert query.has_text_part
+
+    def test_empty_query(self):
+        query = LibraryQuery()
+        assert not query.has_concept_part
+        assert not query.has_content_part
+        assert not query.has_text_part
+
+    def test_unknown_player_key_rejected(self):
+        with pytest.raises(ValueError):
+            LibraryQuery(player={"shoe_size": 42})
+
+    def test_top_n_validated(self):
+        with pytest.raises(ValueError):
+            LibraryQuery(top_n=0)
+
+
+class TestSceneResult:
+    def test_length(self):
+        scene = SceneResult("v", 10, 40, "net_play", "m")
+        assert scene.length == 30
+
+
+class TestFuseScores:
+    def test_content_only(self):
+        assert fuse_scores(0.8, None) == 0.8
+
+    def test_text_breaks_ties(self):
+        low = fuse_scores(1.0, 0.1)
+        high = fuse_scores(1.0, 5.0)
+        assert high > low
+
+    def test_content_dominates(self):
+        strong_content = fuse_scores(1.0, 0.0)
+        weak_content = fuse_scores(0.2, 100.0)
+        assert strong_content > weak_content

@@ -1,0 +1,54 @@
+"""Relational search path tests: bit-identical to the object-graph path."""
+
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.library import DigitalLibraryEngine, LibraryQuery
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dataset = build_australian_open(seed=7, video_shots=6)
+    engine = DigitalLibraryEngine(dataset)
+    engine.index_videos(limit=3)
+    engine.build_relational()
+    return engine
+
+
+QUERIES = [
+    LibraryQuery(),
+    LibraryQuery(event="net_play"),
+    LibraryQuery(event="rally"),
+    LibraryQuery(player={"gender": "female"}),
+    LibraryQuery(player={"gender": "female"}, event="service"),
+    LibraryQuery(player={"handedness": "left", "past_winner": True}, event="net_play"),
+    LibraryQuery(event="net_play", text="approach the net"),
+    LibraryQuery(event="rally", top_n=2),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("index", range(len(QUERIES)))
+    def test_matches_object_path(self, engine, index):
+        query = QUERIES[index]
+        assert engine.search_relational(query) == engine.search(query)
+
+
+class TestLifecycle:
+    def test_requires_build(self):
+        dataset = build_australian_open(seed=8, video_shots=6)
+        fresh = DigitalLibraryEngine(dataset)
+        with pytest.raises(RuntimeError):
+            fresh.search_relational(LibraryQuery())
+
+    def test_snapshot_semantics(self, engine):
+        """The relational path reads the snapshot, not the live model."""
+        results_before = engine.search_relational(LibraryQuery())
+        # Index one more video: object path sees it, snapshot does not.
+        plan = engine.dataset.video_plans[3]
+        engine.indexer.index_plan(plan)
+        assert len(engine.search(LibraryQuery())) == len(results_before) + 1
+        assert len(engine.search_relational(LibraryQuery())) == len(results_before)
+        # After a refresh the paths agree again.
+        engine.build_relational()
+        assert engine.search_relational(LibraryQuery()) == engine.search(LibraryQuery())

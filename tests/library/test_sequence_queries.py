@@ -1,0 +1,92 @@
+"""Event sequence query tests (first THEN then WITHIN n)."""
+
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.library import DigitalLibraryEngine, LibraryQuery, parse_query
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dataset = build_australian_open(seed=7, video_shots=6)
+    engine = DigitalLibraryEngine(dataset)
+    engine.index_videos(limit=3)
+    engine.build_relational()
+    return engine
+
+
+class TestQueryValidation:
+    def test_event_and_sequence_exclusive(self):
+        with pytest.raises(ValueError):
+            LibraryQuery(event="rally", sequence=("service", "net_play"))
+
+    def test_within_validated(self):
+        with pytest.raises(ValueError):
+            LibraryQuery(sequence=("a", "b"), within=-1)
+
+    def test_pair_shape(self):
+        with pytest.raises(ValueError):
+            LibraryQuery(sequence=("a", "b", "c"))
+
+
+class TestParserSequence:
+    def test_then_within(self):
+        query = parse_query("SCENES WHERE event = service THEN net_play WITHIN 80")
+        assert query.sequence == ("service", "net_play")
+        assert query.within == 80
+        assert query.event is None
+
+    def test_then_default_within(self):
+        query = parse_query("SCENES WHERE event = rally THEN service")
+        assert query.within == 100
+
+    def test_duplicate_rejected(self):
+        from repro.library.parser import QuerySyntaxError
+
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SCENES WHERE event = a THEN b AND event = c")
+
+
+class TestSequenceSearch:
+    def test_sequences_found_or_empty(self, engine):
+        """Whatever sequences come back satisfy the temporal constraint."""
+        query = LibraryQuery(sequence=("service", "rally"), within=200)
+        results = engine.search(query)
+        model = engine.indexer.model
+        for scene in results:
+            assert scene.event_label == "service->rally"
+            assert scene.stop > scene.start
+
+    def test_ordering_matters(self, engine):
+        """(a THEN b) and (b THEN a) are different queries."""
+        forward = engine.search(LibraryQuery(sequence=("service", "rally"), within=500))
+        backward = engine.search(LibraryQuery(sequence=("rally", "service"), within=500))
+        forward_keys = {(r.video_name, r.start, r.stop) for r in forward}
+        backward_keys = {(r.video_name, r.start, r.stop) for r in backward}
+        assert forward_keys.isdisjoint(backward_keys) or not (forward or backward)
+
+    def test_within_bounds_results(self, engine):
+        wide = engine.search(LibraryQuery(sequence=("service", "rally"), within=1000))
+        narrow = engine.search(LibraryQuery(sequence=("service", "rally"), within=5))
+        assert len(narrow) <= len(wide)
+
+    def test_relational_parity(self, engine):
+        for sequence in (("service", "rally"), ("rally", "net_play"), ("service", "net_play")):
+            query = LibraryQuery(sequence=sequence, within=300)
+            assert engine.search_relational(query) == engine.search(query)
+
+    def test_gap_constraint_holds(self, engine):
+        """Every returned pair's events actually exist with the right gap."""
+        query = LibraryQuery(sequence=("service", "rally"), within=300)
+        model = engine.indexer.model
+        for scene in engine.search(query):
+            video = next(v for v in model.videos if v.name == scene.video_name)
+            firsts = model.events_of(video_id=video.video_id, label="service")
+            thens = model.events_of(video_id=video.video_id, label="rally")
+            assert any(
+                f.start == scene.start
+                and t.stop == scene.stop
+                and 0 <= t.start - f.stop <= 300
+                for f in firsts
+                for t in thens
+            )

@@ -1,0 +1,76 @@
+"""Library statistics tests."""
+
+import pytest
+
+from repro.core.model import CobraModel
+from repro.library.stats import collect_stats, format_stats
+
+
+@pytest.fixture
+def model():
+    model = CobraModel()
+    video = model.add_video("v", fps=25.0, n_frames=1500)
+    tennis = model.add_shot(video.video_id, 0, 800, "tennis")
+    model.add_shot(video.video_id, 800, 1500, "closeup")
+    obj = model.add_object(tennis.shot_id, "player", [(1.0, 1.0), None, (2.0, 2.0), (3.0, 3.0)])
+    model.add_event(tennis.shot_id, "rally", 0, 400, confidence=0.8, object_id=obj.object_id)
+    model.add_event(tennis.shot_id, "net_play", 500, 700, confidence=1.0)
+    return model
+
+
+class TestCollect:
+    def test_counts(self, model):
+        stats = collect_stats(model)
+        assert stats.n_videos == 1
+        assert stats.total_frames == 1500
+        assert stats.shots_by_category == {"closeup": 1, "tennis": 1}
+        assert stats.events_by_label == {"net_play": 1, "rally": 1}
+
+    def test_means(self, model):
+        stats = collect_stats(model)
+        assert stats.mean_event_confidence == pytest.approx(0.9)
+        assert stats.mean_track_coverage == pytest.approx(0.75)
+
+    def test_event_density(self, model):
+        stats = collect_stats(model)
+        # 1500 frames @ 25 fps = 1 minute, 2 events.
+        assert stats.events_per_minute == pytest.approx(2.0)
+
+    def test_empty_model(self):
+        stats = collect_stats(CobraModel())
+        assert stats.n_videos == 0
+        assert stats.mean_event_confidence is None
+        assert stats.mean_track_coverage is None
+        assert stats.events_per_minute is None
+
+    def test_on_real_pipeline_output(self, broadcast):
+        from repro.grammar.tennis import build_tennis_fde
+
+        clip, _truth = broadcast
+        fde = build_tennis_fde()
+        fde.index_video(clip.subclip(0, 200, name="stats_rt"))
+        stats = collect_stats(fde.model)
+        assert stats.n_videos == 1
+        assert sum(stats.shots_by_category.values()) == len(fde.model.shots)
+
+
+class TestFormat:
+    def test_renders_all_sections(self, model):
+        text = format_stats(collect_stats(model))
+        assert "videos: 1 (1500 frames)" in text
+        assert "tennis" in text
+        assert "net_play" in text
+        assert "mean event confidence: 0.90" in text
+        assert "event density: 2.0/min" in text
+
+
+class TestCliStats:
+    def test_stats_command(self, tmp_path, capsys, model):
+        from repro.cli import main
+        from repro.library.persistence import save_model
+
+        path = tmp_path / "meta.json"
+        save_model(model, path)
+        assert main(["stats", "--metaindex", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "videos: 1" in out

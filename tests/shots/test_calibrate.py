@@ -1,0 +1,76 @@
+"""Court-colour calibration tests."""
+
+import numpy as np
+import pytest
+
+from repro.shots.boundary import TwinComparisonDetector
+from repro.shots.calibrate import (
+    CalibrationError,
+    calibrated_extractor,
+    estimate_court_color,
+)
+from repro.shots.evaluate import category_accuracy, confusion_matrix
+from repro.shots.segmenter import SegmentDetector
+from repro.video.court import CourtStyle
+from repro.video.frames import VideoClip
+from repro.video.generator import BroadcastConfig, BroadcastGenerator
+from repro.video.shots import CourtShotSpec, ShotCategory
+
+CLAY = CourtStyle(surface=(165, 85, 50), surround=(60, 90, 40))
+
+
+def clay_broadcast(seed=5):
+    """A broadcast from a clay tournament (non-default court colour)."""
+    generator = BroadcastGenerator(BroadcastConfig(gradual_fraction=0.0), seed=seed)
+    specs = generator.sample_specs(10)
+    specs = [
+        CourtShotSpec(n_frames=s.n_frames, script=s.script, style=CLAY, gain=s.gain)
+        if isinstance(s, CourtShotSpec)
+        else s
+        for s in specs
+    ]
+    return generator.assemble(specs, name="clay")
+
+
+class TestEstimate:
+    def test_default_tournament(self, broadcast):
+        clip, _truth = broadcast
+        color = estimate_court_color(clip)
+        assert np.linalg.norm(color - np.array([40, 130, 80])) < 30
+
+    def test_clay_tournament(self):
+        clip, _truth = clay_broadcast()
+        color = estimate_court_color(clip)
+        assert np.linalg.norm(color - np.array(CLAY.surface)) < 30
+
+    def test_no_court_raises(self):
+        rng = np.random.default_rng(0)
+        frames = [
+            rng.integers(0, 255, size=(32, 32, 3)).astype(np.uint8) for _ in range(8)
+        ]
+        with pytest.raises(CalibrationError):
+            estimate_court_color(VideoClip(frames), min_coverage=0.5)
+
+    def test_validation(self, broadcast):
+        clip, _ = broadcast
+        with pytest.raises(ValueError):
+            estimate_court_color(clip, n_samples=0)
+
+
+class TestCalibratedClassification:
+    def test_clay_shots_classified_with_calibration(self):
+        clip, truth = clay_broadcast(seed=6)
+        extractor = calibrated_extractor(clip)
+        detector = SegmentDetector(
+            boundary_detector=TwinComparisonDetector(), extractor=extractor
+        )
+        matrix = confusion_matrix(detector.detect(clip), truth, ShotCategory.ALL)
+        assert category_accuracy(matrix) > 0.85
+
+    def test_default_extractor_fails_on_clay(self):
+        """Without calibration the court rule misses clay courts entirely."""
+        clip, truth = clay_broadcast(seed=6)
+        detector = SegmentDetector(boundary_detector=TwinComparisonDetector())
+        detected = detector.detect(clip)
+        tennis_found = sum(1 for s in detected if s.category == ShotCategory.TENNIS)
+        assert tennis_found == 0

@@ -1,0 +1,136 @@
+"""Boundary/classification scoring tests."""
+
+import numpy as np
+import pytest
+
+from repro.shots.boundary import Boundary, ThresholdCutDetector, TwinComparisonDetector
+from repro.shots.evaluate import (
+    MatchResult,
+    boundary_scores,
+    category_accuracy,
+    confusion_matrix,
+    transition_scores,
+)
+from repro.shots.segmenter import SegmentDetector
+from repro.video.ground_truth import GroundTruth, ShotTruth, TransitionTruth
+
+
+def cuts(*frames):
+    return [Boundary(frame=f) for f in frames]
+
+
+class TestMatchResult:
+    def test_precision_recall_f1(self):
+        result = MatchResult(true_positives=8, false_positives=2, false_negatives=2)
+        assert result.precision == pytest.approx(0.8)
+        assert result.recall == pytest.approx(0.8)
+        assert result.f1 == pytest.approx(0.8)
+
+    def test_empty_sets(self):
+        # No detections and no truths: vacuous success.
+        result = MatchResult(0, 0, 0)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f1 == 1.0
+
+
+class TestBoundaryScores:
+    def test_perfect_match(self):
+        result = boundary_scores(cuts(10, 20), [10, 20])
+        assert result.true_positives == 2
+        assert result.false_positives == 0
+        assert result.false_negatives == 0
+
+    def test_tolerance_window(self):
+        result = boundary_scores(cuts(12), [10], tolerance=2)
+        assert result.true_positives == 1
+        result = boundary_scores(cuts(13), [10], tolerance=2)
+        assert result.true_positives == 0
+
+    def test_each_truth_matched_once(self):
+        result = boundary_scores(cuts(10, 11), [10], tolerance=2)
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            boundary_scores([], [], tolerance=-1)
+
+    def test_misses_counted(self):
+        result = boundary_scores(cuts(10), [10, 50, 90])
+        assert result.false_negatives == 2
+
+
+class TestTransitionScores:
+    def make_truth(self):
+        truth = GroundTruth()
+        truth.transitions.append(TransitionTruth(frame=30, kind="cut"))
+        truth.transitions.append(TransitionTruth(frame=60, kind="fade", length=10))
+        return truth
+
+    def test_detection_inside_gradual_span_counts(self):
+        result = transition_scores(cuts(65), self.make_truth())
+        assert result.true_positives == 1
+        assert result.false_negatives == 1  # the cut at 30 is missed
+
+    def test_one_match_per_transition(self):
+        result = transition_scores(cuts(62, 65, 68), self.make_truth())
+        assert result.true_positives == 1
+        assert result.false_positives == 2
+
+
+class TestConfusion:
+    def test_perfect_pipeline_confusion_is_diagonal(self, broadcast):
+        clip, truth = broadcast
+        detector = SegmentDetector(boundary_detector=TwinComparisonDetector())
+        matrix = confusion_matrix(
+            detector.detect(clip), truth, ("tennis", "closeup", "audience", "other")
+        )
+        off_diagonal = matrix.sum() - np.trace(matrix)
+        assert off_diagonal / max(matrix.sum(), 1) < 0.05
+        assert category_accuracy(matrix) > 0.95
+
+    def test_unknown_category_rejected(self, broadcast):
+        _clip, truth = broadcast
+        from repro.shots.segmenter import DetectedShot
+        from repro.shots.classify import ShotFeatures
+
+        feats = ShotFeatures(0, 0, 0, 0, 0, (0, 0, 0), 0)
+        fake = [DetectedShot(0, 5, "weird", feats)]
+        with pytest.raises(ValueError):
+            confusion_matrix(fake, truth, ("tennis",))
+
+    def test_accuracy_of_empty_matrix(self):
+        assert category_accuracy(np.zeros((2, 2), dtype=np.int64)) == 1.0
+
+
+class TestEndToEndScores:
+    """The E2 shapes on the shared fixture broadcast."""
+
+    def test_threshold_detector_full_cut_recall(self, broadcast):
+        clip, truth = broadcast
+        result = boundary_scores(
+            ThresholdCutDetector(0.35).detect(clip), truth.cut_frames
+        )
+        assert result.recall >= 0.9
+
+    def test_twin_beats_threshold_on_precision(self, broadcast):
+        clip, truth = broadcast
+        threshold = boundary_scores(
+            ThresholdCutDetector(0.35).detect(clip), truth.cut_frames
+        )
+        twin_cuts = [
+            b for b in TwinComparisonDetector().detect(clip) if b.kind == "cut"
+        ]
+        twin = boundary_scores(twin_cuts, truth.cut_frames)
+        assert twin.precision >= threshold.precision
+
+    def test_twin_finds_gradual_transitions(self, broadcast):
+        clip, truth = broadcast
+        gradual = [
+            b for b in TwinComparisonDetector().detect(clip) if b.kind == "gradual"
+        ]
+        spans = [s for s, _ in truth.gradual_spans]
+        if spans:
+            result = boundary_scores(gradual, spans, tolerance=4)
+            assert result.recall >= 0.5

@@ -1,0 +1,61 @@
+"""Segment detector (facade) tests."""
+
+import pytest
+
+from repro.shots.boundary import TwinComparisonDetector
+from repro.shots.segmenter import SegmentDetector
+
+
+@pytest.fixture(scope="module")
+def detected(broadcast):
+    clip, _truth = broadcast
+    detector = SegmentDetector(boundary_detector=TwinComparisonDetector())
+    return detector.detect(clip)
+
+
+class TestShotRanges:
+    def test_ranges_ordered_and_disjoint(self, broadcast):
+        clip, _ = broadcast
+        detector = SegmentDetector(boundary_detector=TwinComparisonDetector())
+        ranges = detector.shot_ranges(clip)
+        for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+            assert s1 < e1 <= s2 < e2
+
+    def test_min_shot_length_respected(self, broadcast):
+        clip, _ = broadcast
+        detector = SegmentDetector(
+            boundary_detector=TwinComparisonDetector(), min_shot_length=8
+        )
+        assert all(b - a >= 8 for a, b in detector.shot_ranges(clip))
+
+    def test_min_shot_length_validation(self):
+        with pytest.raises(ValueError):
+            SegmentDetector(min_shot_length=0)
+
+
+class TestDetect:
+    def test_shot_count_close_to_truth(self, detected, broadcast):
+        _clip, truth = broadcast
+        assert abs(len(detected) - len(truth.shots)) <= 2
+
+    def test_categories_match_truth(self, detected, broadcast):
+        """Each detected shot's category agrees with the frame-majority truth."""
+        _clip, truth = broadcast
+        for shot in detected:
+            truths = [
+                truth.category_at(f)
+                for f in range(shot.start, shot.stop)
+                if truth.category_at(f) is not None
+            ]
+            if not truths:
+                continue
+            majority = max(set(truths), key=truths.count)
+            assert shot.category == majority
+
+    def test_features_attached(self, detected):
+        for shot in detected:
+            assert 0.0 <= shot.features.skin_ratio <= 1.0
+            assert shot.features.entropy >= 0.0
+
+    def test_lengths_positive(self, detected):
+        assert all(s.length > 0 for s in detected)

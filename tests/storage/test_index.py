@@ -1,0 +1,55 @@
+"""Secondary index tests."""
+
+import pytest
+
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    t = Table("events", {"event_id": "int", "label": "str", "start": "int"})
+    for i, label in enumerate(["rally", "net_play", "rally", "service"]):
+        t.append({"event_id": i, "label": label, "start": i * 10})
+    return t
+
+
+class TestHashIndex:
+    def test_lookup(self, table):
+        index = HashIndex(table, "label")
+        assert list(index.lookup("rally")) == [0, 2]
+        assert list(index.lookup("net_play")) == [1]
+
+    def test_missing_value(self, table):
+        assert len(HashIndex(table, "label").lookup("ace")) == 0
+
+    def test_staleness_and_refresh(self, table):
+        index = HashIndex(table, "label")
+        table.append({"event_id": 4, "label": "rally", "start": 40})
+        assert index.stale
+        index.refresh()
+        assert not index.stale
+        assert list(index.lookup("rally")) == [0, 2, 4]
+
+    def test_distinct_values(self, table):
+        index = HashIndex(table, "label")
+        assert set(index.distinct_values()) == {"rally", "net_play", "service"}
+
+
+class TestSortedIndex:
+    def test_range(self, table):
+        index = SortedIndex(table, "start")
+        assert list(index.range(5, 25)) == [1, 2]
+
+    def test_open_bounds(self, table):
+        index = SortedIndex(table, "start")
+        assert list(index.range(low=20)) == [2, 3]
+        assert list(index.range(high=10)) == [0, 1]
+        assert list(index.range()) == [0, 1, 2, 3]
+
+    def test_refresh_after_append(self, table):
+        index = SortedIndex(table, "start")
+        table.append({"event_id": 4, "label": "x", "start": 15})
+        assert index.stale
+        index.refresh()
+        assert list(index.range(12, 18)) == [4]

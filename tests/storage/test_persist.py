@@ -1,0 +1,89 @@
+"""Catalogue persistence tests."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.catalog import Catalog
+from repro.storage.persist import load_catalog, save_catalog
+
+
+def roundtrip(catalog, tmp_path):
+    path = tmp_path / "catalog.json"
+    save_catalog(catalog, path)
+    return load_catalog(path)
+
+
+class TestRoundTrip:
+    def test_all_types(self, tmp_path):
+        catalog = Catalog()
+        table = catalog.create_table(
+            "t", {"i": "int", "f": "float", "s": "str", "b": "bool"}
+        )
+        table.append({"i": 1, "f": 2.5, "s": "x", "b": True})
+        table.append({"i": -7, "f": 0.0, "s": "", "b": False})
+        loaded = roundtrip(catalog, tmp_path)
+        assert loaded.table("t").scan() == table.scan()
+
+    def test_multiple_tables(self, tmp_path):
+        catalog = Catalog()
+        catalog.create_table("a", {"x": "int"}).append({"x": 1})
+        catalog.create_table("b", {"y": "str"}).append({"y": "hi"})
+        loaded = roundtrip(catalog, tmp_path)
+        assert loaded.table_names == ["a", "b"]
+
+    def test_empty_table(self, tmp_path):
+        catalog = Catalog()
+        catalog.create_table("empty", {"x": "int"})
+        loaded = roundtrip(catalog, tmp_path)
+        assert len(loaded.table("empty")) == 0
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "tables": {}}))
+        with pytest.raises(ValueError):
+            load_catalog(path)
+
+    def test_ragged_columns_rejected(self, tmp_path):
+        path = tmp_path / "ragged.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "tables": {
+                        "t": {
+                            "schema": {"a": "int", "b": "int"},
+                            "columns": {"a": [1, 2], "b": [1]},
+                        }
+                    },
+                }
+            )
+        )
+        with pytest.raises(ValueError):
+            load_catalog(path)
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(-(2**31), 2**31),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.text(max_size=20),
+                st.booleans(),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_round_trip(self, rows, tmp_path_factory):
+        catalog = Catalog()
+        table = catalog.create_table(
+            "t", {"i": "int", "f": "float", "s": "str", "b": "bool"}
+        )
+        for i, f, s, b in rows:
+            table.append({"i": i, "f": f, "s": s, "b": b})
+        path = tmp_path_factory.mktemp("rt") / "cat.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert loaded.table("t").scan() == table.scan()

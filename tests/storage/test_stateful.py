@@ -1,0 +1,62 @@
+"""Stateful property test: the table behaves like a list of dicts.
+
+Hypothesis drives random sequences of appends and queries against a
+Table and a plain-Python reference model; any divergence is a bug in the
+column store's buffer management or masking.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.table import Table
+
+categories = st.sampled_from(["tennis", "closeup", "audience", "other"])
+
+
+class TableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = Table(
+            "shots", {"shot_id": "int", "category": "str", "score": "float"}
+        )
+        self.reference: list[dict] = []
+
+    @rule(shot_id=st.integers(-(2**40), 2**40), category=categories,
+          score=st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def append(self, shot_id, category, score):
+        row = {"shot_id": shot_id, "category": category, "score": float(score)}
+        row_id = self.table.append(row)
+        assert row_id == len(self.reference)
+        self.reference.append(row)
+
+    @rule(category=categories)
+    def select_by_category(self, category):
+        got = self.table.select(category=category)
+        want = [r for r in self.reference if r["category"] == category]
+        assert got == want
+
+    @rule(data=st.data())
+    def read_row(self, data):
+        if not self.reference:
+            return
+        index = data.draw(st.integers(0, len(self.reference) - 1))
+        assert self.table.row(index) == self.reference[index]
+
+    @rule()
+    def scan_matches(self):
+        assert self.table.scan() == self.reference
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.table) == len(self.reference)
+
+    @invariant()
+    def mask_is_consistent(self):
+        mask = self.table.mask(category="tennis")
+        assert mask.sum() == sum(r["category"] == "tennis" for r in self.reference)
+
+
+TestTableStateful = TableMachine.TestCase
+TestTableStateful.settings = settings(max_examples=30, stateful_step_count=30, deadline=None)

@@ -1,0 +1,82 @@
+"""Table tests."""
+
+import numpy as np
+import pytest
+
+from repro.storage.table import SchemaError, Table
+
+
+@pytest.fixture
+def shots():
+    table = Table("shots", {"shot_id": "int", "category": "str", "entropy": "float"})
+    for i in range(6):
+        table.append(
+            {
+                "shot_id": i,
+                "category": "tennis" if i % 2 == 0 else "closeup",
+                "entropy": 0.5 * i,
+            }
+        )
+    return table
+
+
+class TestSchema:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {})
+
+    def test_unknown_column_access(self, shots):
+        with pytest.raises(SchemaError):
+            shots.column("nope")
+
+
+class TestAppend:
+    def test_row_ids_sequential(self, shots):
+        assert shots.append({"shot_id": 6, "category": "other", "entropy": 0.0}) == 6
+
+    def test_missing_column_rejected(self, shots):
+        with pytest.raises(SchemaError):
+            shots.append({"shot_id": 7})
+
+    def test_extra_column_rejected(self, shots):
+        with pytest.raises(SchemaError):
+            shots.append({"shot_id": 7, "category": "x", "entropy": 0.0, "zap": 1})
+
+    def test_failed_append_leaves_table_consistent(self, shots):
+        before = len(shots)
+        with pytest.raises(Exception):
+            # entropy is appended after category; make category fail type check.
+            shots.append({"shot_id": 7, "category": 123, "entropy": 0.0})
+        assert len(shots) == before
+        # All columns still equal length and previous rows intact.
+        assert shots.row(before - 1)["shot_id"] == before - 1
+        shots.append({"shot_id": 99, "category": "ok", "entropy": 1.0})
+        assert shots.row(before)["shot_id"] == 99
+
+
+class TestSelection:
+    def test_select_equality(self, shots):
+        rows = shots.select(category="tennis")
+        assert [r["shot_id"] for r in rows] == [0, 2, 4]
+
+    def test_conjunction(self, shots):
+        rows = shots.select(category="tennis", shot_id=2)
+        assert len(rows) == 1
+
+    def test_select_ids(self, shots):
+        assert list(shots.select_ids(category="closeup")) == [1, 3, 5]
+
+    def test_where_external_mask(self, shots):
+        mask = np.array([True] + [False] * 5)
+        assert shots.where(mask)[0]["shot_id"] == 0
+
+    def test_where_wrong_length(self, shots):
+        with pytest.raises(ValueError):
+            shots.where(np.array([True]))
+
+    def test_scan_order(self, shots):
+        assert [r["shot_id"] for r in shots.scan()] == list(range(6))
+
+    def test_row_bounds(self, shots):
+        with pytest.raises(IndexError):
+            shots.row(100)

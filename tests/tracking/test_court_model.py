@@ -1,0 +1,52 @@
+"""Court colour model tests."""
+
+import numpy as np
+import pytest
+
+from repro.tracking.court_model import CourtColorModel
+from repro.video.court import AUSTRALIAN_OPEN_STYLE
+
+
+class TestEstimate:
+    def test_finds_surface_color(self, court_frame):
+        model = CourtColorModel.estimate(court_frame)
+        surface = np.array(AUSTRALIAN_OPEN_STYLE.surface, dtype=float)
+        assert np.linalg.norm(model.mean - surface) < 15
+
+    def test_std_floor(self):
+        flat = np.full((32, 32, 3), 100, dtype=np.uint8)
+        model = CourtColorModel.estimate(flat)
+        assert (model.std >= CourtColorModel._STD_FLOOR).all()
+
+    def test_robust_to_gain(self, tennis_clips):
+        # The whole point: court estimation adapts to camera gain.
+        clip, _ = tennis_clips["rally"]
+        dark = np.clip(clip[0].astype(float) * 0.85, 0, 255).astype(np.uint8)
+        model = CourtColorModel.estimate(dark)
+        surface = 0.85 * np.array(AUSTRALIAN_OPEN_STYLE.surface, dtype=float)
+        assert np.linalg.norm(model.mean - surface) < 15
+
+
+class TestMasks:
+    def test_surface_is_court(self, court_frame):
+        model = CourtColorModel.estimate(court_frame)
+        court = model.is_court(court_frame)
+        # Most of the frame's court area flags as court.
+        assert court.mean() > 0.4
+
+    def test_lines_are_not_court(self, court_frame):
+        model = CourtColorModel.estimate(court_frame)
+        mask = model.is_court(court_frame)
+        # White pixels (lines) must not be court-coloured.
+        white = (court_frame > 200).all(axis=-1)
+        if white.any():
+            assert (mask & white).sum() / white.sum() < 0.1
+
+    def test_distance_positive(self, court_frame):
+        model = CourtColorModel.estimate(court_frame)
+        assert (model.distance(court_frame) >= 0).all()
+
+    def test_k_validation(self, court_frame):
+        model = CourtColorModel.estimate(court_frame)
+        with pytest.raises(ValueError):
+            model.is_court(court_frame, k=0)

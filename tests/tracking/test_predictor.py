@@ -1,0 +1,89 @@
+"""Position predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.tracking.predictor import (
+    ConstantVelocityPredictor,
+    KalmanPredictor,
+    StaticPredictor,
+)
+
+
+class TestStatic:
+    def test_none_before_update(self):
+        assert StaticPredictor().predict() is None
+
+    def test_predicts_last(self):
+        p = StaticPredictor()
+        p.update((3.0, 4.0))
+        p.update((5.0, 6.0))
+        assert p.predict() == (5.0, 6.0)
+
+
+class TestConstantVelocity:
+    def test_none_before_update(self):
+        assert ConstantVelocityPredictor().predict() is None
+
+    def test_first_update_zero_velocity(self):
+        p = ConstantVelocityPredictor()
+        p.update((3.0, 4.0))
+        assert p.predict() == (3.0, 4.0)
+
+    def test_extrapolates(self):
+        p = ConstantVelocityPredictor()
+        p.update((0.0, 0.0))
+        p.update((1.0, 2.0))
+        assert p.predict() == (2.0, 4.0)
+
+
+class TestKalman:
+    def test_none_before_update(self):
+        assert KalmanPredictor().predict() is None
+
+    def test_first_update_predicts_position(self):
+        p = KalmanPredictor()
+        p.update((10.0, 20.0))
+        pred = p.predict()
+        assert pred == pytest.approx((10.0, 20.0))
+
+    def test_converges_to_linear_motion(self):
+        p = KalmanPredictor()
+        for t in range(30):
+            p.update((float(t), 2.0 * t))
+        pred = p.predict()
+        assert pred[0] == pytest.approx(30.0, abs=0.5)
+        assert pred[1] == pytest.approx(60.0, abs=1.0)
+
+    def test_velocity_estimate(self):
+        p = KalmanPredictor()
+        for t in range(30):
+            p.update((float(t), 0.0))
+        v = p.velocity
+        assert v[0] == pytest.approx(1.0, abs=0.1)
+        assert v[1] == pytest.approx(0.0, abs=0.1)
+
+    def test_smooths_noise_better_than_cv(self):
+        """Kalman's one-step error under noise beats raw extrapolation."""
+        rng = np.random.default_rng(0)
+        truth = [(float(t), 30.0 + 10.0 * np.sin(t / 8.0)) for t in range(60)]
+        noisy = [(r + rng.normal(0, 1.2), c + rng.normal(0, 1.2)) for r, c in truth]
+
+        def one_step_errors(predictor):
+            errors = []
+            for t, observation in enumerate(noisy):
+                prediction = predictor.predict()
+                if prediction is not None and t < len(truth):
+                    errors.append(np.hypot(prediction[0] - truth[t][0], prediction[1] - truth[t][1]))
+                predictor.update(observation)
+            return float(np.mean(errors))
+
+        kalman = one_step_errors(KalmanPredictor())
+        cv = one_step_errors(ConstantVelocityPredictor())
+        assert kalman < cv
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            KalmanPredictor(process_noise=0)
+        with pytest.raises(ValueError):
+            KalmanPredictor(measurement_noise=-1)

@@ -1,0 +1,103 @@
+"""Player segmentation tests."""
+
+import numpy as np
+import pytest
+
+from repro.tracking.court_model import CourtColorModel
+from repro.tracking.segmentation import (
+    SearchWindow,
+    clean_mask,
+    court_bounds,
+    initial_player_region,
+    not_court_mask,
+    restrict_to_bounds,
+)
+from repro.vision.regions import Region
+
+
+@pytest.fixture(scope="module")
+def model_and_frame(tennis_clips):
+    clip, truth = tennis_clips["rally"]
+    frame = clip[0]
+    return CourtColorModel.estimate(frame), frame, truth
+
+
+class TestMasks:
+    def test_not_court_complements_court(self, model_and_frame):
+        model, frame, _ = model_and_frame
+        assert ((~model.is_court(frame)) == not_court_mask(frame, model)).all()
+
+    def test_clean_mask_removes_lines(self, model_and_frame):
+        model, frame, _ = model_and_frame
+        raw = not_court_mask(frame, model)
+        cleaned = clean_mask(raw)
+        assert cleaned.sum() < raw.sum()
+
+    def test_restrict_to_bounds(self):
+        mask = np.ones((10, 10), dtype=bool)
+        out = restrict_to_bounds(mask, (2, 3, 5, 7))
+        assert out.sum() == 3 * 4
+        assert out[2:5, 3:7].all()
+
+
+class TestCourtBounds:
+    def test_covers_court_area(self, model_and_frame):
+        model, frame, _ = model_and_frame
+        bounds = court_bounds(frame, model)
+        assert bounds is not None
+        r0, c0, r1, c1 = bounds
+        h, w = frame.shape[:2]
+        # Default geometry: court spans ~12..95% rows, 15..85% cols.
+        assert r0 < 0.25 * h and r1 > 0.85 * h
+        assert c0 < 0.25 * w and c1 > 0.75 * w
+
+    def test_none_without_court(self):
+        rng = np.random.default_rng(0)
+        noise = rng.integers(0, 255, size=(64, 64, 3)).astype(np.uint8)
+        model = CourtColorModel.estimate(noise)
+        # A noise frame has no big uniform region; bounds may be tiny or None.
+        bounds = court_bounds(noise, model)
+        if bounds is not None:
+            r0, c0, r1, c1 = bounds
+            assert (r1 - r0) * (c1 - c0) < 64 * 64
+
+
+class TestInitialPlayerRegion:
+    def test_finds_near_player(self, model_and_frame):
+        model, frame, truth = model_and_frame
+        bounds = court_bounds(frame, model)
+        r0, c0, r1, c1 = bounds
+        near = ((r0 + r1) // 2, c0, r1, c1)
+        region = initial_player_region(frame, model, near)
+        assert region is not None
+        true_pos = truth.shots[0].trajectory[0]
+        dist = np.hypot(region.centroid[0] - true_pos[0], region.centroid[1] - true_pos[1])
+        assert dist < 8
+
+    def test_bounds_validated(self, model_and_frame):
+        model, frame, _ = model_and_frame
+        with pytest.raises(ValueError):
+            initial_player_region(frame, model, (50, 0, 10, 10))
+
+
+class TestSearchWindow:
+    def test_clipping(self):
+        window = SearchWindow((0.0, 0.0), 5, (20, 30))
+        assert window.row_min == 0 and window.col_min == 0
+        assert not window.empty
+
+    def test_crop_shape(self):
+        window = SearchWindow((10.0, 10.0), 3, (20, 30))
+        cropped = window.crop(np.zeros((20, 30)))
+        assert cropped.shape == (7, 7)
+
+    def test_to_frame_translation(self):
+        window = SearchWindow((10.0, 10.0), 3, (20, 30))
+        region = Region(label=1, area=4, bbox=(0, 0, 2, 2), centroid=(0.5, 0.5))
+        moved = window.to_frame(region)
+        assert moved.bbox == (7, 7, 9, 9)
+        assert moved.centroid == (7.5, 7.5)
+
+    def test_half_size_validated(self):
+        with pytest.raises(ValueError):
+            SearchWindow((5.0, 5.0), 0, (10, 10))

@@ -1,0 +1,44 @@
+"""Player observation tests."""
+
+import numpy as np
+import pytest
+
+from repro.tracking.shape import observe_player
+from repro.vision.regions import regions_in
+
+
+def frame_with_blob():
+    frame = np.zeros((20, 20, 3), dtype=np.uint8)
+    mask = np.zeros((20, 20), dtype=bool)
+    mask[5:15, 8:12] = True
+    frame[mask] = (200, 40, 40)
+    return frame, mask
+
+
+class TestObservePlayer:
+    def test_position_is_centroid(self):
+        frame, mask = frame_with_blob()
+        region = regions_in(mask)[0]
+        observation = observe_player(frame, mask, region)
+        assert observation.position == (pytest.approx(9.5), pytest.approx(9.5))
+
+    def test_dominant_color(self):
+        frame, mask = frame_with_blob()
+        region = regions_in(mask)[0]
+        observation = observe_player(frame, mask, region)
+        assert observation.dominant_color == (200.0, 40.0, 40.0)
+
+    def test_shape_features_attached(self):
+        frame, mask = frame_with_blob()
+        region = regions_in(mask)[0]
+        observation = observe_player(frame, mask, region)
+        assert observation.shape.area == 40
+        assert observation.shape.aspect_ratio == pytest.approx(10 / 4)
+
+    def test_region_outside_mask_rejected(self):
+        frame, mask = frame_with_blob()
+        from repro.vision.regions import Region
+
+        empty_region = Region(label=1, area=4, bbox=(0, 0, 2, 2), centroid=(1, 1))
+        with pytest.raises(ValueError):
+            observe_player(frame, mask, empty_region)

@@ -1,0 +1,103 @@
+"""Player tracker tests."""
+
+import numpy as np
+import pytest
+
+from repro.tracking.predictor import StaticPredictor
+from repro.tracking.tracker import PlayerTracker, Track, TrackPoint
+
+
+class TestTrackContainer:
+    def test_found_fraction(self):
+        track = Track(points=[TrackPoint(0, False), TrackPoint(1, True, None)])
+        assert track.found_fraction == 0.5
+
+    def test_empty_track(self):
+        assert Track().found_fraction == 0.0
+
+    def test_mean_error_length_mismatch(self):
+        track = Track(points=[TrackPoint(0, False)])
+        with pytest.raises(ValueError):
+            track.mean_error([(0.0, 0.0), (1.0, 1.0)])
+
+    def test_mean_error_all_lost_is_inf(self):
+        track = Track(points=[TrackPoint(0, False)])
+        assert track.mean_error([(0.0, 0.0)]) == float("inf")
+
+
+class TestTracker:
+    @pytest.mark.parametrize("script", ["rally", "net_approach", "service", "baseline_play"])
+    def test_tracks_all_scripts(self, tennis_clips, script):
+        clip, truth = tennis_clips[script]
+        track = PlayerTracker().track(list(clip))
+        assert track.found_fraction > 0.95
+        assert track.mean_error(list(truth.shots[0].trajectory)) < 6.0
+
+    def test_observations_carry_shape(self, tennis_clips):
+        clip, _ = tennis_clips["rally"]
+        track = PlayerTracker().track(list(clip))
+        observation = next(p.observation for p in track.points if p.found)
+        assert observation.shape.area > 10
+        assert observation.shape.aspect_ratio > 0.5
+
+    def test_dominant_color_is_shirt(self, tennis_clips):
+        from repro.video.players import NEAR_PLAYER
+
+        clip, _ = tennis_clips["rally"]
+        track = PlayerTracker().track(list(clip))
+        observation = next(p.observation for p in track.points if p.found)
+        # The blob mixes shirt and head pixels; red must dominate.
+        assert observation.dominant_color[0] > observation.dominant_color[2]
+
+    def test_static_predictor_also_works(self, tennis_clips):
+        clip, truth = tennis_clips["rally"]
+        track = PlayerTracker(predictor_factory=StaticPredictor).track(list(clip))
+        assert track.found_fraction > 0.9
+
+    def test_small_window_loses_fast_target_more(self, tennis_clips):
+        """E4 shape: a tiny search window degrades tracking."""
+        clip, truth = tennis_clips["rally"]
+        wide = PlayerTracker(search_half_size=14).track(list(clip))
+        narrow = PlayerTracker(search_half_size=3, predictor_factory=StaticPredictor).track(
+            list(clip)
+        )
+        wide_err = wide.mean_error(list(truth.shots[0].trajectory))
+        narrow_err = narrow.mean_error(list(truth.shots[0].trajectory))
+        assert wide_err <= narrow_err + 1.0
+
+    def test_no_court_all_misses(self):
+        rng = np.random.default_rng(0)
+        frames = [
+            rng.integers(0, 255, size=(96, 128, 3)).astype(np.uint8) for _ in range(5)
+        ]
+        track = PlayerTracker().track(frames)
+        assert len(track) == 5
+        # A noise frame has no stable court nor player.
+        assert track.found_fraction <= 0.4
+
+    def test_empty_shot_rejected(self):
+        with pytest.raises(ValueError):
+            PlayerTracker().track([])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PlayerTracker(search_half_size=1)
+        with pytest.raises(ValueError):
+            PlayerTracker(half="sideways")
+
+
+class TestFarTracking:
+    def test_tracks_far_player(self, tennis_clips):
+        clip, truth = tennis_clips["rally"]
+        track = PlayerTracker(half="far", min_area=8).track(list(clip))
+        assert track.found_fraction > 0.9
+        assert track.mean_error(list(truth.shots[0].far_trajectory)) < 6.0
+
+    def test_near_and_far_are_different_targets(self, tennis_clips):
+        clip, truth = tennis_clips["rally"]
+        near = PlayerTracker().track(list(clip))
+        far = PlayerTracker(half="far", min_area=8).track(list(clip))
+        near_rows = [p[0] for p in near.positions if p]
+        far_rows = [p[0] for p in far.positions if p]
+        # The far player sits higher in the frame throughout.
+        assert np.mean(far_rows) < np.mean(near_rows) - 10

@@ -1,0 +1,64 @@
+"""Court renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.video.court import (
+    AUSTRALIAN_OPEN_STYLE,
+    CAMERA_PRESETS,
+    CourtGeometry,
+    CourtStyle,
+    render_court,
+)
+from repro.vision.dominant import color_coverage
+
+
+class TestRenderCourt:
+    def test_shape_and_dtype(self):
+        frame = render_court(96, 128)
+        assert frame.shape == (96, 128, 3)
+        assert frame.dtype == np.uint8
+
+    def test_surface_dominates(self):
+        frame = render_court(96, 128)
+        coverage = color_coverage(frame, np.array(AUSTRALIAN_OPEN_STYLE.surface))
+        assert coverage > 0.4
+
+    def test_surround_outside_court(self):
+        frame = render_court(96, 128)
+        assert tuple(frame[0, 0]) == AUSTRALIAN_OPEN_STYLE.surround
+
+    def test_net_band_present(self):
+        geometry = CourtGeometry()
+        frame = render_court(96, 128, geometry=geometry)
+        _top, net, _bottom = geometry.rows(96)
+        left, right = geometry.cols(128)
+        assert tuple(frame[net, (left + right) // 2]) == AUSTRALIAN_OPEN_STYLE.net
+
+    def test_baseline_is_white(self):
+        geometry = CourtGeometry()
+        frame = render_court(96, 128, geometry=geometry)
+        top, _net, _bottom = geometry.rows(96)
+        left, right = geometry.cols(128)
+        assert tuple(frame[top, (left + right) // 2]) == AUSTRALIAN_OPEN_STYLE.line
+
+    def test_custom_style(self):
+        style = CourtStyle(surface=(200, 50, 50))
+        frame = render_court(64, 64, style=style)
+        assert color_coverage(frame, np.array([200, 50, 50])) > 0.3
+
+
+class TestGeometry:
+    def test_rows_ordering(self):
+        top, net, bottom = CourtGeometry().rows(100)
+        assert top < net < bottom
+
+    def test_camera_presets_distinct(self):
+        geometries = list(CAMERA_PRESETS.values())
+        assert len(set(geometries)) == len(geometries)
+
+    def test_presets_render_different_coverage(self):
+        wide = render_court(96, 128, geometry=CAMERA_PRESETS["wide"])
+        tight = render_court(96, 128, geometry=CAMERA_PRESETS["tight"])
+        surface = np.array(AUSTRALIAN_OPEN_STYLE.surface)
+        assert color_coverage(wide, surface) > color_coverage(tight, surface)

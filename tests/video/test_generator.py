@@ -1,0 +1,114 @@
+"""Broadcast generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.video.generator import BroadcastConfig, BroadcastGenerator
+from repro.video.shots import CourtShotSpec, ShotCategory
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        BroadcastConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"height": 10},
+            {"gradual_fraction": 1.5},
+            {"gradual_length": (1, 5)},
+            {"gradual_length": (8, 4)},
+            {"shot_length": (5, 50)},
+            {"category_weights": (0, 0, 0, 0)},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            BroadcastConfig(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_broadcast(self):
+        a_clip, a_truth = BroadcastGenerator(seed=5).generate(4)
+        b_clip, b_truth = BroadcastGenerator(seed=5).generate(4)
+        assert len(a_clip) == len(b_clip)
+        assert np.array_equal(a_clip[0], b_clip[0])
+        assert [s.category for s in a_truth.shots] == [s.category for s in b_truth.shots]
+
+    def test_different_seed_differs(self):
+        a_clip, _ = BroadcastGenerator(seed=5).generate(4)
+        b_clip, _ = BroadcastGenerator(seed=6).generate(4)
+        assert len(a_clip) != len(b_clip) or not np.array_equal(a_clip[0], b_clip[0])
+
+
+class TestAssembly:
+    def test_truth_consistent(self, broadcast):
+        clip, truth = broadcast
+        truth.validate(len(clip))
+
+    def test_shot_count(self, broadcast):
+        _clip, truth = broadcast
+        assert len(truth.shots) == 12
+
+    def test_transition_count(self, broadcast):
+        _clip, truth = broadcast
+        assert len(truth.transitions) == 11
+
+    def test_first_shot_starts_at_zero(self, broadcast):
+        _clip, truth = broadcast
+        assert truth.shots[0].start == 0
+
+    def test_shots_and_transitions_tile_the_clip(self, broadcast):
+        clip, truth = broadcast
+        covered = np.zeros(len(clip), dtype=bool)
+        for shot in truth.shots:
+            assert not covered[shot.start : shot.stop].any(), "overlapping shots"
+            covered[shot.start : shot.stop] = True
+        for t in truth.transitions:
+            if t.kind != "cut":
+                start, stop = t.span
+                assert not covered[start:stop].any()
+                covered[start:stop] = True
+        assert covered.all()
+
+    def test_tennis_shots_have_events(self, broadcast):
+        _clip, truth = broadcast
+        tennis_indices = {
+            i for i, s in enumerate(truth.shots) if s.category == "tennis"
+        }
+        event_shots = {e.shot_index for e in truth.events}
+        assert event_shots <= tennis_indices
+        assert event_shots  # at least one tennis shot produced events
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            BroadcastGenerator().assemble([])
+
+    def test_zero_shots_rejected(self):
+        with pytest.raises(ValueError):
+            BroadcastGenerator().generate(0)
+
+
+class TestSampling:
+    def test_consecutive_specs_distinct(self):
+        generator = BroadcastGenerator(seed=1)
+        specs = generator.sample_specs(40)
+        for previous, current in zip(specs, specs[1:]):
+            if type(previous) is type(current):
+                assert abs(previous.gain - current.gain) >= 0.12
+                if isinstance(current, CourtShotSpec):
+                    assert previous.geometry != current.geometry
+
+    def test_category_weights_respected(self):
+        config = BroadcastConfig(category_weights=(1, 0, 0, 0))
+        generator = BroadcastGenerator(config, seed=2)
+        specs = generator.sample_specs(10)
+        assert all(isinstance(s, CourtShotSpec) for s in specs)
+
+
+class TestTennisClip:
+    def test_single_shot(self):
+        clip, truth = BroadcastGenerator(seed=3).tennis_clip(n_frames=30)
+        assert len(truth.shots) == 1
+        assert truth.shots[0].category == ShotCategory.TENNIS
+        assert len(clip) == 30

@@ -1,0 +1,105 @@
+"""Player sprite and motion script tests."""
+
+import numpy as np
+import pytest
+
+from repro.video.court import DEFAULT_GEOMETRY
+from repro.video.players import (
+    NEAR_PLAYER,
+    SCRIPT_KINDS,
+    draw_player,
+    far_player_positions,
+    motion_script,
+)
+from repro.vision.skin import skin_ratio
+
+H, W = 96, 128
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestMotionScript:
+    @pytest.mark.parametrize("kind", SCRIPT_KINDS)
+    def test_lengths(self, kind, rng):
+        script = motion_script(kind, 40, rng, H, W)
+        assert len(script) == 40
+        assert script.kind == kind
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValueError):
+            motion_script("moonwalk", 40, rng, H, W)
+
+    def test_too_short(self, rng):
+        with pytest.raises(ValueError):
+            motion_script("rally", 5, rng, H, W)
+
+    @pytest.mark.parametrize("kind", SCRIPT_KINDS)
+    def test_positions_inside_court(self, kind, rng):
+        top, _net, bottom = DEFAULT_GEOMETRY.rows(H)
+        left, right = DEFAULT_GEOMETRY.cols(W)
+        script = motion_script(kind, 60, rng, H, W)
+        rows = [p[0] for p in script.positions]
+        cols = [p[1] for p in script.positions]
+        assert min(rows) >= top and max(rows) <= bottom
+        assert min(cols) >= left and max(cols) <= right
+
+    def test_rally_covers_whole_shot(self, rng):
+        script = motion_script("rally", 50, rng, H, W)
+        assert script.events == ((0, 50, "rally"),)
+
+    def test_net_approach_enters_net_zone(self, rng):
+        script = motion_script("net_approach", 60, rng, H, W)
+        labels = [e[2] for e in script.events]
+        assert "net_play" in labels
+        start, stop, _ = script.events[-1]
+        # Net play lasts until the end of the shot.
+        assert stop == 60
+        assert start > 0
+
+    def test_net_approach_rows_decrease(self, rng):
+        script = motion_script("net_approach", 60, rng, H, W)
+        rows = [p[0] for p in script.positions]
+        assert rows[-1] < rows[0] - 10
+
+    def test_service_has_still_phase(self, rng):
+        script = motion_script("service", 40, rng, H, W)
+        (start, stop, label), = script.events
+        assert label == "service"
+        assert start == 0
+        cols = [p[1] for p in script.positions[start:stop]]
+        assert np.std(cols) < 2.0
+
+    def test_rally_moves_laterally(self, rng):
+        script = motion_script("rally", 60, rng, H, W)
+        cols = np.array([p[1] for p in script.positions])
+        assert cols.max() - cols.min() > 20
+
+
+class TestFarPlayer:
+    def test_far_player_above_net(self, rng):
+        _top, net, _bottom = DEFAULT_GEOMETRY.rows(H)
+        positions = far_player_positions(30, rng, H, W)
+        assert all(p[0] < net for p in positions)
+
+
+class TestDrawPlayer:
+    def test_paints_shirt_and_skin(self):
+        frame = np.zeros((H, W, 3), dtype=np.uint8)
+        draw_player(frame, 60.0, 64.0, NEAR_PLAYER)
+        # Shirt colour present at the body centre.
+        assert tuple(frame[60, 64]) == NEAR_PLAYER.shirt
+        # Head contributes skin pixels.
+        assert skin_ratio(frame) > 0
+
+    def test_clipped_at_border(self):
+        frame = np.zeros((H, W, 3), dtype=np.uint8)
+        draw_player(frame, 0.0, 0.0, NEAR_PLAYER)  # must not raise
+        draw_player(frame, float(H), float(W), NEAR_PLAYER)
+
+    def test_offscreen_is_noop(self):
+        frame = np.zeros((H, W, 3), dtype=np.uint8)
+        draw_player(frame, -100.0, -100.0, NEAR_PLAYER)
+        assert not frame.any()

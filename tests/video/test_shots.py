@@ -1,0 +1,130 @@
+"""Shot renderer tests: each category carries its signature statistics."""
+
+import numpy as np
+import pytest
+
+from repro.video.shots import (
+    AudienceSpec,
+    CloseUpSpec,
+    CourtShotSpec,
+    OtherSpec,
+    ShotCategory,
+    apply_gain,
+)
+from repro.vision.dominant import color_coverage
+from repro.vision.skin import skin_ratio
+from repro.vision.stats import frame_entropy
+
+H, W = 96, 128
+SIGMA = 6.0
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestApplyGain:
+    def test_identity(self):
+        frame = np.full((2, 2, 3), 100, dtype=np.uint8)
+        assert apply_gain(frame, 1.0) is frame
+
+    def test_scales(self):
+        frame = np.full((2, 2, 3), 100, dtype=np.uint8)
+        assert apply_gain(frame, 0.5).max() == 50
+
+    def test_clips(self):
+        frame = np.full((2, 2, 3), 200, dtype=np.uint8)
+        assert apply_gain(frame, 2.0).max() == 255
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            apply_gain(np.zeros((2, 2, 3), dtype=np.uint8), 0.0)
+
+
+class TestCourtShot:
+    def test_category_and_counts(self, rng):
+        shot = CourtShotSpec(n_frames=20).render(H, W, rng, SIGMA)
+        assert shot.category == ShotCategory.TENNIS
+        assert len(shot.frames) == 20
+        assert len(shot.trajectory) == 20
+        assert len(shot.far_trajectory) == 20
+
+    def test_court_color_dominates(self, rng):
+        shot = CourtShotSpec(n_frames=12).render(H, W, rng, SIGMA)
+        coverage = color_coverage(shot.frames[5], np.array([40, 130, 80]))
+        assert coverage > 0.35
+
+    def test_events_present(self, rng):
+        shot = CourtShotSpec(n_frames=30, script="rally").render(H, W, rng, SIGMA)
+        assert shot.events and shot.events[0][2] == "rally"
+
+    def test_gain_darkens(self, rng):
+        bright = CourtShotSpec(n_frames=12, gain=1.1).render(H, W, rng, 0.0)
+        dark = CourtShotSpec(n_frames=12, gain=0.85).render(H, W, rng, 0.0)
+        assert bright.frames[0].mean() > dark.frames[0].mean()
+
+
+class TestCloseUp:
+    def test_high_skin_ratio(self, rng):
+        shot = CloseUpSpec(n_frames=10).render(H, W, rng, SIGMA)
+        assert skin_ratio(shot.frames[5]) > 0.15
+
+    def test_no_trajectory(self, rng):
+        shot = CloseUpSpec(n_frames=10).render(H, W, rng, SIGMA)
+        assert shot.trajectory == ()
+        assert shot.events == ()
+
+
+class TestAudience:
+    def test_high_entropy(self, rng):
+        shot = AudienceSpec(n_frames=8).render(H, W, rng, SIGMA)
+        assert frame_entropy(shot.frames[4]) > 4.2
+
+    def test_low_skin(self, rng):
+        shot = AudienceSpec(n_frames=8).render(H, W, rng, SIGMA)
+        assert skin_ratio(shot.frames[4]) < 0.12
+
+    def test_temporal_coherence(self, rng):
+        from repro.vision.histogram import color_histogram, histogram_difference
+
+        shot = AudienceSpec(n_frames=8).render(H, W, rng, SIGMA)
+        d = histogram_difference(
+            color_histogram(shot.frames[3]), color_histogram(shot.frames[4])
+        )
+        assert d < 0.3
+
+
+class TestOther:
+    def test_low_entropy_no_court_no_skin(self, rng):
+        shot = OtherSpec(n_frames=8).render(H, W, rng, SIGMA)
+        frame = shot.frames[4]
+        assert frame_entropy(frame) < 4.2
+        assert skin_ratio(frame) < 0.12
+        assert color_coverage(frame, np.array([40, 130, 80])) < 0.05
+
+    def test_static(self, rng):
+        from repro.vision.histogram import color_histogram, histogram_difference
+
+        shot = OtherSpec(n_frames=8).render(H, W, rng, SIGMA)
+        d = histogram_difference(
+            color_histogram(shot.frames[0]), color_histogram(shot.frames[7])
+        )
+        assert d < 0.2
+
+
+class TestCategorySeparation:
+    """The statistics that drive classification must be separable."""
+
+    def test_skin_separates_closeup(self, rng):
+        closeup = CloseUpSpec(n_frames=6).render(H, W, rng, SIGMA)
+        court = CourtShotSpec(n_frames=12).render(H, W, rng, SIGMA)
+        audience = AudienceSpec(n_frames=6).render(H, W, rng, SIGMA)
+        s_closeup = skin_ratio(closeup.frames[3])
+        assert s_closeup > 2 * skin_ratio(court.frames[6])
+        assert s_closeup > 2 * skin_ratio(audience.frames[3])
+
+    def test_entropy_separates_audience(self, rng):
+        audience = AudienceSpec(n_frames=6).render(H, W, rng, SIGMA)
+        other = OtherSpec(n_frames=6).render(H, W, rng, SIGMA)
+        assert frame_entropy(audience.frames[3]) > frame_entropy(other.frames[3]) + 1.0

@@ -1,0 +1,43 @@
+"""Transition rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.video.transitions import dissolve_frames, fade_frames
+
+
+def solid(value):
+    return np.full((8, 8, 3), value, dtype=np.uint8)
+
+
+class TestDissolve:
+    def test_length(self):
+        assert len(dissolve_frames(solid(0), solid(200), 5)) == 5
+
+    def test_monotone_blend(self):
+        frames = dissolve_frames(solid(0), solid(200), 6)
+        means = [f.mean() for f in frames]
+        assert means == sorted(means)
+
+    def test_never_duplicates_endpoints(self):
+        frames = dissolve_frames(solid(0), solid(200), 3)
+        assert frames[0].mean() > 0
+        assert frames[-1].mean() < 200
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            dissolve_frames(solid(0), solid(1), 0)
+
+
+class TestFade:
+    def test_length(self):
+        assert len(fade_frames(solid(100), solid(200), 8)) == 8
+
+    def test_passes_through_dark(self):
+        frames = fade_frames(solid(200), solid(200), 10)
+        means = [f.mean() for f in frames]
+        assert min(means) < 80  # approaches black in the middle
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            fade_frames(solid(0), solid(1), 1)

@@ -1,0 +1,97 @@
+"""Colour conversion tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.vision.color import ensure_rgb, hsv_to_rgb, rgb_to_grey, rgb_to_hsv
+
+rgb_images = npst.arrays(
+    dtype=np.uint8, shape=st.tuples(st.integers(1, 12), st.integers(1, 12), st.just(3))
+)
+
+
+def solid(color, h=4, w=5):
+    frame = np.zeros((h, w, 3), dtype=np.uint8)
+    frame[:] = color
+    return frame
+
+
+class TestEnsureRgb:
+    def test_accepts_rgb(self):
+        frame = solid((1, 2, 3))
+        assert ensure_rgb(frame) is not None
+
+    def test_rejects_grey(self):
+        with pytest.raises(ValueError):
+            ensure_rgb(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_rejects_rgba(self):
+        with pytest.raises(ValueError):
+            ensure_rgb(np.zeros((4, 4, 4), dtype=np.uint8))
+
+
+class TestRgbToGrey:
+    def test_white_is_255(self):
+        assert rgb_to_grey(solid((255, 255, 255))).max() == 255
+
+    def test_black_is_0(self):
+        assert rgb_to_grey(solid((0, 0, 0))).max() == 0
+
+    def test_green_brighter_than_blue(self):
+        green = rgb_to_grey(solid((0, 255, 0)))[0, 0]
+        blue = rgb_to_grey(solid((0, 0, 255)))[0, 0]
+        assert green > blue
+
+    def test_luma_weights(self):
+        # 0.299 R for pure red.
+        red = rgb_to_grey(solid((255, 0, 0)))[0, 0]
+        assert red == round(0.299 * 255)
+
+    @given(rgb_images)
+    @settings(max_examples=25, deadline=None)
+    def test_output_shape_and_dtype(self, image):
+        grey = rgb_to_grey(image)
+        assert grey.shape == image.shape[:2]
+        assert grey.dtype == np.uint8
+
+
+class TestRgbHsvRoundTrip:
+    def test_red_hue(self):
+        hsv = rgb_to_hsv(solid((255, 0, 0)))
+        assert hsv[0, 0, 0] == pytest.approx(0.0)
+        assert hsv[0, 0, 1] == pytest.approx(1.0)
+        assert hsv[0, 0, 2] == pytest.approx(1.0)
+
+    def test_green_hue(self):
+        hsv = rgb_to_hsv(solid((0, 255, 0)))
+        assert hsv[0, 0, 0] == pytest.approx(120.0)
+
+    def test_blue_hue(self):
+        hsv = rgb_to_hsv(solid((0, 0, 255)))
+        assert hsv[0, 0, 0] == pytest.approx(240.0)
+
+    def test_grey_has_zero_saturation(self):
+        hsv = rgb_to_hsv(solid((128, 128, 128)))
+        assert hsv[0, 0, 1] == pytest.approx(0.0)
+
+    def test_black_value_zero(self):
+        hsv = rgb_to_hsv(solid((0, 0, 0)))
+        assert hsv[0, 0, 2] == pytest.approx(0.0)
+
+    @given(rgb_images)
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_within_one_level(self, image):
+        back = hsv_to_rgb(rgb_to_hsv(image))
+        assert np.abs(back.astype(int) - image.astype(int)).max() <= 1
+
+    def test_hsv_to_rgb_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            hsv_to_rgb(np.zeros((3, 3), dtype=np.float64))
+
+    def test_hue_wraps(self):
+        a = hsv_to_rgb(np.full((1, 1, 3), [370.0, 1.0, 1.0]))
+        b = hsv_to_rgb(np.full((1, 1, 3), [10.0, 1.0, 1.0]))
+        assert np.array_equal(a, b)

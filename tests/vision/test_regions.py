@@ -1,0 +1,69 @@
+"""Connected-component tests."""
+
+import numpy as np
+import pytest
+
+from repro.vision.regions import label_regions, largest_region, regions_in
+
+
+def mask_with_blobs():
+    mask = np.zeros((12, 12), dtype=bool)
+    mask[1:4, 1:4] = True  # 9 px blob
+    mask[7:12, 6:10] = True  # 20 px blob
+    return mask
+
+
+class TestLabelRegions:
+    def test_counts_blobs(self):
+        _labels, count = label_regions(mask_with_blobs())
+        assert count == 2
+
+    def test_empty_mask(self):
+        _labels, count = label_regions(np.zeros((5, 5), dtype=bool))
+        assert count == 0
+
+    def test_diagonal_connectivity(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = mask[1, 1] = True
+        assert label_regions(mask, connectivity=2)[1] == 1
+        assert label_regions(mask, connectivity=1)[1] == 2
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            label_regions(np.zeros((2, 2, 2), dtype=bool))
+
+    def test_rejects_bad_connectivity(self):
+        with pytest.raises(ValueError):
+            label_regions(np.zeros((2, 2), dtype=bool), connectivity=3)
+
+
+class TestRegionsIn:
+    def test_areas_and_bboxes(self):
+        regions = sorted(regions_in(mask_with_blobs()), key=lambda r: r.area)
+        assert [r.area for r in regions] == [9, 20]
+        assert regions[0].bbox == (1, 1, 4, 4)
+        assert regions[1].bbox == (7, 6, 12, 10)
+
+    def test_min_area_filter(self):
+        regions = regions_in(mask_with_blobs(), min_area=10)
+        assert len(regions) == 1
+        assert regions[0].area == 20
+
+    def test_centroid(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[1:4, 1:4] = True
+        region = regions_in(mask)[0]
+        assert region.centroid == (2.0, 2.0)
+
+    def test_width_height(self):
+        region = sorted(regions_in(mask_with_blobs()), key=lambda r: r.area)[1]
+        assert region.height == 5
+        assert region.width == 4
+
+
+class TestLargestRegion:
+    def test_picks_largest(self):
+        assert largest_region(mask_with_blobs()).area == 20
+
+    def test_none_for_empty(self):
+        assert largest_region(np.zeros((4, 4), dtype=bool)) is None

@@ -1,0 +1,51 @@
+"""Skin model tests."""
+
+import numpy as np
+import pytest
+
+from repro.vision.skin import DEFAULT_SKIN_MODEL, SkinColorModel, skin_ratio
+
+
+def solid(color, h=6, w=6):
+    frame = np.zeros((h, w, 3), dtype=np.uint8)
+    frame[:] = color
+    return frame
+
+
+SKIN_TONES = [(224, 172, 120), (200, 140, 100), (240, 190, 150), (180, 120, 90)]
+NON_SKIN = [
+    (40, 130, 80),  # court green
+    (128, 128, 128),  # grey (fails spread rule)
+    (40, 200, 40),  # green (fails red dominance)
+    (90, 95, 105),  # backdrop blue-grey
+    (10, 10, 10),  # near black
+]
+
+
+class TestSkinMask:
+    @pytest.mark.parametrize("tone", SKIN_TONES)
+    def test_skin_tones_accepted(self, tone):
+        assert DEFAULT_SKIN_MODEL.mask(solid(tone)).all()
+
+    @pytest.mark.parametrize("color", NON_SKIN)
+    def test_non_skin_rejected(self, color):
+        assert not DEFAULT_SKIN_MODEL.mask(solid(color)).any()
+
+    def test_ratio_of_half_skin_frame(self):
+        frame = solid((40, 130, 80))
+        frame[:, :3] = (224, 172, 120)
+        assert skin_ratio(frame) == pytest.approx(0.5)
+
+    def test_custom_model_threshold(self):
+        strict = SkinColorModel(r_min=230)
+        assert not strict.mask(solid((224, 172, 120))).any()
+
+    def test_ratio_bounds(self):
+        rng = np.random.default_rng(0)
+        frame = rng.integers(0, 256, size=(20, 20, 3)).astype(np.uint8)
+        assert 0.0 <= skin_ratio(frame) <= 1.0
+
+    def test_mask_shape(self):
+        mask = DEFAULT_SKIN_MODEL.mask(solid((224, 172, 120), h=3, w=7))
+        assert mask.shape == (3, 7)
+        assert mask.dtype == bool

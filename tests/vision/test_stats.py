@@ -1,0 +1,60 @@
+"""Frame statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.vision.stats import frame_entropy, frame_mean, frame_statistics, frame_variance
+
+
+def solid(value, h=8, w=8):
+    return np.full((h, w), value, dtype=np.uint8)
+
+
+class TestEntropy:
+    def test_flat_frame_zero_entropy(self):
+        assert frame_entropy(solid(100)) == pytest.approx(0.0)
+
+    def test_uniform_ramp_max_entropy(self):
+        ramp = np.tile(np.arange(256, dtype=np.uint8), (4, 1))
+        assert frame_entropy(ramp, bins=64) == pytest.approx(6.0)
+
+    def test_two_level_frame_one_bit(self):
+        frame = np.zeros((4, 4), dtype=np.uint8)
+        frame[:, :2] = 255
+        assert frame_entropy(frame) == pytest.approx(1.0)
+
+    def test_accepts_rgb(self):
+        rgb = np.zeros((4, 4, 3), dtype=np.uint8)
+        assert frame_entropy(rgb) == pytest.approx(0.0)
+
+    def test_noise_raises_entropy(self):
+        rng = np.random.default_rng(0)
+        noisy = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        assert frame_entropy(noisy) > frame_entropy(solid(7))
+
+
+class TestMeanVariance:
+    def test_mean_of_flat(self):
+        assert frame_mean(solid(42)) == pytest.approx(42.0)
+
+    def test_variance_of_flat_is_zero(self):
+        assert frame_variance(solid(42)) == pytest.approx(0.0)
+
+    def test_variance_of_two_levels(self):
+        frame = np.zeros((2, 2), dtype=np.uint8)
+        frame[0] = 10
+        assert frame_variance(frame) == pytest.approx(25.0)
+
+
+class TestFrameStatistics:
+    def test_matches_individual_functions(self):
+        rng = np.random.default_rng(1)
+        frame = rng.integers(0, 256, size=(16, 16, 3)).astype(np.uint8)
+        stats = frame_statistics(frame)
+        assert stats["entropy"] == pytest.approx(frame_entropy(frame))
+        assert stats["mean"] == pytest.approx(frame_mean(frame))
+        assert stats["variance"] == pytest.approx(frame_variance(frame))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            frame_statistics(np.zeros((2, 2, 2, 2), dtype=np.uint8))

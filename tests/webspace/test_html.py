@@ -1,0 +1,45 @@
+"""Lossy HTML rendering tests — the hidden-semantics phenomenon."""
+
+import pytest
+
+from repro.webspace.html import page_text, render_page
+
+
+class TestRendering:
+    def test_player_page_mentions_facts_as_prose(self, dataset):
+        left_handers = [p for p in dataset.players if p.handedness == "left"]
+        player = dataset.player_objects[left_handers[0].name]
+        html = render_page(player)
+        assert left_handers[0].name in html
+        assert "left-handed" in html
+        # The structured field names are LOST in the rendering.
+        assert "handedness" not in html
+        assert "titles" not in html
+
+    def test_match_page(self, dataset):
+        match = dataset.match_objects[dataset.matches[0].title]
+        html = render_page(match)
+        assert dataset.matches[0].title in html
+        assert str(dataset.matches[0].year) in html
+
+    def test_interview_page(self, dataset):
+        interview = dataset.instance.objects("Interview")[0]
+        html = render_page(interview)
+        assert interview.get("text") in html
+
+    def test_unknown_class_rejected(self, dataset):
+        class Fake:
+            class_name = "Umpire"
+
+        with pytest.raises(ValueError):
+            render_page(Fake())
+
+
+class TestPageText:
+    def test_strips_markup(self):
+        assert page_text("<p>Hello <b>world</b></p>").split() == ["Hello", "world"]
+
+    def test_no_angle_brackets_left(self, dataset):
+        player = dataset.instance.objects("Player")[0]
+        text = page_text(render_page(player))
+        assert "<" not in text and ">" not in text

@@ -1,0 +1,90 @@
+"""Webspace instance tests."""
+
+import pytest
+
+from repro.webspace.instances import WebspaceInstance
+from repro.webspace.schema import SchemaViolation, WebspaceSchema
+
+
+@pytest.fixture
+def instance():
+    schema = WebspaceSchema("site")
+    schema.add_class("Player", name="str")
+    schema.add_class("Match", title="str")
+    schema.add_association("played", "Player", "Match")
+    schema.add_association("best_match", "Player", "Match", to_many=False)
+    return WebspaceInstance(schema)
+
+
+class TestCreate:
+    def test_creates_validated_object(self, instance):
+        obj = instance.create("Player", name="A")
+        assert obj.oid == 1
+        assert obj.get("name") == "A"
+
+    def test_missing_attribute(self, instance):
+        with pytest.raises(SchemaViolation):
+            instance.create("Player")
+
+    def test_extra_attribute(self, instance):
+        with pytest.raises(SchemaViolation):
+            instance.create("Player", name="A", age=30)
+
+    def test_wrong_type(self, instance):
+        with pytest.raises(SchemaViolation):
+            instance.create("Player", name=42)
+
+    def test_unknown_class(self, instance):
+        with pytest.raises(SchemaViolation):
+            instance.create("Umpire", name="x")
+
+    def test_get_missing_attr(self, instance):
+        obj = instance.create("Player", name="A")
+        with pytest.raises(KeyError):
+            obj.get("age")
+
+
+class TestLinks:
+    def test_follow(self, instance):
+        p = instance.create("Player", name="A")
+        m = instance.create("Match", title="final")
+        instance.link("played", p, m)
+        assert [x.oid for x in instance.follow("played", p)] == [m.oid]
+
+    def test_sources_of(self, instance):
+        p = instance.create("Player", name="A")
+        m = instance.create("Match", title="final")
+        instance.link("played", p, m)
+        assert [x.oid for x in instance.sources_of("played", m)] == [p.oid]
+
+    def test_wrong_direction(self, instance):
+        p = instance.create("Player", name="A")
+        m = instance.create("Match", title="final")
+        with pytest.raises(SchemaViolation):
+            instance.link("played", m, p)
+
+    def test_to_one_enforced(self, instance):
+        p = instance.create("Player", name="A")
+        m1 = instance.create("Match", title="x")
+        m2 = instance.create("Match", title="y")
+        instance.link("best_match", p, m1)
+        with pytest.raises(SchemaViolation):
+            instance.link("best_match", p, m2)
+
+    def test_duplicate_link_ignored(self, instance):
+        p = instance.create("Player", name="A")
+        m = instance.create("Match", title="x")
+        instance.link("played", p, m)
+        instance.link("played", p, m)
+        assert len(instance.follow("played", p)) == 1
+
+    def test_counts(self, instance):
+        instance.create("Player", name="A")
+        instance.create("Player", name="B")
+        instance.create("Match", title="x")
+        assert instance.counts() == {"Match": 1, "Player": 2}
+
+    def test_objects_by_class(self, instance):
+        instance.create("Player", name="A")
+        assert len(instance.objects("Player")) == 1
+        assert instance.objects("Match") == []

@@ -1,0 +1,96 @@
+"""Conceptual query tests on the shared tournament dataset."""
+
+import pytest
+
+from repro.webspace.query import ConceptQuery, Condition
+from repro.webspace.schema import SchemaViolation
+
+
+class TestCondition:
+    def test_operators(self):
+        class FakeObj:
+            def get(self, name):
+                return {"titles": 2, "name": "Iva Demcourt"}[name]
+
+        obj = FakeObj()
+        assert Condition("titles", "=", 2).holds(obj)
+        assert Condition("titles", ">", 1).holds(obj)
+        assert Condition("titles", "<=", 2).holds(obj)
+        assert Condition("titles", "!=", 3).holds(obj)
+        assert Condition("name", "contains", "dem").holds(obj)
+        assert not Condition("name", "contains", "xyz").holds(obj)
+
+    def test_unknown_operator(self):
+        with pytest.raises(SchemaViolation):
+            Condition("titles", "~", 2)
+
+
+class TestConceptQuery:
+    def test_root_selection(self, dataset):
+        females = ConceptQuery("Player").where("gender", "=", "female").run(dataset.instance)
+        assert len(females) == 16
+        assert all(b[0].get("gender") == "female" for b in females)
+
+    def test_conjunction(self, dataset):
+        champs = (
+            ConceptQuery("Player")
+            .where("gender", "=", "female")
+            .where("titles", ">", 0)
+            .run_distinct_roots(dataset.instance)
+        )
+        assert champs
+        assert all(p.get("titles") > 0 for p in champs)
+
+    def test_navigation(self, dataset):
+        bindings = (
+            ConceptQuery("Player")
+            .where("titles", ">", 0)
+            .follow("won", "Match")
+            .where("round", "=", "final")
+            .run(dataset.instance)
+        )
+        # Every past champion won at least one final.
+        assert len(bindings) >= sum(p.titles for p in dataset.players if p.titles)
+        for player, match in bindings:
+            assert match.get("round") == "final"
+
+    def test_where_applies_to_last_hop(self, dataset):
+        query = (
+            ConceptQuery("Player")
+            .follow("won", "Match")
+            .where("year", "=", 1999)
+        )
+        bindings = query.run(dataset.instance)
+        assert all(m.get("year") == 1999 for _p, m in bindings)
+
+    def test_distinct_roots_deduplicates(self, dataset):
+        query = ConceptQuery("Player").follow("played", "Match")
+        all_bindings = query.run(dataset.instance)
+        distinct = query.run_distinct_roots(dataset.instance)
+        assert len(distinct) <= len(all_bindings)
+        oids = [p.oid for p in distinct]
+        assert len(oids) == len(set(oids))
+
+    def test_validation_unknown_attribute(self, dataset):
+        with pytest.raises(SchemaViolation):
+            ConceptQuery("Player").where("height", "=", 180).run(dataset.instance)
+
+    def test_validation_wrong_association_source(self, dataset):
+        with pytest.raises(SchemaViolation):
+            (
+                ConceptQuery("Match")
+                .follow("played", "Match")
+                .run(dataset.instance)
+            )
+
+    def test_validation_wrong_target_class(self, dataset):
+        with pytest.raises(SchemaViolation):
+            (
+                ConceptQuery("Player")
+                .follow("played", "Video")
+                .run(dataset.instance)
+            )
+
+    def test_empty_result(self, dataset):
+        result = ConceptQuery("Player").where("name", "=", "Nobody").run(dataset.instance)
+        assert result == []
