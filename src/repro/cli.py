@@ -29,6 +29,15 @@ Subcommands::
         Summarise a saved meta-index (shots per category, events per
         label, track coverage, event density).
 
+    repro health --seed S --videos N
+        Index N videos under a chosen fault-tolerance policy and print
+        the per-detector indexing health report.
+
+    repro faults --seed S --videos N --rate R
+        Fault-injection run: index N videos while randomly sabotaging
+        detectors at rate R, then report health, degraded videos and
+        meta-data completeness (see repro.faults).
+
 All commands are deterministic in their seeds.
 """
 
@@ -74,7 +83,76 @@ def build_parser() -> argparse.ArgumentParser:
     stats_cmd = sub.add_parser("stats", help="summarise a saved meta-index")
     stats_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
 
+    def add_policy_options(cmd, default_policy: str) -> None:
+        cmd.add_argument(
+            "--policy",
+            choices=("fail_fast", "skip_subtree", "quarantine"),
+            default=default_policy,
+            help="failure-isolation policy",
+        )
+        cmd.add_argument("--retries", type=int, default=1, help="max retries per detector")
+        cmd.add_argument(
+            "--backoff", type=float, default=0.01, help="base retry backoff (seconds)"
+        )
+        cmd.add_argument(
+            "--timeout", type=float, default=None, help="per-attempt budget (seconds)"
+        )
+        cmd.add_argument(
+            "--deadline", type=float, default=None, help="per-video budget (seconds)"
+        )
+        cmd.add_argument(
+            "--quarantine-after",
+            type=int,
+            default=3,
+            help="consecutive failing videos before a detector is quarantined",
+        )
+
+    health_cmd = sub.add_parser(
+        "health", help="index videos and report per-detector indexing health"
+    )
+    health_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
+    health_cmd.add_argument("--videos", type=int, default=2, help="how many videos to index")
+    add_policy_options(health_cmd, default_policy="skip_subtree")
+
+    faults_cmd = sub.add_parser(
+        "faults", help="index videos with randomly injected detector failures"
+    )
+    faults_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
+    faults_cmd.add_argument("--videos", type=int, default=2, help="how many videos to index")
+    faults_cmd.add_argument(
+        "--rate", type=float, default=0.25, help="fault probability per (detector, video)"
+    )
+    faults_cmd.add_argument(
+        "--fault-seed", type=int, default=0, help="seed of the fault plan sampler"
+    )
+    faults_cmd.add_argument(
+        "--error",
+        choices=("transient", "permanent", "timeout"),
+        default="transient",
+        help="error class the injected faults raise",
+    )
+    faults_cmd.add_argument(
+        "--times",
+        type=int,
+        default=1,
+        help="attempts each fault sabotages (0 = every attempt, forever)",
+    )
+    add_policy_options(faults_cmd, default_policy="skip_subtree")
+
     return parser
+
+
+def _policy_from_args(args):
+    from repro.grammar.runtime import RunPolicy
+
+    return RunPolicy(
+        max_retries=args.retries,
+        backoff_base=args.backoff,
+        timeout=args.timeout,
+        deadline=args.deadline,
+        isolation=args.policy,
+        quarantine_after=args.quarantine_after,
+    )
 
 
 def _cmd_figure1(_args) -> int:
@@ -190,6 +268,78 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _index_with_policy(args, make_fault_plan=None) -> int:
+    """Shared driver of ``health`` and ``faults``: index and report."""
+    from repro.dataset import build_australian_open
+    from repro.grammar.runtime import format_health_table
+    from repro.grammar.tennis import build_tennis_fde
+    from repro.library import DigitalLibraryEngine
+
+    dataset = build_australian_open(seed=args.seed)
+    fde = build_tennis_fde(policy=_policy_from_args(args))
+    engine = DigitalLibraryEngine(dataset, fde=fde)
+    plans = dataset.video_plans[: args.videos]
+    fault_plan = (
+        make_fault_plan([plan.name for plan in plans]) if make_fault_plan else None
+    )
+    injector = fault_plan.install(fde.registry) if fault_plan is not None else None
+
+    rolled_back = 0
+    for plan in plans:
+        try:
+            engine.indexer.index_plan(plan)
+        except Exception as exc:  # fail_fast rollback: the batch goes on
+            rolled_back += 1
+            print(f"{plan.name}: rolled back — {exc}")
+    if injector is not None:
+        print(f"injected {injector.injected} fault(s) from {len(fault_plan.specs)} spec(s)")
+
+    reports = engine.indexing_health()
+    print(format_health_table(reports))
+    if rolled_back:
+        print(f"rolled back: {rolled_back} video(s)")
+    quarantined = fde.runner.quarantined_detectors
+    if quarantined:
+        print(f"quarantined detectors: {', '.join(quarantined)}")
+    counts = engine.indexer.model.counts()
+    print(
+        f"meta-index: {counts['raw']} videos, {counts['feature']} shots, "
+        f"{counts['object']} objects, {counts['event']} events"
+    )
+    return 0
+
+
+def _cmd_health(args) -> int:
+    return _index_with_policy(args)
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultPlan
+    from repro.grammar.runtime import (
+        DetectorTimeoutError,
+        PermanentDetectorError,
+        TransientDetectorError,
+    )
+
+    error = {
+        "transient": TransientDetectorError,
+        "permanent": PermanentDetectorError,
+        "timeout": DetectorTimeoutError,
+    }[args.error]
+
+    def make_fault_plan(names: list[str]) -> FaultPlan:
+        return FaultPlan.random(
+            detectors=["segment", "tennis", "shape", "rules"],
+            videos=names,
+            rate=args.rate,
+            seed=args.fault_seed,
+            error=error,
+            times=args.times if args.times > 0 else None,
+        )
+
+    return _index_with_policy(args, make_fault_plan=make_fault_plan)
+
+
 _COMMANDS = {
     "figure1": _cmd_figure1,
     "index": _cmd_index,
@@ -198,6 +348,8 @@ _COMMANDS = {
     "export-mpeg7": _cmd_export_mpeg7,
     "build-site": _cmd_build_site,
     "stats": _cmd_stats,
+    "health": _cmd_health,
+    "faults": _cmd_faults,
 }
 
 

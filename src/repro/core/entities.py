@@ -25,6 +25,11 @@ class Video:
         n_frames: total frame count.
         match_id: optional link into the conceptual (webspace) layer —
             which tournament match this video records.
+        degraded: True when the video was committed with incomplete
+            meta-data — one or more detectors failed or were skipped
+            during indexing (see :mod:`repro.grammar.runtime`).  Queries
+            still serve the layers that were extracted; revalidation
+            retries the missing ones.
     """
 
     video_id: int
@@ -32,6 +37,7 @@ class Video:
     fps: float
     n_frames: int
     match_id: int | None = None
+    degraded: bool = False
 
     @property
     def duration(self) -> float:

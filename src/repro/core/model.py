@@ -11,6 +11,7 @@ class is the typed object view the extraction pipeline works against.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from enum import Enum
 
 from repro.core.entities import Event, ShotRecord, Video, VideoObject
@@ -183,6 +184,26 @@ class CobraModel:
         if label is not None:
             events = [e for e in events if e.label == label]
         return sorted(events, key=lambda e: e.start)
+
+    def mark_degraded(self, video_id: int, degraded: bool = True) -> Video:
+        """Set (or clear) a video's degraded-indexing flag.
+
+        Entities are immutable records, so the raw-layer entry is
+        replaced; the returned record is the current one.
+        """
+        if video_id not in self._videos:
+            raise KeyError(f"unknown video id {video_id}")
+        video = replace(self._videos[video_id], degraded=degraded)
+        self._videos[video_id] = video
+        return video
+
+    @property
+    def degraded_videos(self) -> list[Video]:
+        """Videos committed with incomplete meta-data, by id."""
+        return sorted(
+            (v for v in self._videos.values() if v.degraded),
+            key=lambda v: v.video_id,
+        )
 
     def video_of_shot(self, shot_id: int) -> Video:
         return self._videos[self._shots[shot_id].video_id]

@@ -1,0 +1,221 @@
+"""Fault-injection harness for the Feature Detector Engine.
+
+Production detectors fail in ways unit fixtures do not: on *specific*
+videos, a *bounded* number of times, or by hanging.  This module injects
+exactly those failures into a live
+:class:`~repro.grammar.detectors.DetectorRegistry` so tests and the E12
+benchmark can measure the runtime's behaviour under controlled fault
+rates:
+
+- :class:`FaultSpec` — one fault: "detector X, on video Y, for the
+  first N attempts, raise error class E" (or hang for S seconds before
+  running, which trips the runner's cooperative timeout);
+- :class:`FaultPlan` — an ordered collection of specs, with
+  :meth:`FaultPlan.random` sampling Bernoulli faults over a
+  (detector x video) grid for failure-rate sweeps;
+- :class:`FaultInjector` — installs a plan by wrapping the registered
+  implementations *in place* (versions untouched, so cache
+  revalidation semantics are unchanged) and records every injection.
+
+Injection keys on ``context.clip.name``, the video the FDE is indexing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.grammar.detectors import DetectorRegistry, IndexingContext
+from repro.grammar.runtime import TransientDetectorError
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjector"]
+
+HANG = "hang"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    Attributes:
+        detector: the detector to sabotage.
+        video: clip name the fault applies to (``None`` = every video).
+        times: how many matching attempts fail before the detector
+            behaves again (``None`` = every attempt, forever).
+        error: exception class to raise, or the string ``"hang"`` to
+            sleep for :attr:`hang_seconds` before running the real
+            implementation (trips a cooperative per-attempt timeout).
+        hang_seconds: hang duration for ``error="hang"``.
+        message: override for the raised error's message.
+    """
+
+    detector: str
+    video: str | None = None
+    times: int | None = 1
+    error: type[BaseException] | str = TransientDetectorError
+    hang_seconds: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if isinstance(self.error, str) and self.error != HANG:
+            raise ValueError(f"error must be an exception class or {HANG!r}")
+
+    def matches(self, detector: str, video: str) -> bool:
+        return detector == self.detector and (self.video is None or self.video == video)
+
+    def make_error(self, video: str) -> BaseException:
+        message = self.message or f"injected fault in {self.detector!r} on {video!r}"
+        if isinstance(self.error, str):
+            raise AssertionError("hang specs do not raise")  # pragma: no cover
+        try:
+            return self.error(message, detector=self.detector)  # taxonomy classes
+        except TypeError:
+            return self.error(message)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` to install together."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    @property
+    def detectors(self) -> list[str]:
+        """Targeted detector names, first-seen order."""
+        out: list[str] = []
+        for spec in self.specs:
+            if spec.detector not in out:
+                out.append(spec.detector)
+        return out
+
+    @classmethod
+    def random(
+        cls,
+        detectors: list[str],
+        videos: list[str],
+        rate: float,
+        seed: int = 0,
+        error: type[BaseException] | str = TransientDetectorError,
+        times: int | None = 1,
+        hang_seconds: float = 0.0,
+    ) -> "FaultPlan":
+        """Bernoulli-sample faults over the (detector x video) grid.
+
+        Each pair independently receives one :class:`FaultSpec` with
+        probability *rate*; deterministic in *seed*.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        rng = random.Random(seed)
+        plan = cls()
+        for detector in detectors:
+            for video in videos:
+                if rng.random() < rate:
+                    plan.add(
+                        FaultSpec(
+                            detector=detector,
+                            video=video,
+                            times=times,
+                            error=error,
+                            hang_seconds=hang_seconds,
+                        )
+                    )
+        return plan
+
+    def install(self, registry: DetectorRegistry, sleep=time.sleep) -> "FaultInjector":
+        """Wire the plan into *registry*; returns the live injector."""
+        injector = FaultInjector(self, registry, sleep=sleep)
+        injector.install()
+        return injector
+
+
+@dataclass
+class InjectionEvent:
+    """Log record of one fault actually delivered."""
+
+    detector: str
+    video: str
+    mode: str  # "raise" or "hang"
+
+
+class FaultInjector:
+    """Wraps registered detector implementations to deliver a plan.
+
+    Wrapping goes through :meth:`DetectorRegistry.wrap`, which replaces
+    the callable without bumping the version — injected faults must not
+    look like implementation changes to the revalidation machinery.
+    Use :meth:`uninstall` (or the context-manager form) to restore the
+    original implementations.
+    """
+
+    def __init__(self, plan: FaultPlan, registry: DetectorRegistry, sleep=time.sleep):
+        self.plan = plan
+        self.registry = registry
+        self._sleep = sleep
+        self._fired: dict[tuple[int, str], int] = {}  # (spec index, video) -> count
+        self._originals: dict[str, object] = {}
+        self.log: list[InjectionEvent] = []
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def install(self) -> None:
+        if self._originals:
+            raise RuntimeError("fault plan already installed")
+        for name in self.plan.detectors:
+            if name not in self.registry:
+                raise KeyError(f"cannot inject into unregistered detector {name!r}")
+            self._originals[name] = self.registry.fn(name)
+            self.registry.wrap(name, lambda fn, name=name: self._wrapped(name, fn))
+
+    def uninstall(self) -> None:
+        """Restore the original implementations (versions untouched)."""
+        for name, fn in self._originals.items():
+            self.registry.wrap(name, lambda _wrapped, fn=fn: fn)
+        self._originals.clear()
+
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- delivery ------------------------------------------------------- #
+
+    @property
+    def injected(self) -> int:
+        """How many faults have been delivered so far."""
+        return len(self.log)
+
+    def _next_fault(self, detector: str, video: str) -> FaultSpec | None:
+        for index, spec in enumerate(self.plan.specs):
+            if not spec.matches(detector, video):
+                continue
+            key = (index, video)
+            fired = self._fired.get(key, 0)
+            if spec.times is not None and fired >= spec.times:
+                continue
+            self._fired[key] = fired + 1
+            return spec
+        return None
+
+    def _wrapped(self, name: str, fn):
+        def run(context: IndexingContext) -> None:
+            video = getattr(context.clip, "name", "<unnamed>")
+            spec = self._next_fault(name, video)
+            if spec is not None:
+                if spec.error == HANG:
+                    self.log.append(InjectionEvent(name, video, "hang"))
+                    self._sleep(spec.hang_seconds)
+                else:
+                    self.log.append(InjectionEvent(name, video, "raise"))
+                    raise spec.make_error(video)
+            fn(context)
+
+        return run

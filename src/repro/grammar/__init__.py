@@ -12,6 +12,9 @@ triggers the execution of the associated detectors."
   declarations with input/output meta-data tokens and guards,
 - :mod:`repro.grammar.detectors` — the detector registry (white/black
   box) with versioning,
+- :mod:`repro.grammar.runtime` — the fault-tolerance runtime: error
+  taxonomy, retry/timeout policies, failure isolation (fail-fast /
+  skip-subtree / quarantine) and indexing health reports,
 - :mod:`repro.grammar.fde` — the engine: dependency DAG, topological
   scheduling, per-video output caching, incremental revalidation,
 - :mod:`repro.grammar.tennis` — the tennis feature grammar of Figure 1
@@ -26,6 +29,20 @@ from repro.grammar.grammar import (
     parse_feature_grammar,
 )
 from repro.grammar.detectors import DetectorRegistry, IndexingContext
+from repro.grammar.runtime import (
+    DetectorError,
+    TransientDetectorError,
+    PermanentDetectorError,
+    DetectorTimeoutError,
+    DeadlineExceededError,
+    MissingTokenError,
+    IsolationPolicy,
+    RunPolicy,
+    DetectorRunner,
+    DetectorStatus,
+    DetectorOutcome,
+    IndexingHealthReport,
+)
 from repro.grammar.fde import FeatureDetectorEngine, RevalidationReport
 from repro.grammar.tennis import TENNIS_FEATURE_GRAMMAR, build_tennis_fde
 from repro.grammar.dot import to_dot, figure_one
@@ -37,6 +54,18 @@ __all__ = [
     "parse_feature_grammar",
     "DetectorRegistry",
     "IndexingContext",
+    "DetectorError",
+    "TransientDetectorError",
+    "PermanentDetectorError",
+    "DetectorTimeoutError",
+    "DeadlineExceededError",
+    "MissingTokenError",
+    "IsolationPolicy",
+    "RunPolicy",
+    "DetectorRunner",
+    "DetectorStatus",
+    "DetectorOutcome",
+    "IndexingHealthReport",
     "FeatureDetectorEngine",
     "RevalidationReport",
     "TENNIS_FEATURE_GRAMMAR",

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.model import CobraModel
+from repro.grammar.runtime import MissingTokenError
 from repro.video.frames import VideoClip
 
 __all__ = ["IndexingContext", "DetectorRegistry"]
@@ -33,6 +34,11 @@ class IndexingContext:
             axiom token maps to the raw object.
         axiom: the axiom token name (default ``video``).
         invocations: per-detector run counter (benchmark bookkeeping).
+        current_detector: name of the detector the registry is currently
+            running (set by :meth:`DetectorRegistry.run`), so failures
+            raised from shared helpers can be attributed.
+        health: the :class:`~repro.grammar.runtime.IndexingHealthReport`
+            of the pass that produced this context (set by the FDE).
     """
 
     clip: object
@@ -41,6 +47,8 @@ class IndexingContext:
     tokens: dict[str, object] = field(default_factory=dict)
     invocations: dict[str, int] = field(default_factory=dict)
     axiom: str = "video"
+    current_detector: str | None = None
+    health: object | None = None
 
     def __post_init__(self) -> None:
         self.tokens.setdefault(self.axiom, self.clip)
@@ -48,8 +56,15 @@ class IndexingContext:
     def require(self, token: str):
         """Read an input token, failing loudly when a dependency is missing."""
         if token not in self.tokens:
-            raise KeyError(
-                f"token {token!r} not available — was its producer run?"
+            requester = (
+                f"detector {self.current_detector!r}"
+                if self.current_detector
+                else "a detector"
+            )
+            raise MissingTokenError(
+                f"{requester} requires token {token!r}, which is not "
+                f"available — was its producer run?",
+                detector=self.current_detector,
             )
         return self.tokens[token]
 
@@ -106,7 +121,23 @@ class DetectorRegistry:
         self._entries[name].version += 1
         return self._entries[name].version
 
+    def wrap(self, name: str, wrapper) -> None:
+        """Replace *name*'s callable with ``wrapper(current_fn)``.
+
+        Unlike :meth:`register`, the version is untouched: wrapping is
+        for instrumentation and fault injection, which must not look
+        like an implementation change to the revalidation machinery.
+        """
+        if name not in self._entries:
+            raise KeyError(f"no detector implementation registered for {name!r}")
+        self._entries[name].fn = wrapper(self._entries[name].fn)
+
     def run(self, name: str, context: IndexingContext) -> None:
         """Invoke a detector and count the invocation."""
-        self.fn(name)(context)
+        previous = context.current_detector
+        context.current_detector = name
+        try:
+            self.fn(name)(context)
+        finally:
+            context.current_detector = previous
         context.invocations[name] = context.invocations.get(name, 0) + 1

@@ -9,6 +9,16 @@ Generated from a feature grammar, the FDE:
    (version bump), only that detector and its descendants re-run;
    everything upstream is served from the cache.  This is the Acoi
    pay-off the E8 benchmark quantifies.
+
+Every detector invocation goes through the fault-tolerance runtime
+(:mod:`repro.grammar.runtime`): retries with exponential backoff for
+transient failures, cooperative per-attempt timeouts, a per-video
+deadline budget, and one of three isolation policies.  The default
+policy (``fail_fast``, no retries) reproduces the historical
+all-or-nothing behaviour exactly; ``skip_subtree`` and ``quarantine``
+commit videos *degraded* — upstream meta-data kept, the failing
+detector's DAG subtree skipped — so one bad detector no longer erases a
+whole video from the library.
 """
 
 from __future__ import annotations
@@ -20,6 +30,16 @@ import networkx as nx
 from repro.core.model import CobraModel
 from repro.grammar.detectors import DetectorRegistry, IndexingContext
 from repro.grammar.grammar import FeatureGrammar, FeatureGrammarError
+from repro.grammar.runtime import (
+    DeadlineExceededError,
+    DetectorOutcome,
+    DetectorRunner,
+    DetectorStatus,
+    IndexingHealthReport,
+    IsolationPolicy,
+    RunPolicy,
+)
+
 __all__ = ["FeatureDetectorEngine", "RevalidationReport"]
 
 
@@ -30,10 +50,13 @@ class RevalidationReport:
     Attributes:
         executed: detector invocation count (per detector name).
         reused: cache-hit count (per detector name).
+        health: per-detector outcomes of the executed subset (``None``
+            for merged multi-video reports).
     """
 
     executed: dict[str, int] = field(default_factory=dict)
     reused: dict[str, int] = field(default_factory=dict)
+    health: IndexingHealthReport | None = None
 
     @property
     def total_executed(self) -> int:
@@ -52,6 +75,7 @@ class _VideoState:
     context: IndexingContext
     outputs: dict[str, dict[str, object]]  # detector -> {token: value}
     versions: dict[str, int]  # detector -> registry version used
+    health: IndexingHealthReport | None = None
 
 
 class FeatureDetectorEngine:
@@ -62,6 +86,11 @@ class FeatureDetectorEngine:
         registry: detector implementations; every grammar detector must
             be registered before indexing.
         model: the COBRA meta-index to populate (a fresh one by default).
+        policy: fault-tolerance configuration (default: ``fail_fast``
+            with no retries — the historical behaviour).
+        runner: full :class:`~repro.grammar.runtime.DetectorRunner`
+            override (injectable clock/sleep for tests); *policy* is
+            ignored when given.
     """
 
     def __init__(
@@ -69,12 +98,22 @@ class FeatureDetectorEngine:
         grammar: FeatureGrammar,
         registry: DetectorRegistry,
         model: CobraModel | None = None,
+        policy: RunPolicy | None = None,
+        runner: DetectorRunner | None = None,
     ):
         grammar.validate()
         self.grammar = grammar
         self.registry = registry
         self.model = model if model is not None else CobraModel()
+        self.runner = runner if runner is not None else DetectorRunner(registry, policy)
+        if self.runner.registry is not registry:
+            raise ValueError("runner must wrap the engine's registry")
+        self.last_health: IndexingHealthReport | None = None
         self._states: dict[str, _VideoState] = {}
+
+    @property
+    def policy(self) -> RunPolicy:
+        return self.runner.policy
 
     # ------------------------------------------------------------------ #
     # The dependency DAG (Figure 1)
@@ -127,18 +166,71 @@ class FeatureDetectorEngine:
                 f"unregistered detector implementations: {missing}"
             )
 
+    def _execute(
+        self,
+        name: str,
+        context: IndexingContext,
+        deadline_at: float | None,
+        skipped: dict[str, str],
+        health: IndexingHealthReport,
+    ) -> DetectorOutcome:
+        """Run one detector under the runtime and record its outcome.
+
+        Consults the skip map, quarantine state and deadline budget
+        before invoking the runner; on failure/quarantine, marks the
+        detector's DAG descendants to be skipped (attributed to *name*).
+        Isolation consequences — rollback vs degraded commit — are the
+        caller's.
+        """
+        runner = self.runner
+        if name in skipped:
+            outcome = DetectorOutcome(
+                name=name, status=DetectorStatus.SKIPPED, skipped_because=skipped[name]
+            )
+        elif runner.is_quarantined(name):
+            outcome = DetectorOutcome(name=name, status=DetectorStatus.QUARANTINED)
+        elif deadline_at is not None and runner.clock() >= deadline_at:
+            outcome = DetectorOutcome(
+                name=name, status=DetectorStatus.SKIPPED, skipped_because="deadline"
+            )
+        else:
+            outcome = runner.run(name, context, deadline_at=deadline_at)
+            runner.record_video_result(name, failed=outcome.status is not DetectorStatus.OK)
+        if outcome.status in (DetectorStatus.FAILED, DetectorStatus.QUARANTINED):
+            for descendant in self.descendants_of({name}) - {name}:
+                skipped.setdefault(descendant, name)
+        health.outcomes[name] = outcome
+        return outcome
+
+    def _raise_outcome(self, outcome: DetectorOutcome):
+        """Re-raise the failure behind *outcome* (``fail_fast`` path)."""
+        if outcome.error is not None:
+            raise outcome.error
+        raise DeadlineExceededError(
+            f"deadline budget exhausted at detector {outcome.name!r}",
+            detector=outcome.name,
+        )
+
     def index_video(self, clip) -> IndexingContext:
         """Run the full pipeline over *clip* and cache all outputs.
 
         *clip* is any raw multimedia object exposing ``name``, ``fps``
         and ``__len__`` — a video clip, or an audio signal for grammars
         declaring ``AXIOM audio``.
+
+        Under ``fail_fast`` a failing detector rolls the whole video
+        back (no trace in the meta-index) and re-raises; under
+        ``skip_subtree``/``quarantine`` the video is committed with the
+        failing subtree's meta-data missing and its raw-layer record
+        flagged degraded.  The pass's health report is available as
+        ``context.health``, :attr:`last_health` and :meth:`health_of`.
         """
         self._check_registry()
         if clip.name in self._states:
             raise ValueError(
                 f"video {clip.name!r} already indexed; use revalidate() for updates"
             )
+        policy = self.policy
         video = self.model.add_video(clip.name, fps=clip.fps, n_frames=len(clip))
         context = IndexingContext(
             clip=clip,
@@ -146,24 +238,37 @@ class FeatureDetectorEngine:
             video_id=video.video_id,
             axiom=self.grammar.axiom,
         )
+        health = IndexingHealthReport(video_name=clip.name)
+        started = self.runner.clock()
+        deadline_at = started + policy.deadline if policy.deadline is not None else None
         outputs: dict[str, dict[str, object]] = {}
         versions: dict[str, int] = {}
-        try:
-            for name in self.execution_order():
-                self.registry.run(name, context)
+        skipped: dict[str, str] = {}
+        for name in self.execution_order():
+            outcome = self._execute(name, context, deadline_at, skipped, health)
+            if outcome.status is DetectorStatus.OK:
                 decl = self.grammar.detector(name)
                 outputs[name] = {
                     token: context.tokens.get(token) for token in decl.outputs
                 }
                 versions[name] = self.registry.version(name)
-        except Exception:
-            # A crashing detector must not leave a half-indexed video in
-            # the meta-index: roll the raw-layer record (and any partial
-            # meta-data) back so the video can be retried cleanly.
-            self.model.remove_video(video.video_id)
-            raise
+            elif policy.isolation is IsolationPolicy.FAIL_FAST:
+                # A crashing detector must not leave a half-indexed video
+                # in the meta-index: roll the raw-layer record (and any
+                # partial meta-data) back so the video can be retried.
+                health.degraded = True
+                health.elapsed = self.runner.clock() - started
+                self.last_health = health
+                self.model.remove_video(video.video_id)
+                self._raise_outcome(outcome)
+        health.elapsed = self.runner.clock() - started
+        health.degraded = len(health.ok) < len(health.outcomes)
+        if health.degraded:
+            self.model.mark_degraded(video.video_id)
+        context.health = health
+        self.last_health = health
         self._states[clip.name] = _VideoState(
-            clip=clip, context=context, outputs=outputs, versions=versions
+            clip=clip, context=context, outputs=outputs, versions=versions, health=health
         )
         return context
 
@@ -174,17 +279,27 @@ class FeatureDetectorEngine:
     def context_of(self, video_name: str) -> IndexingContext:
         return self._states[video_name].context
 
+    def health_of(self, video_name: str) -> IndexingHealthReport | None:
+        """Health report of the last pass over *video_name*."""
+        return self._states[video_name].health
+
     # ------------------------------------------------------------------ #
     # Incremental revalidation
     # ------------------------------------------------------------------ #
 
     def stale_detectors(self, video_name: str) -> set[str]:
-        """Detectors whose registry version is newer than the cached one."""
+        """Detectors whose cached output cannot be served.
+
+        Either the registry version is newer than the cached one, or the
+        detector has no cached output at all — it failed or was skipped
+        when the video was (degraded-)indexed, so revalidation retries
+        it.
+        """
         state = self._states[video_name]
         return {
-            name
-            for name, used in state.versions.items()
-            if self.registry.version(name) != used
+            decl.name
+            for decl in self.grammar.detectors
+            if state.versions.get(decl.name) != self.registry.version(decl.name)
         }
 
     def revalidate(self, video_name: str) -> RevalidationReport:
@@ -192,11 +307,20 @@ class FeatureDetectorEngine:
 
         Unaffected detectors contribute their cached token outputs, so
         downstream detectors see exactly the inputs a full run would.
+
+        The pass is *crash-consistent*: re-runs are staged and committed
+        to the cached state only when the pass completes.  Under
+        ``fail_fast`` a failing detector leaves the cached outputs,
+        versions and context exactly as they were; under the skip
+        policies the pass commits, the failing subtree stays stale (so a
+        later revalidation retries it) and the video's degraded flag
+        tracks whether every detector now has meta-data.
         """
         self._check_registry()
         if video_name not in self._states:
             raise KeyError(f"video {video_name!r} was never indexed")
         state = self._states[video_name]
+        policy = self.policy
         affected = self.descendants_of(self.stale_detectors(video_name))
         report = RevalidationReport()
         if not affected:
@@ -209,20 +333,46 @@ class FeatureDetectorEngine:
             video_id=state.context.video_id,
             axiom=self.grammar.axiom,
         )
+        health = IndexingHealthReport(video_name=video_name)
+        report.health = health
+        started = self.runner.clock()
+        deadline_at = started + policy.deadline if policy.deadline is not None else None
+        staged_outputs: dict[str, dict[str, object]] = {}
+        staged_versions: dict[str, int] = {}
+        skipped: dict[str, str] = {}
         for name in self.execution_order():
             decl = self.grammar.detector(name)
-            if name in affected:
-                self.registry.run(name, context)
-                state.outputs[name] = {
-                    token: context.tokens.get(token) for token in decl.outputs
-                }
-                state.versions[name] = self.registry.version(name)
-                report.executed[name] = report.executed.get(name, 0) + 1
-            else:
+            if name not in affected:
+                staged_outputs[name] = state.outputs[name]
+                staged_versions[name] = state.versions[name]
                 for token, value in state.outputs[name].items():
                     context.tokens[token] = value
                 report.reused[name] = report.reused.get(name, 0) + 1
+                continue
+            outcome = self._execute(name, context, deadline_at, skipped, health)
+            if outcome.status is DetectorStatus.OK:
+                staged_outputs[name] = {
+                    token: context.tokens.get(token) for token in decl.outputs
+                }
+                staged_versions[name] = self.registry.version(name)
+                report.executed[name] = report.executed.get(name, 0) + 1
+            elif policy.isolation is IsolationPolicy.FAIL_FAST:
+                # Crash consistency: nothing staged is committed, the
+                # cached outputs/versions/context are untouched.
+                health.elapsed = self.runner.clock() - started
+                self.last_health = health
+                self._raise_outcome(outcome)
+            # Skip policies: the detector keeps no staged entry, so it
+            # stays stale and a later revalidation retries it.
+        health.elapsed = self.runner.clock() - started
+        health.degraded = len(health.ok) < len(health.outcomes)
+        state.outputs = staged_outputs
+        state.versions = staged_versions
         state.context = context
+        state.health = health
+        context.health = health
+        self.model.mark_degraded(state.context.video_id, degraded=health.degraded)
+        self.last_health = health
         return report
 
     def revalidate_all(self) -> RevalidationReport:

@@ -216,6 +216,8 @@ def build_tennis_fde(
     tracker: PlayerTracker | None = None,
     concept_grammar=None,
     track_far: bool = False,
+    policy=None,
+    runner=None,
 ) -> FeatureDetectorEngine:
     """Construct the tennis FDE with default (or supplied) detectors.
 
@@ -227,6 +229,11 @@ def build_tennis_fde(
         concept_grammar: COBRA event grammar override.
         track_far: also track the far-court player (a second
             object-layer entity per tennis shot).
+        policy: fault-tolerance :class:`~repro.grammar.runtime.RunPolicy`
+            (default fail-fast, no retries).
+        runner: :class:`~repro.grammar.runtime.DetectorRunner` factory
+            taking the registry (e.g. ``lambda reg: DetectorRunner(reg,
+            policy, clock=fake, sleep=fake.sleep)``); overrides *policy*.
 
     Returns:
         A ready :class:`~repro.grammar.fde.FeatureDetectorEngine`.
@@ -246,4 +253,10 @@ def build_tennis_fde(
     )
     registry.register("shape", _shape_impl(), kind="black")
     registry.register("rules", _rules_impl(concept_grammar), kind="white")
-    return FeatureDetectorEngine(grammar, registry, model=model)
+    return FeatureDetectorEngine(
+        grammar,
+        registry,
+        model=model,
+        policy=policy,
+        runner=runner(registry) if runner is not None else None,
+    )

@@ -54,8 +54,22 @@ class DigitalLibraryEngine:
     # ------------------------------------------------------------------ #
 
     def index_videos(self, limit: int | None = None) -> int:
-        """Index the dataset's planned videos; returns how many."""
+        """Index the dataset's planned videos; returns how many.
+
+        Fault tolerance follows the FDE's run policy: under the skip or
+        quarantine isolation policies, videos whose detectors partially
+        failed are committed *degraded* and the batch continues; consult
+        :meth:`indexing_health` / :meth:`degraded_videos` afterwards.
+        """
         return len(self.indexer.index_all(limit=limit))
+
+    def indexing_health(self):
+        """Per-video FDE health reports (see :mod:`repro.grammar.runtime`)."""
+        return self.indexer.health_reports()
+
+    def degraded_videos(self) -> list[str]:
+        """Names of videos whose indexing was degraded by failures."""
+        return self.indexer.degraded_videos()
 
     def refresh_text_index(self) -> None:
         """Re-index pages added since construction."""

@@ -15,6 +15,7 @@ from repro.core.model import CobraModel
 from repro.dataset.annotations import VideoPlan
 from repro.dataset.build import TournamentDataset
 from repro.grammar.fde import FeatureDetectorEngine
+from repro.grammar.runtime import IndexingHealthReport
 from repro.grammar.tennis import build_tennis_fde
 from repro.storage.catalog import Catalog
 from repro.video.ground_truth import GroundTruth
@@ -32,12 +33,15 @@ class IndexedVideo:
         truth: generator ground truth (kept for evaluation, never read
             by detectors).
         n_frames: clip length.
+        health: the FDE's per-detector health report for this video
+            (``None`` for restored entries, which were never run here).
     """
 
     plan: VideoPlan
     video_id: int
     truth: GroundTruth | None
     n_frames: int
+    health: IndexingHealthReport | None = None
 
 
 class LibraryIndexer:
@@ -74,16 +78,33 @@ class LibraryIndexer:
             video_id=context.video_id,
             truth=truth,
             n_frames=len(clip),
+            health=getattr(context, "health", None),
         )
         self.indexed[plan.name] = record
         return record
 
     def index_all(self, limit: int | None = None) -> list[IndexedVideo]:
-        """Index the dataset's video plans (optionally only the first *limit*)."""
+        """Index the dataset's video plans (optionally only the first *limit*).
+
+        Under the FDE's skip/quarantine isolation policies a video whose
+        detectors partially failed is still committed (degraded) and
+        indexing proceeds to the next plan; under ``fail_fast`` the
+        first failing video aborts the batch, as before.
+        """
         plans = self.dataset.video_plans
         if limit is not None:
             plans = plans[:limit]
         return [self.index_plan(plan) for plan in plans]
+
+    def health_reports(self) -> list[IndexingHealthReport]:
+        """Per-video FDE health reports, in indexing order."""
+        return [
+            record.health for record in self.indexed.values() if record.health is not None
+        ]
+
+    def degraded_videos(self) -> list[str]:
+        """Names of videos committed with incomplete meta-data."""
+        return [video.name for video in self.model.degraded_videos]
 
     def restore(self, model: CobraModel) -> int:
         """Adopt a previously-saved meta-index (see repro.library.persistence).

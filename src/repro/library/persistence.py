@@ -24,7 +24,14 @@ def model_to_catalog(model: CobraModel) -> Catalog:
 
     videos = catalog.create_table(
         "videos",
-        {"video_id": "int", "name": "str", "fps": "float", "n_frames": "int", "match_id": "int"},
+        {
+            "video_id": "int",
+            "name": "str",
+            "fps": "float",
+            "n_frames": "int",
+            "match_id": "int",
+            "degraded": "bool",
+        },
     )
     for video in model.videos:
         videos.append(
@@ -34,6 +41,7 @@ def model_to_catalog(model: CobraModel) -> Catalog:
                 "fps": video.fps,
                 "n_frames": video.n_frames,
                 "match_id": video.match_id if video.match_id is not None else -1,
+                "degraded": video.degraded,
             }
         )
 
@@ -139,6 +147,9 @@ def catalog_to_model(catalog: Catalog) -> CobraModel:
             n_frames=row["n_frames"],
             match_id=row["match_id"] if row["match_id"] >= 0 else None,
         )
+        # Files written before degraded indexing existed lack the column.
+        if row.get("degraded"):
+            model.mark_degraded(video.video_id)
         video_map[row["video_id"]] = video.video_id
 
     features_by_shot: dict[int, dict[str, float]] = {}
