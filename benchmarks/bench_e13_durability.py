@@ -1,0 +1,163 @@
+"""E13 — durability: crash-recovery matrix and resume savings.
+
+Quantifies what the durability layer buys:
+
+- **Recovery correctness**: killing the writer at every named crash
+  point in the snapshot/journal write path and reloading always yields
+  a parseable catalogue — either the new snapshot or the previous good
+  generation — and recovery is cheap (one extra file read at worst).
+- **Resume savings**: after a mid-batch crash, ``--resume`` re-indexes
+  only the uncommitted remainder instead of the whole batch, and the
+  resumed snapshot is identical (same checksum) to an uninterrupted
+  cold run.
+"""
+
+import json
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.dataset import build_australian_open
+from repro.faults import (
+    JOURNAL_POINTS,
+    SNAPSHOT_POINTS,
+    CrashPoint,
+    SimulatedCrash,
+)
+from repro.grammar.tennis import build_tennis_fde
+from repro.library.indexing import LibraryIndexer
+from repro.library.persistence import model_to_catalog
+from repro.storage.journal import IndexingJournal
+from repro.storage.persist import load_catalog, save_catalog
+
+N_VIDEOS = 3
+
+
+def make_indexer() -> LibraryIndexer:
+    dataset = build_australian_open(seed=7, video_shots=4)
+    return LibraryIndexer(dataset, fde=build_tennis_fde())
+
+
+@pytest.fixture(scope="module")
+def generations():
+    """Two realistic meta-index generations (after video 1, after video 2)."""
+    indexer = make_indexer()
+    plans = indexer.dataset.video_plans
+    indexer.index_plan(plans[0])
+    gen1 = model_to_catalog(indexer.model)
+    indexer.index_plan(plans[1])
+    gen2 = model_to_catalog(indexer.model)
+    return gen1, gen2
+
+
+def test_e13_crash_recovery_matrix(benchmark, generations, tmp_path_factory):
+    """Kill the snapshot writer at every crash point; recovery never fails."""
+    gen1, gen2 = generations
+    new_rows = len(gen2.table("videos"))
+
+    def evaluate():
+        results = []
+        for point in SNAPSHOT_POINTS:
+            path = tmp_path_factory.mktemp(point) / "meta.json"
+            save_catalog(gen1, path)
+            with CrashPoint(point):
+                try:
+                    save_catalog(gen2, path)
+                    crashed = False
+                except SimulatedCrash:
+                    crashed = True
+            start = time.perf_counter()
+            loaded = load_catalog(path)  # the matrix property: never raises
+            recovery = time.perf_counter() - start
+            survivor = "new" if len(loaded.table("videos")) == new_rows else "old"
+            results.append((point, crashed, survivor, recovery))
+        return results
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    rows = [
+        [point, "yes" if crashed else "no", survivor, f"{recovery * 1e3:.2f} ms"]
+        for point, crashed, survivor, recovery in results
+    ]
+    print_table(
+        "E13: snapshot crash matrix (recovery after a kill at each write point)",
+        ["crash point", "crashed", "survivor", "recovery time"],
+        rows,
+    )
+    assert all(crashed for _, crashed, _, _ in results)
+    by_point = {point: survivor for point, _, survivor, _ in results}
+    # Only a crash after the atomic replace exposes the new generation.
+    assert by_point.pop("snapshot-post-replace") == "new"
+    assert set(by_point.values()) == {"old"}
+
+
+def test_e13_journal_crash_points_keep_replayable_prefix(tmp_path):
+    rows = []
+    for point in JOURNAL_POINTS:
+        journal = IndexingJournal(tmp_path / f"{point}.jsonl")
+        journal.begin("v1")
+        journal.commit("v1")
+        with CrashPoint(point):
+            try:
+                journal.begin("v2")
+            except SimulatedCrash:
+                pass
+        dropped = journal.recover()
+        records = journal.replay()  # never raises after recover()
+        rows.append([point, len(records), dropped, sorted(journal.committed())])
+        assert journal.committed() == {"v1": False}
+    print_table(
+        "E13: journal crash matrix",
+        ["crash point", "records kept", "bytes dropped", "committed"],
+        rows,
+    )
+
+
+def test_e13_resume_savings(benchmark, tmp_path_factory):
+    """Resume re-indexes only the uncommitted tail of a crashed batch."""
+    tmp = tmp_path_factory.mktemp("e13_resume")
+
+    def run_cold():
+        path = tmp / "cold.json"
+        indexer = make_indexer()
+        start = time.perf_counter()
+        records = indexer.index_checkpointed(path, limit=N_VIDEOS)
+        return path, len(records), time.perf_counter() - start
+
+    cold_path, cold_indexed, cold_time = benchmark.pedantic(
+        run_cold, rounds=1, iterations=1
+    )
+
+    # Crash during the last video's snapshot: N-1 commits survive.
+    crash_path = tmp / "crash.json"
+    crashed = make_indexer()
+    start = time.perf_counter()
+    with CrashPoint("snapshot-pre-replace", after=N_VIDEOS - 1):
+        try:
+            crashed.index_checkpointed(crash_path, limit=N_VIDEOS)
+        except SimulatedCrash:
+            pass
+    crash_time = time.perf_counter() - start
+
+    fresh = make_indexer()
+    start = time.perf_counter()
+    restored = fresh.restore_snapshot(crash_path)
+    records = fresh.index_checkpointed(crash_path, limit=N_VIDEOS, resume=True)
+    resume_time = time.perf_counter() - start
+
+    print_table(
+        f"E13: resume savings ({N_VIDEOS} videos, crash during the last snapshot)",
+        ["phase", "videos indexed", "wall time"],
+        [
+            ["cold run", cold_indexed, f"{cold_time:.2f} s"],
+            ["crashed run", f"{restored} committed", f"{crash_time:.2f} s"],
+            ["resume", len(records), f"{resume_time:.2f} s"],
+        ],
+    )
+    assert cold_indexed == N_VIDEOS
+    assert restored == N_VIDEOS - 1
+    assert len(records) == 1  # only the interrupted video is re-indexed
+    cold_doc = json.loads(cold_path.read_text())
+    resumed_doc = json.loads(crash_path.read_text())
+    assert resumed_doc["tables"] == cold_doc["tables"]
+    assert resumed_doc["checksum"] == cold_doc["checksum"]

@@ -6,9 +6,13 @@ Subcommands::
         Print the paper's Figure 1 (tennis FDE detector dependencies)
         as Graphviz DOT.
 
-    repro index --seed S --videos N --out META.json
+    repro index --seed S --videos N --out META.json [--resume]
         Build the synthetic tournament (seed S), index the first N
         planned videos through the tennis FDE, and save the meta-index.
+        The snapshot is written atomically after *every* video and an
+        append-only journal (META.json.journal) records begin/commit
+        per video; after a crash, ``--resume`` restores the last good
+        snapshot and re-indexes only uncommitted videos.
 
     repro query --seed S --metaindex META.json "SCENES WHERE ..."
         Rebuild the tournament from the same seed, restore the saved
@@ -38,6 +42,11 @@ Subcommands::
         detectors at rate R, then report health, degraded videos and
         meta-data completeness (see repro.faults).
 
+    repro fsck --metaindex META.json
+        Verify snapshot generations (checksum, format, column shape)
+        and journal consistency; exits non-zero with a readable report
+        when anything is corrupt.
+
 All commands are deterministic in their seeds.
 """
 
@@ -63,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     index_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
     index_cmd.add_argument("--videos", type=int, default=2, help="how many planned videos to index")
     index_cmd.add_argument("--out", required=True, help="output meta-index JSON path")
+    index_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the last good snapshot and re-index only videos "
+        "without a journal commit record",
+    )
+    index_cmd.add_argument(
+        "--journal",
+        default=None,
+        help="indexing journal path (default: <out>.journal)",
+    )
 
     query_cmd = sub.add_parser("query", help="answer a combined query against a saved meta-index")
     query_cmd.add_argument("--seed", type=int, default=7, help="dataset seed (must match index run)")
@@ -82,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats_cmd = sub.add_parser("stats", help="summarise a saved meta-index")
     stats_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+
+    fsck_cmd = sub.add_parser(
+        "fsck", help="verify meta-index snapshot and journal integrity"
+    )
+    fsck_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+    fsck_cmd.add_argument(
+        "--journal",
+        default=None,
+        help="indexing journal path (default: <metaindex>.journal)",
+    )
 
     def add_policy_options(cmd, default_policy: str) -> None:
         cmd.add_argument(
@@ -165,18 +195,40 @@ def _cmd_figure1(_args) -> int:
 def _cmd_index(args) -> int:
     from repro.dataset import build_australian_open
     from repro.library import DigitalLibraryEngine
-    from repro.library.persistence import save_model
+    from repro.library.indexing import default_journal_path
+    from repro.storage.journal import IndexingJournal
 
     dataset = build_australian_open(seed=args.seed)
     engine = DigitalLibraryEngine(dataset)
-    for plan in dataset.video_plans[: args.videos]:
-        print(f"indexing {plan.name} ...")
-        engine.indexer.index_plan(plan)
-    save_model(engine.indexer.model, args.out)
+    journal_path = args.journal or default_journal_path(args.out)
+    journal = IndexingJournal(journal_path)
+
+    restored = 0
+    if args.resume:
+        # load_catalog falls back to the .prev generation, so a crash in
+        # the rotate window (current missing) still restores correctly.
+        try:
+            restored = engine.indexer.restore_snapshot(args.out)
+        except FileNotFoundError:
+            pass  # nothing saved yet: resume degenerates to a fresh run
+        else:
+            print(f"resume: restored {restored} committed video(s) from {args.out}")
+            interrupted = journal.verify().interrupted
+            if interrupted:
+                print(f"resume: re-indexing interrupted video(s): {', '.join(interrupted)}")
+
+    plans = dataset.video_plans[: args.videos]
+    pending = [p.name for p in plans if p.name not in engine.indexer.indexed]
+    if pending:
+        print(f"indexing {len(pending)} video(s): {', '.join(pending)}")
+    records = engine.indexer.index_checkpointed(
+        args.out, journal=journal, limit=args.videos, resume=args.resume
+    )
     counts = engine.indexer.model.counts()
     print(
         f"saved {args.out}: {counts['raw']} videos, {counts['feature']} shots, "
         f"{counts['object']} objects, {counts['event']} events"
+        + (f" ({len(records)} newly indexed)" if restored else "")
     )
     return 0
 
@@ -268,6 +320,85 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_fsck(args) -> int:
+    from pathlib import Path
+
+    from repro.library.indexing import default_journal_path
+    from repro.library.persistence import catalog_to_model
+    from repro.storage.journal import IndexingJournal
+    from repro.storage.persist import (
+        load_catalog,
+        snapshot_generations,
+        verify_snapshot,
+    )
+
+    problems: list[str] = []
+    current, prev = snapshot_generations(args.metaindex)
+
+    def describe(report) -> str:
+        if report.ok:
+            return (
+                f"OK (v{report.version}, checksum ok, "
+                f"{report.n_tables} tables, {report.n_rows} rows)"
+            )
+        return f"CORRUPT — {report.error}"
+
+    current_report = verify_snapshot(current)
+    print(f"{current.name}: {describe(current_report)}")
+    if not current_report.ok:
+        problems.append(f"current snapshot: {current_report.error}")
+    if prev.exists():
+        prev_report = verify_snapshot(prev)
+        print(f"{prev.name}: {describe(prev_report)}")
+        if not current_report.ok and prev_report.ok:
+            print(f"recovery: load_catalog falls back to {prev.name}")
+        if not current_report.ok and not prev_report.ok:
+            problems.append(f"previous snapshot: {prev_report.error}")
+    elif not current_report.ok:
+        problems.append("no previous generation to fall back to")
+
+    journal_path = Path(args.journal or default_journal_path(args.metaindex))
+    if journal_path.exists():
+        report = IndexingJournal(journal_path).verify()
+        line = (
+            f"{journal_path.name}: {len(report.records)} record(s), "
+            f"{len(report.committed)} committed"
+        )
+        if report.torn_tail:
+            line += ", torn tail (recoverable with --resume)"
+            problems.append("journal has a torn final line")
+        if report.corrupt_lines:
+            line += f", CORRUPT line(s) {report.corrupt_lines}"
+            problems.append(f"journal line(s) {report.corrupt_lines} unparseable")
+        if report.interrupted:
+            line += f", interrupted: {', '.join(report.interrupted)}"
+            problems.append(
+                f"video(s) {', '.join(report.interrupted)} began but never committed"
+            )
+        print(line)
+        try:
+            model = catalog_to_model(load_catalog(args.metaindex))
+            names = {video.name for video in model.videos}
+            missing = sorted(set(report.committed) - names)
+            if missing:
+                problems.append(
+                    f"committed video(s) missing from snapshot: {', '.join(missing)}"
+                )
+                print(f"cross-check: committed but not in snapshot: {', '.join(missing)}")
+        except (ValueError, FileNotFoundError):
+            pass  # already reported above
+    else:
+        print(f"{journal_path.name}: no journal")
+
+    if problems:
+        print(f"fsck: {len(problems)} problem(s) found")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("fsck: clean")
+    return 0
+
+
 def _index_with_policy(args, make_fault_plan=None) -> int:
     """Shared driver of ``health`` and ``faults``: index and report."""
     from repro.dataset import build_australian_open
@@ -348,6 +479,7 @@ _COMMANDS = {
     "export-mpeg7": _cmd_export_mpeg7,
     "build-site": _cmd_build_site,
     "stats": _cmd_stats,
+    "fsck": _cmd_fsck,
     "health": _cmd_health,
     "faults": _cmd_faults,
 }

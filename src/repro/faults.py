@@ -18,6 +18,17 @@ rates:
   revalidation semantics are unchanged) and records every injection.
 
 Injection keys on ``context.clip.name``, the video the FDE is indexing.
+
+Process *crashes* are a different fault class from detector failures:
+they kill the storage write path mid-flight.  The :class:`CrashPoint`
+harness (implemented in :mod:`repro.storage.crashpoints`, re-exported
+here) arms named points in the snapshot/journal write protocol —
+``snapshot-pre-replace``, ``snapshot-post-temp-write``,
+``journal-mid-append``, ... (see :data:`WRITE_POINTS`) — and the next
+write through an armed point raises :class:`SimulatedCrash`, a
+``BaseException`` no recovery code can swallow.  The E13 durability
+benchmark and the crash-recovery test matrix kill the writer at every
+point and assert the library reloads to a consistent state.
 """
 
 from __future__ import annotations
@@ -28,8 +39,24 @@ from dataclasses import dataclass, field
 
 from repro.grammar.detectors import DetectorRegistry, IndexingContext
 from repro.grammar.runtime import TransientDetectorError
+from repro.storage.crashpoints import (  # noqa: F401 — re-exported harness
+    JOURNAL_POINTS,
+    SNAPSHOT_POINTS,
+    WRITE_POINTS,
+    CrashPoint,
+    SimulatedCrash,
+)
 
-__all__ = ["FaultSpec", "FaultPlan", "FaultInjector"]
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "CrashPoint",
+    "SimulatedCrash",
+    "SNAPSHOT_POINTS",
+    "JOURNAL_POINTS",
+    "WRITE_POINTS",
+]
 
 HANG = "hang"
 

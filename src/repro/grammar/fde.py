@@ -116,6 +116,22 @@ class FeatureDetectorEngine:
         return self.runner.policy
 
     # ------------------------------------------------------------------ #
+    # Runner-state persistence (quarantine across restarts)
+    # ------------------------------------------------------------------ #
+
+    def export_runner_state(self) -> dict:
+        """The runner's quarantine state, for saving next to the meta-index."""
+        return self.runner.export_state()
+
+    def restore_runner_state(self, state: dict | None) -> None:
+        """Adopt persisted quarantine state (``None`` is a no-op).
+
+        A detector quarantined before the previous process died stays
+        quarantined here until its registered version changes.
+        """
+        self.runner.restore_state(state)
+
+    # ------------------------------------------------------------------ #
     # The dependency DAG (Figure 1)
     # ------------------------------------------------------------------ #
 

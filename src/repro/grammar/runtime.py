@@ -384,6 +384,41 @@ class DetectorRunner:
             n for n in list(self._quarantined_version) if self.is_quarantined(n)
         )
 
+    def export_state(self) -> dict:
+        """JSON-serialisable quarantine state (persistence snapshot).
+
+        Returns:
+            ``{"consecutive_failures": {name: count},
+            "quarantined_version": {name: registry version at
+            quarantine time}}`` — exactly what :meth:`restore_state`
+            accepts, so quarantine survives engine restarts.
+        """
+        return {
+            "consecutive_failures": dict(self._consecutive_failures),
+            "quarantined_version": dict(self._quarantined_version),
+        }
+
+    def restore_state(self, state: dict | None) -> None:
+        """Adopt quarantine state exported by :meth:`export_state`.
+
+        Version-bump clearing still applies: a restored quarantine whose
+        recorded registry version no longer matches is lifted on the
+        next :meth:`is_quarantined` check, so fixing a detector (which
+        bumps its version) releases it even across restarts.  Passing
+        ``None`` is a no-op, so callers can feed a possibly-absent
+        persisted state straight through.
+        """
+        if state is None:
+            return
+        self._consecutive_failures = {
+            str(name): int(count)
+            for name, count in state.get("consecutive_failures", {}).items()
+        }
+        self._quarantined_version = {
+            str(name): int(version)
+            for name, version in state.get("quarantined_version", {}).items()
+        }
+
     def consecutive_failures(self, name: str) -> int:
         return self._consecutive_failures.get(name, 0)
 

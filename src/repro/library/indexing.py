@@ -10,6 +10,7 @@ Python object graphs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.model import CobraModel
 from repro.dataset.annotations import VideoPlan
@@ -17,10 +18,18 @@ from repro.dataset.build import TournamentDataset
 from repro.grammar.fde import FeatureDetectorEngine
 from repro.grammar.runtime import IndexingHealthReport
 from repro.grammar.tennis import build_tennis_fde
+from repro.library.persistence import load_model_with_state, save_model
 from repro.storage.catalog import Catalog
+from repro.storage.journal import IndexingJournal
 from repro.video.ground_truth import GroundTruth
 
-__all__ = ["LibraryIndexer", "IndexedVideo"]
+__all__ = ["LibraryIndexer", "IndexedVideo", "default_journal_path"]
+
+
+def default_journal_path(snapshot_path: str | Path) -> Path:
+    """The journal that rides along a snapshot (``<snapshot>.journal``)."""
+    snapshot_path = Path(snapshot_path)
+    return snapshot_path.with_name(snapshot_path.name + ".journal")
 
 
 @dataclass
@@ -83,18 +92,122 @@ class LibraryIndexer:
         self.indexed[plan.name] = record
         return record
 
-    def index_all(self, limit: int | None = None) -> list[IndexedVideo]:
+    def index_all(
+        self,
+        limit: int | None = None,
+        *,
+        journal: IndexingJournal | None = None,
+        checkpoint=None,
+        skip: set[str] | frozenset[str] = frozenset(),
+        resume: bool = False,
+    ) -> list[IndexedVideo]:
         """Index the dataset's video plans (optionally only the first *limit*).
 
         Under the FDE's skip/quarantine isolation policies a video whose
         detectors partially failed is still committed (degraded) and
         indexing proceeds to the next plan; under ``fail_fast`` the
         first failing video aborts the batch, as before.
+
+        Args:
+            limit: only the first *limit* plans.
+            journal: when given, write a ``begin`` record before each
+                video and a ``commit`` record after it (and after
+                *checkpoint* ran), making the batch resumable.
+            checkpoint: zero-argument callable run after each video and
+                *before* its commit record — typically an atomic
+                snapshot save, so a commit promises durable meta-data.
+            skip: plan names not to index (e.g. journalled commits).
+            resume: when True, silently skip plans already indexed in
+                this indexer (restored from a snapshot) instead of
+                raising; with ``resume=False`` the historical behaviour
+                — ``ValueError`` on a duplicate — is kept.
+
+        Returns:
+            The videos indexed *by this call* (skipped ones excluded).
         """
         plans = self.dataset.video_plans
         if limit is not None:
             plans = plans[:limit]
-        return [self.index_plan(plan) for plan in plans]
+        records: list[IndexedVideo] = []
+        for plan in plans:
+            if plan.name in skip or (resume and plan.name in self.indexed):
+                continue
+            if journal is not None:
+                journal.begin(plan.name)
+            record = self.index_plan(plan)
+            if checkpoint is not None:
+                checkpoint()
+            if journal is not None:
+                degraded = bool(record.health.degraded) if record.health else False
+                journal.commit(plan.name, degraded=degraded)
+            records.append(record)
+        return records
+
+    def index_checkpointed(
+        self,
+        path: str | Path,
+        journal: IndexingJournal | None = None,
+        limit: int | None = None,
+        resume: bool = False,
+    ) -> list[IndexedVideo]:
+        """Checkpointed (and resumable) batch indexing.
+
+        After every video the whole meta-index — plus the detector
+        runner's quarantine state — is snapshotted atomically to
+        *path*, then a ``commit`` record is appended to the journal.  A
+        crash between the snapshot and the commit record costs nothing:
+        on resume the video is also skipped when it is already present
+        in the restored snapshot.
+
+        Args:
+            path: snapshot path (``catalog.json`` of this library).
+            journal: defaults to :func:`default_journal_path` next to
+                *path*.
+            limit: only the first *limit* plans.
+            resume: skip journalled/restored videos instead of starting
+                over; a fresh run (``resume=False``) clears the journal.
+
+        Returns:
+            The videos indexed by this call (resumed batches return
+            only the re-indexed remainder).
+        """
+        path = Path(path)
+        journal = journal if journal is not None else IndexingJournal(default_journal_path(path))
+        if resume:
+            journal.recover()
+            # A commit record promises the video is in a durable
+            # snapshot.  If the snapshot was lost anyway (deleted, or
+            # rolled back past the commit), re-index the video instead
+            # of silently dropping it from the rebuilt meta-index.
+            committed = set(journal.committed()) & set(self.indexed)
+        else:
+            journal.clear()
+            committed = set()
+
+        def checkpoint() -> None:
+            save_model(self.model, path, runner_state=self.fde.runner.export_state())
+
+        records = self.index_all(
+            limit=limit,
+            journal=journal,
+            checkpoint=checkpoint,
+            skip=committed,
+            resume=resume,
+        )
+        if not records and not path.exists():
+            checkpoint()  # an empty batch still leaves a loadable snapshot
+        return records
+
+    def restore_snapshot(self, path: str | Path) -> int:
+        """Restore a checkpointed snapshot: meta-index + runner state.
+
+        Returns:
+            How many videos were restored (see :meth:`restore`).
+        """
+        model, runner_state = load_model_with_state(path)
+        restored = self.restore(model)
+        self.fde.restore_runner_state(runner_state)
+        return restored
 
     def health_reports(self) -> list[IndexingHealthReport]:
         """Per-video FDE health reports, in indexing order."""

@@ -15,7 +15,20 @@ from repro.core.model import CobraModel
 from repro.storage.catalog import Catalog
 from repro.storage.persist import load_catalog, save_catalog
 
-__all__ = ["model_to_catalog", "catalog_to_model", "save_model", "load_model"]
+__all__ = [
+    "model_to_catalog",
+    "catalog_to_model",
+    "runner_state_to_catalog",
+    "catalog_to_runner_state",
+    "save_model",
+    "load_model",
+    "load_model_with_state",
+    "RUNNER_STATE_TABLE",
+]
+
+#: Table holding persisted :class:`~repro.grammar.runtime.DetectorRunner`
+#: quarantine state, stored next to the meta-index tables.
+RUNNER_STATE_TABLE = "runner_state"
 
 
 def model_to_catalog(model: CobraModel) -> Catalog:
@@ -29,18 +42,22 @@ def model_to_catalog(model: CobraModel) -> Catalog:
             "name": "str",
             "fps": "float",
             "n_frames": "int",
+            "has_match": "bool",
             "match_id": "int",
             "degraded": "bool",
         },
     )
     for video in model.videos:
+        # NULL-ness is an explicit flag, not a -1 sentinel: any int is a
+        # legal match_id, and None must come back as None.
         videos.append(
             {
                 "video_id": video.video_id,
                 "name": video.name,
                 "fps": video.fps,
                 "n_frames": video.n_frames,
-                "match_id": video.match_id if video.match_id is not None else -1,
+                "has_match": video.match_id is not None,
+                "match_id": video.match_id if video.match_id is not None else 0,
                 "degraded": video.degraded,
             }
         )
@@ -141,11 +158,13 @@ def catalog_to_model(catalog: Catalog) -> CobraModel:
 
     video_map: dict[int, int] = {}
     for row in sorted(catalog.table("videos").scan(), key=lambda r: r["video_id"]):
+        # Files written before the has_match flag used a -1 sentinel.
+        has_match = row.get("has_match", row["match_id"] >= 0)
         video = model.add_video(
             name=row["name"],
             fps=row["fps"],
             n_frames=row["n_frames"],
-            match_id=row["match_id"] if row["match_id"] >= 0 else None,
+            match_id=row["match_id"] if has_match else None,
         )
         # Files written before degraded indexing existed lack the column.
         if row.get("degraded"):
@@ -198,11 +217,82 @@ def catalog_to_model(catalog: Catalog) -> CobraModel:
     return model
 
 
-def save_model(model: CobraModel, path: str | Path) -> None:
-    """Save a meta-index to one JSON file."""
-    save_catalog(model_to_catalog(model), path)
+def runner_state_to_catalog(state: dict, catalog: Catalog) -> None:
+    """Materialise detector-runner quarantine state as a table.
+
+    *state* is :meth:`~repro.grammar.runtime.DetectorRunner.export_state`
+    output.  The table lives next to the meta-index tables so one
+    snapshot carries both the data and the health bookkeeping.
+    """
+    table = catalog.create_table(
+        RUNNER_STATE_TABLE,
+        {
+            "detector": "str",
+            "consecutive_failures": "int",
+            "quarantined": "bool",
+            "quarantined_version": "int",
+        },
+    )
+    failures = state.get("consecutive_failures", {})
+    versions = state.get("quarantined_version", {})
+    for name in sorted(set(failures) | set(versions)):
+        version = versions.get(name)
+        table.append(
+            {
+                "detector": name,
+                "consecutive_failures": int(failures.get(name, 0)),
+                "quarantined": version is not None,
+                "quarantined_version": int(version) if version is not None else 0,
+            }
+        )
+
+
+def catalog_to_runner_state(catalog: Catalog) -> dict | None:
+    """Rebuild runner state from :func:`runner_state_to_catalog`'s table.
+
+    Returns:
+        A dict :meth:`~repro.grammar.runtime.DetectorRunner.restore_state`
+        accepts, or ``None`` when the snapshot predates runner-state
+        persistence (no ``runner_state`` table).
+    """
+    if RUNNER_STATE_TABLE not in catalog:
+        return None
+    failures: dict[str, int] = {}
+    versions: dict[str, int] = {}
+    for row in catalog.table(RUNNER_STATE_TABLE).scan():
+        if row["consecutive_failures"]:
+            failures[row["detector"]] = row["consecutive_failures"]
+        if row["quarantined"]:
+            versions[row["detector"]] = row["quarantined_version"]
+    return {"consecutive_failures": failures, "quarantined_version": versions}
+
+
+def save_model(
+    model: CobraModel, path: str | Path, runner_state: dict | None = None
+) -> None:
+    """Atomically snapshot a meta-index (plus optional runner state).
+
+    Args:
+        model: the meta-index to save.
+        path: snapshot path (written atomically; see
+            :func:`repro.storage.persist.save_catalog`).
+        runner_state: optional
+            :meth:`~repro.grammar.runtime.DetectorRunner.export_state`
+            output, persisted in the ``runner_state`` table so detector
+            quarantine survives restarts.
+    """
+    catalog = model_to_catalog(model)
+    if runner_state is not None:
+        runner_state_to_catalog(runner_state, catalog)
+    save_catalog(catalog, path)
 
 
 def load_model(path: str | Path) -> CobraModel:
     """Load a meta-index saved by :func:`save_model`."""
     return catalog_to_model(load_catalog(path))
+
+
+def load_model_with_state(path: str | Path) -> tuple[CobraModel, dict | None]:
+    """Load a meta-index plus its persisted runner state (if any)."""
+    catalog = load_catalog(path)
+    return catalog_to_model(catalog), catalog_to_runner_state(catalog)

@@ -11,7 +11,12 @@ main memory.  This package is the corresponding substrate:
 - :mod:`repro.storage.index` — hash and sorted secondary indexes,
 - :mod:`repro.storage.catalog` — the named-table catalogue,
 - :mod:`repro.storage.query` — joins and aggregate helpers,
-- :mod:`repro.storage.persist` — JSON persistence of a catalogue.
+- :mod:`repro.storage.persist` — crash-safe JSON persistence of a
+  catalogue: atomic checksummed snapshots with generational fallback,
+- :mod:`repro.storage.journal` — append-only indexing journal (the
+  resume log of checkpointed library indexing),
+- :mod:`repro.storage.crashpoints` — named crash points the durability
+  test matrix kills the writer at.
 """
 
 from repro.storage.columns import Column, IntColumn, FloatColumn, StrColumn, BoolColumn
@@ -19,7 +24,16 @@ from repro.storage.table import Table, Schema, SchemaError
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.catalog import Catalog
 from repro.storage.query import hash_join, group_count, order_by
-from repro.storage.persist import save_catalog, load_catalog
+from repro.storage.persist import (
+    CatalogCorruptionError,
+    SnapshotReport,
+    load_catalog,
+    save_catalog,
+    snapshot_generations,
+    verify_snapshot,
+)
+from repro.storage.journal import IndexingJournal, JournalCorruptionError, JournalReport
+from repro.storage.crashpoints import CrashPoint, SimulatedCrash
 
 __all__ = [
     "Column",
@@ -38,4 +52,13 @@ __all__ = [
     "order_by",
     "save_catalog",
     "load_catalog",
+    "verify_snapshot",
+    "snapshot_generations",
+    "CatalogCorruptionError",
+    "SnapshotReport",
+    "IndexingJournal",
+    "JournalCorruptionError",
+    "JournalReport",
+    "CrashPoint",
+    "SimulatedCrash",
 ]

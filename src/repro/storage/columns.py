@@ -27,6 +27,11 @@ class Column:
     def append(self, value) -> None:
         raise NotImplementedError
 
+    def extend(self, values: Iterable) -> None:
+        """Append many values; subclasses vectorise where they can."""
+        for value in values:
+            self.append(value)
+
     def get(self, row: int):
         raise NotImplementedError
 
@@ -71,7 +76,20 @@ class _NumpyColumn(Column):
         self._buffer[self._size] = self._cast(value)
         self._size += 1
 
+    def extend(self, values: Iterable) -> None:
+        """Bulk append through one buffer write (the snapshot-load path)."""
+        array = self._cast_bulk(values)
+        if len(array) == 0:
+            return
+        self._grow_to(self._size + len(array))
+        self._buffer[self._size : self._size + len(array)] = array
+        self._size += len(array)
+
     def _cast(self, value):
+        raise NotImplementedError
+
+    def _cast_bulk(self, values: Iterable) -> np.ndarray:
+        """Cast a batch to the buffer dtype with `_cast`-equivalent strictness."""
         raise NotImplementedError
 
     def get(self, row: int):
@@ -114,6 +132,14 @@ class IntColumn(_NumpyColumn):
             raise TypeError(f"refusing lossy cast of {value} to int")
         return out
 
+    def _cast_bulk(self, values: Iterable) -> np.ndarray:
+        array = np.asarray(list(values))
+        if array.size == 0:
+            return np.empty(0, dtype=self._dtype)
+        if not np.issubdtype(array.dtype, np.integer):
+            raise TypeError(f"refusing lossy bulk cast of {array.dtype} to int")
+        return array.astype(self._dtype)
+
 
 class FloatColumn(_NumpyColumn):
     """Float64 column."""
@@ -123,6 +149,9 @@ class FloatColumn(_NumpyColumn):
 
     def _cast(self, value) -> float:
         return float(value)
+
+    def _cast_bulk(self, values: Iterable) -> np.ndarray:
+        return np.asarray([float(v) for v in values], dtype=self._dtype)
 
 
 class BoolColumn(_NumpyColumn):
@@ -135,6 +164,13 @@ class BoolColumn(_NumpyColumn):
         if not isinstance(value, (bool, np.bool_)):
             raise TypeError(f"expected a bool, got {value!r}")
         return bool(value)
+
+    def _cast_bulk(self, values: Iterable) -> np.ndarray:
+        values = list(values)
+        for value in values:
+            if not isinstance(value, (bool, np.bool_)):
+                raise TypeError(f"expected a bool, got {value!r}")
+        return np.asarray(values, dtype=self._dtype)
 
 
 class StrColumn(Column):
@@ -155,6 +191,13 @@ class StrColumn(Column):
         if not isinstance(value, str):
             raise TypeError(f"expected a str, got {value!r}")
         self._values.append(value)
+
+    def extend(self, values: Iterable) -> None:
+        values = list(values)
+        for value in values:
+            if not isinstance(value, str):
+                raise TypeError(f"expected a str, got {value!r}")
+        self._values.extend(values)
 
     def get(self, row: int) -> str:
         return self._values[row]

@@ -1,0 +1,201 @@
+"""Append-only indexing journal.
+
+Indexing a library is a long batch of expensive per-video extractions;
+the journal is the write-ahead record that makes the batch resumable.
+Every record is one JSON object per line (``journal.jsonl`` style):
+
+- ``{"op": "begin", "video": name}`` — extraction started;
+- ``{"op": "commit", "video": name, "degraded": bool}`` — the video's
+  meta-data is durably in a snapshot (the checkpointing indexer saves
+  the snapshot *before* appending the commit record, so a commit is a
+  promise the data survives);
+- ``{"op": "note", ...}`` — free-form annotations (e.g. a snapshot
+  marker).
+
+Appends are flushed and fsynced, so after a crash the journal is intact
+up to at most one torn final line.  :meth:`IndexingJournal.replay`
+tolerates exactly that torn tail; corruption anywhere *else* is real
+damage and raises :class:`JournalCorruptionError` (``repro fsck``
+reports it).  :meth:`IndexingJournal.recover` truncates the torn tail
+so a resumed process can append cleanly.
+
+A video whose ``begin`` has no matching ``commit`` was in flight when
+the process died; ``repro index --resume`` re-indexes exactly those
+plus the never-begun remainder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.storage.crashpoints import is_armed, trip
+
+__all__ = ["IndexingJournal", "JournalCorruptionError", "JournalReport"]
+
+
+class JournalCorruptionError(ValueError):
+    """A journal line before the final one does not parse."""
+
+
+@dataclass
+class JournalReport:
+    """`repro fsck` verdict for one journal file.
+
+    Attributes:
+        path: the file checked.
+        records: parseable records, in order.
+        torn_tail: True when the file ends in a partial line (the
+            recoverable crash signature).
+        corrupt_lines: 1-based numbers of unparseable non-final lines
+            (unrecoverable damage).
+        committed: video name -> degraded flag, from commit records.
+        interrupted: videos with a begin but no commit, in begin order.
+    """
+
+    path: Path
+    records: list[dict] = field(default_factory=list)
+    torn_tail: bool = False
+    corrupt_lines: list[int] = field(default_factory=list)
+    committed: dict[str, bool] = field(default_factory=dict)
+    interrupted: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt_lines
+
+
+class IndexingJournal:
+    """Durable append-only record of indexing progress.
+
+    Args:
+        path: the journal file; created on first append.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    # -- writing -------------------------------------------------------- #
+
+    def append(self, record: dict) -> None:
+        """Append one record durably (fsync before returning)."""
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        trip("journal-pre-append")
+        with open(self.path, "ab") as handle:
+            if is_armed("journal-mid-append"):
+                # Simulate dying halfway through the write: flush a
+                # prefix of the record's bytes, then crash.
+                handle.write(data[: max(1, len(data) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                trip("journal-mid-append")
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        trip("journal-post-append")
+
+    def begin(self, video: str) -> None:
+        """Record that *video*'s extraction has started."""
+        self.append({"op": "begin", "video": video})
+
+    def commit(self, video: str, degraded: bool = False) -> None:
+        """Record that *video*'s meta-data is durably snapshotted."""
+        self.append({"op": "commit", "video": video, "degraded": degraded})
+
+    def note(self, **fields) -> None:
+        """Append a free-form annotation record."""
+        self.append({"op": "note", **fields})
+
+    def clear(self) -> None:
+        """Start a fresh journal (a new from-scratch indexing run)."""
+        if self.path.exists():
+            self.path.unlink()
+
+    def recover(self) -> int:
+        """Truncate a torn final line so appends stay parseable.
+
+        Returns:
+            How many torn bytes were dropped (0 for a clean journal).
+        """
+        if not self.path.exists():
+            return 0
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return 0
+        keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+        with open(self.path, "r+b") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return len(data) - keep
+
+    # -- reading -------------------------------------------------------- #
+
+    def replay(self) -> list[dict]:
+        """All records, tolerating (only) a torn final line.
+
+        A missing journal replays as empty; an unparseable line that is
+        *not* the torn tail raises :class:`JournalCorruptionError`.
+        """
+        report = self._scan()
+        if report.corrupt_lines:
+            raise JournalCorruptionError(
+                f"journal {self.path} has unparseable line(s) "
+                f"{report.corrupt_lines} before the tail"
+            )
+        return report.records
+
+    def committed(self) -> dict[str, bool]:
+        """video name -> degraded flag for every committed video."""
+        out: dict[str, bool] = {}
+        for record in self.replay():
+            if record.get("op") == "commit":
+                out[record["video"]] = bool(record.get("degraded", False))
+        return out
+
+    def interrupted(self) -> list[str]:
+        """Videos whose begin record has no commit (in-flight at crash)."""
+        begun: list[str] = []
+        committed: set[str] = set()
+        for record in self.replay():
+            if record.get("op") == "begin":
+                begun.append(record["video"])
+            elif record.get("op") == "commit":
+                committed.add(record["video"])
+        return [name for name in begun if name not in committed]
+
+    def verify(self) -> JournalReport:
+        """Full integrity scan for ``repro fsck`` (never raises)."""
+        return self._scan()
+
+    def _scan(self) -> JournalReport:
+        report = JournalReport(path=self.path)
+        if not self.path.exists():
+            return report
+        data = self.path.read_bytes()
+        if not data:
+            return report
+        report.torn_tail = not data.endswith(b"\n")
+        lines = data.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        begun: list[str] = []
+        for number, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict) or "op" not in record:
+                    raise ValueError("not a journal record")
+            except (ValueError, UnicodeDecodeError):
+                if number == len(lines) and report.torn_tail:
+                    continue  # the recoverable torn tail
+                report.corrupt_lines.append(number)
+                continue
+            report.records.append(record)
+            if record["op"] == "begin":
+                begun.append(record["video"])
+            elif record["op"] == "commit":
+                report.committed[record["video"]] = bool(record.get("degraded", False))
+        report.interrupted = [v for v in begun if v not in report.committed]
+        return report

@@ -1,60 +1,246 @@
-"""Catalogue persistence.
+"""Crash-safe catalogue persistence.
 
 The meta-index survives process restarts by saving the catalogue to a
 single JSON document: schemas plus column values.  JSON keeps the format
 inspectable (handy when debugging detector output); the data volumes of
 a video meta-index are tiny by database standards.
+
+Extraction is the expensive step, so the snapshot is the durable asset —
+and it is written accordingly (format version 2):
+
+- **Atomic replace.** The document goes to ``<path>.tmp`` in the same
+  directory, is flushed and fsynced, and only then renamed over *path*
+  with :func:`os.replace`.  A reader never observes a half-written
+  snapshot.
+- **Checksummed.** The document embeds a CRC32 of its canonicalised
+  table payload; :func:`load_catalog` recomputes it, so silent torn or
+  bit-rotted snapshots are detected, not parsed into garbage.
+- **Generational.** The previous snapshot is rotated to ``<path>.prev``
+  before the replace.  When the current generation is missing or
+  corrupt, :func:`load_catalog` falls back to the last good one, so a
+  crash at *any* point of the write loses at most the newest save.
+
+Every write step passes a named crash point
+(:mod:`repro.storage.crashpoints`); the durability test matrix kills the
+writer at each one and asserts recovery.  Version-1 documents (no
+checksum, written non-atomically by earlier releases) still load.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.storage.catalog import Catalog
+from repro.storage.crashpoints import trip
+from repro.storage.table import SchemaError
 
-__all__ = ["save_catalog", "load_catalog"]
+__all__ = [
+    "save_catalog",
+    "load_catalog",
+    "verify_snapshot",
+    "snapshot_generations",
+    "CatalogCorruptionError",
+    "SnapshotReport",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_catalog(catalog: Catalog, path: str | Path) -> None:
-    """Write every table of *catalog* to *path* as JSON."""
-    document = {"version": _FORMAT_VERSION, "tables": {}}
-    for name in catalog.table_names:
-        table = catalog.table(name)
-        document["tables"][name] = {
-            "schema": table.schema,
+class CatalogCorruptionError(ValueError):
+    """A snapshot file is torn, checksum-bad, ragged or unreadable."""
+
+
+def _tables_document(catalog: Catalog) -> dict:
+    return {
+        name: {
+            "schema": catalog.table(name).schema,
             "columns": {
                 column: [
                     value.item() if hasattr(value, "item") else value
-                    for value in table.column(column).values()
+                    for value in catalog.table(name).column(column).values()
                 ]
-                for column in table.column_names
+                for column in catalog.table(name).column_names
             },
         }
-    Path(path).write_text(json.dumps(document))
+        for name in catalog.table_names
+    }
 
 
-def load_catalog(path: str | Path) -> Catalog:
-    """Rebuild a catalogue from a JSON document written by :func:`save_catalog`."""
-    document = json.loads(Path(path).read_text())
+def _payload_text(tables: dict) -> str:
+    """Canonical serialisation of the tables payload (what the CRC covers)."""
+    return json.dumps(tables, sort_keys=True, separators=(",", ":"))
+
+
+def snapshot_generations(path: str | Path) -> tuple[Path, Path]:
+    """The (current, previous) snapshot paths for *path*."""
+    path = Path(path)
+    return path, path.with_name(path.name + ".prev")
+
+
+def save_catalog(catalog: Catalog, path: str | Path) -> None:
+    """Atomically write every table of *catalog* to *path*.
+
+    Write protocol: serialise, write + fsync ``<path>.tmp``, rotate the
+    live snapshot to ``<path>.prev``, then ``os.replace`` the temp file
+    over *path*.  A crash anywhere leaves either the new snapshot or
+    the previous good generation loadable — never a torn file at the
+    live path.
+    """
+    path, prev = snapshot_generations(path)
+    tables = _tables_document(catalog)
+    payload = _payload_text(tables)
+    document = {
+        "version": _FORMAT_VERSION,
+        "checksum": zlib.crc32(payload.encode("utf-8")),
+        "tables": tables,
+    }
+    text = json.dumps(document)
+
+    trip("snapshot-pre-temp-write")
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    trip("snapshot-post-temp-write")
+    trip("snapshot-pre-rotate")
+    if path.exists():
+        os.replace(path, prev)
+    trip("snapshot-pre-replace")
+    os.replace(tmp, path)
+    trip("snapshot-post-replace")
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush the directory entry so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms/filesystems without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _read_document(path: Path) -> dict:
+    """Parse and checksum-verify one snapshot file (no fallback)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CatalogCorruptionError(f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CatalogCorruptionError(f"torn/unparseable snapshot {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise CatalogCorruptionError(f"snapshot {path} is not a JSON object")
     version = document.get("version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported catalogue format version {version!r}")
+    if version not in _SUPPORTED_VERSIONS:
+        raise CatalogCorruptionError(
+            f"unsupported catalogue format version {version!r} in {path}"
+        )
+    if version >= 2:
+        expected = document.get("checksum")
+        actual = zlib.crc32(_payload_text(document.get("tables", {})).encode("utf-8"))
+        if expected != actual:
+            raise CatalogCorruptionError(
+                f"checksum mismatch in {path}: stored {expected!r}, computed {actual}"
+            )
+    return document
+
+
+def _catalog_from_document(document: dict, source: Path) -> Catalog:
+    """Bulk-load a parsed document into a fresh catalogue."""
     catalog = Catalog()
     for name, payload in document["tables"].items():
         table = catalog.create_table(name, payload["schema"])
-        columns = payload["columns"]
-        lengths = {len(values) for values in columns.values()}
-        if len(lengths) > 1:
-            raise ValueError(f"table {name!r} has ragged columns: {lengths}")
-        n_rows = lengths.pop() if lengths else 0
+        columns = dict(payload["columns"])
         bools = {c for c, t in payload["schema"].items() if t == "bool"}
-        for row_id in range(n_rows):
-            row = {
-                column: (bool(values[row_id]) if column in bools else values[row_id])
-                for column, values in columns.items()
-            }
-            table.append(row)
+        for column in bools:
+            # Version-1 writers serialised numpy bools leniently.
+            columns[column] = [bool(v) for v in columns.get(column, [])]
+        try:
+            table.load_columns(columns)
+        except (SchemaError, TypeError) as exc:
+            raise CatalogCorruptionError(f"snapshot {source}: {exc}") from exc
     return catalog
+
+
+def load_catalog(path: str | Path) -> Catalog:
+    """Rebuild a catalogue from a snapshot written by :func:`save_catalog`.
+
+    Tries the live generation first; when it is missing, torn or fails
+    its checksum, falls back to ``<path>.prev`` (the rotation target of
+    the last successful save).  Raises :class:`CatalogCorruptionError`
+    when no generation is loadable, or :class:`FileNotFoundError` when
+    neither file exists at all.
+    """
+    current, prev = snapshot_generations(path)
+    if not current.exists() and not prev.exists():
+        raise FileNotFoundError(f"no snapshot at {current} (nor {prev.name})")
+    errors: list[str] = []
+    for candidate in (current, prev):
+        if not candidate.exists():
+            errors.append(f"{candidate.name}: missing")
+            continue
+        try:
+            return _catalog_from_document(_read_document(candidate), candidate)
+        except CatalogCorruptionError as exc:
+            errors.append(str(exc))
+    raise CatalogCorruptionError(
+        "no loadable snapshot generation: " + " | ".join(errors)
+    )
+
+
+@dataclass
+class SnapshotReport:
+    """`repro fsck` verdict for one snapshot file.
+
+    Attributes:
+        path: the file checked.
+        ok: loadable end to end (parse + checksum + column shape).
+        version: format version, when parseable.
+        n_tables: table count, when loadable.
+        n_rows: total row count, when loadable.
+        error: what failed, when not ok.
+    """
+
+    path: Path
+    ok: bool
+    version: int | None = None
+    n_tables: int = 0
+    n_rows: int = 0
+    error: str | None = None
+
+
+def verify_snapshot(path: str | Path) -> SnapshotReport:
+    """Fully validate one snapshot file without fallback (fsck helper)."""
+    path = Path(path)
+    if not path.exists():
+        return SnapshotReport(path=path, ok=False, error="missing")
+    try:
+        document = _read_document(path)
+        catalog = _catalog_from_document(document, path)
+    except CatalogCorruptionError as exc:
+        version = None
+        try:
+            version = json.loads(path.read_text(encoding="utf-8")).get("version")
+        except Exception:  # noqa: BLE001 — best-effort detail for the report
+            pass
+        return SnapshotReport(path=path, ok=False, version=version, error=str(exc))
+    return SnapshotReport(
+        path=path,
+        ok=True,
+        version=document["version"],
+        n_tables=len(catalog.table_names),
+        n_rows=sum(len(catalog.table(name)) for name in catalog.table_names),
+    )

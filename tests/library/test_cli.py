@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.faults import CrashPoint, SimulatedCrash
 
 
 class TestParser:
@@ -87,3 +88,49 @@ class TestIndexQueryRoundTrip:
         )
         text = out_path.read_text()
         assert text.startswith("<Mpeg7")
+
+    def test_fsck_clean_after_index(self, metaindex, capsys):
+        assert main(["fsck", "--metaindex", str(metaindex)]) == 0
+        out = capsys.readouterr().out
+        assert "fsck: clean" in out
+        assert "checksum ok" in out
+
+
+class TestCrashResumeFsck:
+    """Crash a CLI index run mid-snapshot, fsck it, resume it."""
+
+    @pytest.fixture(scope="class")
+    def crashed(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("crash") / "meta.json"
+        with CrashPoint("snapshot-pre-replace", after=1):
+            with pytest.raises(SimulatedCrash):
+                main(["index", "--seed", "7", "--videos", "2", "--out", str(path)])
+        return path
+
+    def test_fsck_reports_the_damage(self, crashed, capsys):
+        assert main(["fsck", "--metaindex", str(crashed)]) == 1
+        out = capsys.readouterr().out
+        assert "problem(s) found" in out
+        assert "began but never committed" in out
+        # the previous generation is intact and fsck says so
+        assert "falls back" in out
+
+    def test_resume_completes_and_fsck_is_clean(self, crashed, capsys):
+        assert main(
+            ["index", "--seed", "7", "--videos", "2", "--out", str(crashed), "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resume: restored 1 committed video(s)" in out
+        assert "indexing 1 video(s)" in out
+        document = json.loads(crashed.read_text())
+        assert len(document["tables"]["videos"]["columns"]["name"]) == 2
+        assert main(["fsck", "--metaindex", str(crashed)]) == 0
+        assert "fsck: clean" in capsys.readouterr().out
+
+    def test_corrupt_snapshot_without_backup_fails_fsck(self, tmp_path, capsys):
+        path = tmp_path / "meta.json"
+        path.write_text('{"version": 2, "tables"')  # torn, no .prev
+        assert main(["fsck", "--metaindex", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "no previous generation to fall back to" in out

@@ -5,10 +5,14 @@ import pytest
 from repro.core.model import CobraModel
 from repro.library.persistence import (
     catalog_to_model,
+    catalog_to_runner_state,
     load_model,
+    load_model_with_state,
     model_to_catalog,
+    runner_state_to_catalog,
     save_model,
 )
+from repro.storage.catalog import Catalog
 
 
 @pytest.fixture
@@ -65,6 +69,92 @@ class TestCatalogMapping:
         loaded = catalog_to_model(model_to_catalog(model))
         tennis = next(s for s in loaded.shots if s.category == "tennis")
         assert tennis.features == {"entropy": 3.1}
+
+
+class TestMatchIdNullability:
+    """Regression: match_id=None must come back as None, not a sentinel."""
+
+    @pytest.mark.parametrize("match_id", [None, 0, 4, -1])
+    def test_match_id_round_trips_exactly(self, match_id, tmp_path):
+        model = CobraModel()
+        model.add_video("v", fps=25.0, n_frames=10, match_id=match_id)
+        loaded = catalog_to_model(model_to_catalog(model))
+        assert loaded.videos[0].match_id == match_id
+        path = tmp_path / "m.json"
+        save_model(model, path)
+        assert load_model(path).videos[0].match_id == match_id
+
+    def test_none_is_not_minus_one(self):
+        model = CobraModel()
+        model.add_video("v", fps=25.0, n_frames=10, match_id=None)
+        loaded = catalog_to_model(model_to_catalog(model))
+        assert loaded.videos[0].match_id is None
+
+    def test_legacy_minus_one_sentinel_reads_as_none(self):
+        """Files written before the has_match flag used -1 for None."""
+        catalog = Catalog()
+        videos = catalog.create_table(
+            "videos",
+            {
+                "video_id": "int",
+                "name": "str",
+                "fps": "float",
+                "n_frames": "int",
+                "match_id": "int",
+            },
+        )
+        videos.append(
+            {"video_id": 1, "name": "old", "fps": 25.0, "n_frames": 9, "match_id": -1}
+        )
+        videos.append(
+            {"video_id": 2, "name": "new", "fps": 25.0, "n_frames": 9, "match_id": 3}
+        )
+        for name, schema in (
+            ("shots", {"shot_id": "int", "video_id": "int", "start": "int", "stop": "int", "category": "str"}),
+            ("shot_features", {"shot_id": "int", "name": "str", "value": "float"}),
+            ("objects", {"object_id": "int", "shot_id": "int", "label": "str", "r": "float", "g": "float", "b": "float", "mean_area": "float"}),
+            ("trajectories", {"object_id": "int", "frame": "int", "found": "bool", "row": "float", "col": "float"}),
+            ("events", {"event_id": "int", "shot_id": "int", "label": "str", "start": "int", "stop": "int", "confidence": "float", "object_id": "int"}),
+        ):
+            catalog.create_table(name, schema)
+        loaded = catalog_to_model(catalog)
+        by_name = {v.name: v for v in loaded.videos}
+        assert by_name["old"].match_id is None
+        assert by_name["new"].match_id == 3
+
+
+class TestRunnerStatePersistence:
+    STATE = {
+        "consecutive_failures": {"tennis": 2, "shape": 1},
+        "quarantined_version": {"tennis": 5},
+    }
+
+    def test_round_trip_via_catalog(self):
+        catalog = Catalog()
+        runner_state_to_catalog(self.STATE, catalog)
+        assert catalog_to_runner_state(catalog) == {
+            "consecutive_failures": {"tennis": 2, "shape": 1},
+            "quarantined_version": {"tennis": 5},
+        }
+
+    def test_round_trip_via_file(self, model, tmp_path):
+        path = tmp_path / "m.json"
+        save_model(model, path, runner_state=self.STATE)
+        loaded, state = load_model_with_state(path)
+        assert loaded.counts() == model.counts()
+        assert state["quarantined_version"] == {"tennis": 5}
+        assert state["consecutive_failures"] == {"tennis": 2, "shape": 1}
+
+    def test_absent_state_loads_as_none(self, model, tmp_path):
+        path = tmp_path / "m.json"
+        save_model(model, path)
+        _loaded, state = load_model_with_state(path)
+        assert state is None
+
+    def test_plain_load_model_ignores_state(self, model, tmp_path):
+        path = tmp_path / "m.json"
+        save_model(model, path, runner_state=self.STATE)
+        assert load_model(path).counts() == model.counts()
 
 
 class TestFileRoundTrip:

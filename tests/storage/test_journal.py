@@ -1,0 +1,82 @@
+"""Indexing-journal unit tests (replay, recovery, corruption)."""
+
+import json
+
+import pytest
+
+from repro.storage.journal import IndexingJournal, JournalCorruptionError
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return IndexingJournal(tmp_path / "journal.jsonl")
+
+
+class TestAppendReplay:
+    def test_missing_journal_replays_empty(self, journal):
+        assert journal.replay() == []
+        assert journal.committed() == {}
+        assert journal.interrupted() == []
+
+    def test_begin_commit_round_trip(self, journal):
+        journal.begin("a")
+        journal.commit("a")
+        journal.begin("b")
+        journal.commit("b", degraded=True)
+        assert journal.committed() == {"a": False, "b": True}
+        assert journal.interrupted() == []
+
+    def test_interrupted_videos(self, journal):
+        journal.begin("a")
+        journal.commit("a")
+        journal.begin("b")
+        assert journal.interrupted() == ["b"]
+
+    def test_note_records_pass_through(self, journal):
+        journal.note(kind="snapshot", generation=3)
+        (record,) = journal.replay()
+        assert record == {"generation": 3, "kind": "snapshot", "op": "note"}
+
+    def test_clear_starts_fresh(self, journal):
+        journal.begin("a")
+        journal.clear()
+        assert journal.replay() == []
+        journal.clear()  # idempotent on a missing file
+
+
+class TestRecovery:
+    def test_recover_on_clean_journal_is_noop(self, journal):
+        journal.begin("a")
+        assert journal.recover() == 0
+        assert journal.replay() == [{"op": "begin", "video": "a"}]
+
+    def test_recover_missing_file(self, journal):
+        assert journal.recover() == 0
+
+    def test_torn_tail_tolerated_and_truncated(self, journal):
+        journal.begin("a")
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"op": "comm')  # torn mid-append, no newline
+        assert journal.replay() == [{"op": "begin", "video": "a"}]
+        report = journal.verify()
+        assert report.torn_tail and report.ok
+        assert journal.recover() == len(b'{"op": "comm')
+        assert not journal.verify().torn_tail
+
+    def test_interior_corruption_raises(self, journal):
+        journal.begin("a")
+        with open(journal.path, "ab") as handle:
+            handle.write(b"not json at all\n")
+        journal.commit("a")
+        with pytest.raises(JournalCorruptionError):
+            journal.replay()
+        report = journal.verify()
+        assert report.corrupt_lines == [2]
+        assert not report.ok
+
+    def test_complete_but_non_record_line_is_corruption(self, journal):
+        journal.begin("a")
+        with open(journal.path, "ab") as handle:
+            handle.write(json.dumps(["not", "an", "object"]).encode() + b"\n")
+        report = journal.verify()
+        assert report.corrupt_lines == [2]

@@ -1,13 +1,20 @@
 """Catalogue persistence tests."""
 
 import json
+import zlib
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.storage.catalog import Catalog
-from repro.storage.persist import load_catalog, save_catalog
+from repro.storage.persist import (
+    CatalogCorruptionError,
+    load_catalog,
+    save_catalog,
+    snapshot_generations,
+    verify_snapshot,
+)
 
 
 def roundtrip(catalog, tmp_path):
@@ -64,6 +71,40 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             load_catalog(path)
 
+    def test_snapshot_is_version_2_with_checksum(self, tmp_path):
+        catalog = Catalog()
+        catalog.create_table("t", {"x": "int"}).append({"x": 1})
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        document = json.loads(path.read_text())
+        assert document["version"] == 2
+        payload = json.dumps(
+            document["tables"], sort_keys=True, separators=(",", ":")
+        ).encode()
+        assert document["checksum"] == zlib.crc32(payload)
+
+    def test_version_1_documents_still_load(self, tmp_path):
+        """Snapshots from before the durability layer (no checksum)."""
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "tables": {
+                        "t": {
+                            "schema": {"x": "int", "b": "bool"},
+                            "columns": {"x": [1, 2], "b": [True, 0]},
+                        }
+                    },
+                }
+            )
+        )
+        loaded = load_catalog(path)
+        assert loaded.table("t").scan() == [
+            {"x": 1, "b": True},
+            {"x": 2, "b": False},
+        ]
+
     @given(
         rows=st.lists(
             st.tuples(
@@ -87,3 +128,101 @@ class TestRoundTrip:
         save_catalog(catalog, path)
         loaded = load_catalog(path)
         assert loaded.table("t").scan() == table.scan()
+
+
+def _make_catalog(marker: int) -> Catalog:
+    catalog = Catalog()
+    table = catalog.create_table("t", {"x": "int", "s": "str"})
+    table.append({"x": marker, "s": f"gen{marker}"})
+    return catalog
+
+
+class TestRecovery:
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_catalog(tmp_path / "nope.json")
+
+    def test_truncated_current_falls_back_to_prev(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(_make_catalog(1), path)
+        save_catalog(_make_catalog(2), path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn write
+        loaded = load_catalog(path)
+        assert loaded.table("t").row(0)["x"] == 1
+
+    def test_checksum_mismatch_falls_back_to_prev(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(_make_catalog(1), path)
+        save_catalog(_make_catalog(2), path)
+        document = json.loads(path.read_text())
+        document["tables"]["t"]["columns"]["x"] = [999]  # silent bit rot
+        path.write_text(json.dumps(document))
+        loaded = load_catalog(path)
+        assert loaded.table("t").row(0)["x"] == 1
+
+    def test_both_generations_corrupt_raises(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(_make_catalog(1), path)
+        save_catalog(_make_catalog(2), path)
+        _, prev = snapshot_generations(path)
+        path.write_text("{torn")
+        prev.write_text("{also torn")
+        with pytest.raises(CatalogCorruptionError):
+            load_catalog(path)
+
+    def test_missing_current_with_good_prev_loads(self, tmp_path):
+        """The crash window between rotate and replace."""
+        path = tmp_path / "catalog.json"
+        save_catalog(_make_catalog(1), path)
+        _, prev = snapshot_generations(path)
+        path.rename(prev)
+        loaded = load_catalog(path)
+        assert loaded.table("t").row(0)["x"] == 1
+
+
+class TestVerifySnapshot:
+    def test_ok_report(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(_make_catalog(1), path)
+        report = verify_snapshot(path)
+        assert report.ok
+        assert report.version == 2
+        assert report.n_tables == 1
+        assert report.n_rows == 1
+        assert report.error is None
+
+    def test_missing_report(self, tmp_path):
+        report = verify_snapshot(tmp_path / "nope.json")
+        assert not report.ok
+        assert report.error == "missing"
+
+    def test_checksum_failure_reported(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(_make_catalog(1), path)
+        document = json.loads(path.read_text())
+        document["checksum"] ^= 1
+        path.write_text(json.dumps(document))
+        report = verify_snapshot(path)
+        assert not report.ok
+        assert "checksum mismatch" in report.error
+        assert report.version == 2
+
+    def test_ragged_columns_reported(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "tables": {
+                        "t": {
+                            "schema": {"a": "int", "b": "int"},
+                            "columns": {"a": [1, 2], "b": [1]},
+                        }
+                    },
+                }
+            )
+        )
+        report = verify_snapshot(path)
+        assert not report.ok
+        assert "ragged" in report.error
