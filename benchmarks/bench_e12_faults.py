@@ -153,7 +153,7 @@ def test_e12_fail_fast_loses_videos(benchmark, clips):
         clips, 0.35, PermanentDetectorError, None, SKIP_POLICY
     )
     print(
-        f"\nE12 fail_fast vs skip_subtree at 35% faults: "
+        "\nE12 fail_fast vs skip_subtree at 35% faults: "
         f"committed {run['committed']} vs {skip_run['committed']} videos, "
         f"events {run['events']} vs {skip_run['events']}"
     )

@@ -12,7 +12,6 @@ precision degrading as gradual transitions increase; twin-comparison
 recovers precision and finds the gradual transitions.
 """
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.shots.boundary import ThresholdCutDetector, TwinComparisonDetector, frame_distances

@@ -9,7 +9,6 @@ Expected shape: near-diagonal confusion for the rule classifier; each
 dropped cue costs accuracy for exactly the category it separates.
 """
 
-import numpy as np
 
 from benchmarks.conftest import print_table
 from repro.shots.boundary import TwinComparisonDetector

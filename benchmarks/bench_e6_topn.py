@@ -135,7 +135,7 @@ def test_e6_wall_time_speedup(benchmark, text_index, bench_dataset):
         f"1-fragment={fast_time * 1e3:.1f}ms, "
         f"speedup={full_time / fast_time:.2f}x"
     )
-    result = benchmark(lambda: fragmented.search(queries[0], 10, max_fragments=1))
+    benchmark(lambda: fragmented.search(queries[0], 10, max_fragments=1))
     assert fast_time < full_time
 
 

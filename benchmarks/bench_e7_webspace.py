@@ -11,7 +11,6 @@ across pages and returns pages that merely mention the words.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.ir.inverted_index import InvertedIndex
@@ -21,8 +20,6 @@ from repro.webspace.query import ConceptQuery
 
 def _queries(dataset):
     """(name, concept query, keyword text, truth player-name set)."""
-    instance = dataset.instance
-
     def players(predicate):
         return {p.name for p in dataset.players if predicate(p)}
 

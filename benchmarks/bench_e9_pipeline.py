@@ -8,7 +8,6 @@ about when ingesting a tournament's footage.
 
 import time
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.grammar.tennis import build_tennis_fde

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate.
+
+Reads a ``pytest-benchmark --benchmark-json`` report and fails (exit 1)
+when the candidate benchmark's median runtime exceeds the baseline's by
+more than the tolerance.  The CI workflow uses it to guarantee that
+parallel (workers=4) indexing never regresses below sequential::
+
+    python benchmarks/check_regression.py bench.json \\
+        --baseline test_e14_sequential_indexing \\
+        --candidate test_e14_parallel_indexing \\
+        --tolerance 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def median_of(report: dict, name: str) -> float:
+    for bench in report.get("benchmarks", []):
+        if bench.get("name") == name:
+            return float(bench["stats"]["median"])
+    raise SystemExit(f"benchmark {name!r} missing from the report")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="pytest-benchmark JSON report path")
+    parser.add_argument(
+        "--baseline",
+        default="test_e14_sequential_indexing",
+        help="benchmark the candidate must not be slower than",
+    )
+    parser.add_argument(
+        "--candidate",
+        default="test_e14_parallel_indexing",
+        help="benchmark under the gate",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed slowdown fraction (0.10 = candidate may take up to "
+        "110%% of the baseline median)",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(Path(args.report).read_text())
+    baseline = median_of(report, args.baseline)
+    candidate = median_of(report, args.candidate)
+    limit = baseline * (1.0 + args.tolerance)
+    ratio = candidate / baseline if baseline > 0 else float("inf")
+    print(
+        f"baseline  {args.baseline}: {baseline:.3f}s\n"
+        f"candidate {args.candidate}: {candidate:.3f}s "
+        f"({ratio:.2f}x baseline, limit {1.0 + args.tolerance:.2f}x)"
+    )
+    if candidate > limit:
+        print("FAIL: candidate exceeds the regression limit", file=sys.stderr)
+        return 1
+    print("OK: candidate within the regression limit")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,6 @@ the tournament dataset) are built once per session.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.dataset import build_australian_open

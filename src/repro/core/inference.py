@@ -14,7 +14,6 @@ are data, authored in the grammar, and the engine interprets them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

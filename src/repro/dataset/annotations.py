@@ -14,13 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.dataset.matches import MatchRecord
 from repro.video.frames import VideoClip
 from repro.video.generator import BroadcastConfig, BroadcastGenerator
 from repro.video.ground_truth import GroundTruth
-from repro.video.players import SCRIPT_KINDS
 
 __all__ = ["VideoPlan", "plan_match_video"]
 

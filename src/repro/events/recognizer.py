@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.events.hmm import DiscreteHMM
-from repro.events.quantize import N_SYMBOLS, CourtZones, TrajectoryQuantizer
+from repro.events.quantize import N_SYMBOLS, TrajectoryQuantizer
 from repro.events.rules import DetectedEvent, RuleEventDetector
 
 __all__ = [

@@ -34,6 +34,7 @@ point and assert the library reloads to a consistent state.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -74,6 +75,12 @@ class FaultSpec:
             sleep for :attr:`hang_seconds` before running the real
             implementation (trips a cooperative per-attempt timeout).
         hang_seconds: hang duration for ``error="hang"``.
+        jitter_seconds: extra sleep in ``[0, jitter_seconds)`` added on
+            top of :attr:`hang_seconds`, drawn deterministically from
+            :attr:`jitter_seed` and the (detector, video, attempt)
+            triple — same delays on every run, but different delays per
+            invocation, which shakes out scheduler interleavings.
+        jitter_seed: seed for the jitter draw.
         message: override for the raised error's message.
     """
 
@@ -82,6 +89,8 @@ class FaultSpec:
     times: int | None = 1
     error: type[BaseException] | str = TransientDetectorError
     hang_seconds: float = 0.0
+    jitter_seconds: float = 0.0
+    jitter_seed: int = 0
     message: str = ""
 
     def __post_init__(self) -> None:
@@ -89,9 +98,19 @@ class FaultSpec:
             raise ValueError(f"times must be >= 1 or None, got {self.times}")
         if isinstance(self.error, str) and self.error != HANG:
             raise ValueError(f"error must be an exception class or {HANG!r}")
+        if self.jitter_seconds < 0:
+            raise ValueError(f"jitter_seconds must be >= 0, got {self.jitter_seconds}")
 
     def matches(self, detector: str, video: str) -> bool:
         return detector == self.detector and (self.video is None or self.video == video)
+
+    def delay_for(self, video: str, attempt: int) -> float:
+        """The (deterministic) sleep a hang/latency delivery applies."""
+        delay = self.hang_seconds
+        if self.jitter_seconds > 0:
+            draw = random.Random(f"{self.jitter_seed}:{self.detector}:{video}:{attempt}")
+            delay += draw.uniform(0.0, self.jitter_seconds)
+        return delay
 
     def make_error(self, video: str) -> BaseException:
         message = self.message or f"injected fault in {self.detector!r} on {video!r}"
@@ -156,6 +175,39 @@ class FaultPlan:
                     )
         return plan
 
+    @classmethod
+    def latency(
+        cls,
+        detectors: list[str],
+        seconds: float,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Slow every listed detector down on every video, forever.
+
+        Models black-box detector processes whose cost is dominated by
+        I/O or an external tool: each invocation sleeps *seconds* (plus
+        a deterministic jitter draw in ``[0, jitter)``) before running
+        the real implementation.  Sleeps release the GIL, so this is
+        what the E14 benchmark uses to measure scheduler overlap, and —
+        with *jitter* — what the determinism tests use to scramble
+        thread interleavings without changing any result.
+        """
+        plan = cls()
+        for detector in detectors:
+            plan.add(
+                FaultSpec(
+                    detector=detector,
+                    video=None,
+                    times=None,
+                    error=HANG,
+                    hang_seconds=seconds,
+                    jitter_seconds=jitter,
+                    jitter_seed=seed,
+                )
+            )
+        return plan
+
     def install(self, registry: DetectorRegistry, sleep=time.sleep) -> "FaultInjector":
         """Wire the plan into *registry*; returns the live injector."""
         injector = FaultInjector(self, registry, sleep=sleep)
@@ -180,6 +232,13 @@ class FaultInjector:
     look like implementation changes to the revalidation machinery.
     Use :meth:`uninstall` (or the context-manager form) to restore the
     original implementations.
+
+    Delivery is thread-safe: fired counters and the injection log are
+    lock-protected, so faults hit exactly as planned when the engine
+    runs detectors (or whole videos) on worker threads.  Note that
+    :attr:`log` *order* reflects wall-clock delivery and is therefore
+    not deterministic under parallelism — compare its contents, not its
+    sequence.
     """
 
     def __init__(self, plan: FaultPlan, registry: DetectorRegistry, sleep=time.sleep):
@@ -188,6 +247,7 @@ class FaultInjector:
         self._sleep = sleep
         self._fired: dict[tuple[int, str], int] = {}  # (spec index, video) -> count
         self._originals: dict[str, object] = {}
+        self._lock = threading.Lock()
         self.log: list[InjectionEvent] = []
 
     # -- lifecycle ------------------------------------------------------ #
@@ -220,28 +280,31 @@ class FaultInjector:
         """How many faults have been delivered so far."""
         return len(self.log)
 
-    def _next_fault(self, detector: str, video: str) -> FaultSpec | None:
-        for index, spec in enumerate(self.plan.specs):
-            if not spec.matches(detector, video):
-                continue
-            key = (index, video)
-            fired = self._fired.get(key, 0)
-            if spec.times is not None and fired >= spec.times:
-                continue
-            self._fired[key] = fired + 1
-            return spec
-        return None
+    def _next_fault(self, detector: str, video: str) -> tuple[FaultSpec | None, int]:
+        with self._lock:
+            for index, spec in enumerate(self.plan.specs):
+                if not spec.matches(detector, video):
+                    continue
+                key = (index, video)
+                fired = self._fired.get(key, 0)
+                if spec.times is not None and fired >= spec.times:
+                    continue
+                self._fired[key] = fired + 1
+                return spec, fired
+        return None, 0
 
     def _wrapped(self, name: str, fn):
         def run(context: IndexingContext) -> None:
             video = getattr(context.clip, "name", "<unnamed>")
-            spec = self._next_fault(name, video)
+            spec, attempt = self._next_fault(name, video)
             if spec is not None:
                 if spec.error == HANG:
-                    self.log.append(InjectionEvent(name, video, "hang"))
-                    self._sleep(spec.hang_seconds)
+                    with self._lock:
+                        self.log.append(InjectionEvent(name, video, "hang"))
+                    self._sleep(spec.delay_for(video, attempt))
                 else:
-                    self.log.append(InjectionEvent(name, video, "raise"))
+                    with self._lock:
+                        self.log.append(InjectionEvent(name, video, "raise"))
                     raise spec.make_error(video)
             fn(context)
 

@@ -14,7 +14,6 @@ from typing import Callable
 
 from repro.core.model import CobraModel
 from repro.grammar.runtime import MissingTokenError
-from repro.video.frames import VideoClip
 
 __all__ = ["IndexingContext", "DetectorRegistry"]
 
@@ -63,7 +62,7 @@ class IndexingContext:
             )
             raise MissingTokenError(
                 f"{requester} requires token {token!r}, which is not "
-                f"available — was its producer run?",
+                "available — was its producer run?",
                 detector=self.current_detector,
             )
         return self.tokens[token]

@@ -3,7 +3,9 @@
 Generated from a feature grammar, the FDE:
 
 1. derives the detector dependency DAG (Figure 1 of the paper),
-2. schedules detectors in topological order to index a video,
+2. schedules detectors in deterministic topological *waves* — mutually
+   independent detectors run concurrently when
+   :attr:`~repro.grammar.runtime.RunPolicy.max_workers` allows,
 3. caches each detector's token outputs per video, and
 4. *revalidates incrementally*: when a detector implementation changes
    (version bump), only that detector and its descendants re-run;
@@ -19,11 +21,23 @@ all-or-nothing behaviour exactly; ``skip_subtree`` and ``quarantine``
 commit videos *degraded* — upstream meta-data kept, the failing
 detector's DAG subtree skipped — so one bad detector no longer erases a
 whole video from the library.
+
+Parallelism is deterministic by construction.  Within one video the
+wave scheduler (:mod:`repro.grammar.schedule`) overlaps detector
+*compute* while a turnstile serialises meta-index mutations in the
+canonical order, so identifiers, health reports and snapshots are
+byte-identical to a sequential pass.  Across videos,
+:meth:`FeatureDetectorEngine.stage_video` runs a whole pass against a
+private scratch model so worker threads never contend on the shared
+meta-index; a single committer then replays stages in plan order via
+:meth:`FeatureDetectorEngine.commit_staged`, which reproduces the
+sequential identifier assignment exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
 
 import networkx as nx
 
@@ -39,8 +53,9 @@ from repro.grammar.runtime import (
     IsolationPolicy,
     RunPolicy,
 )
+from repro.grammar.schedule import GatedModel, WaveTurnstile, wave_partition
 
-__all__ = ["FeatureDetectorEngine", "RevalidationReport"]
+__all__ = ["FeatureDetectorEngine", "RevalidationReport", "StagedVideo"]
 
 
 @dataclass
@@ -76,6 +91,49 @@ class _VideoState:
     outputs: dict[str, dict[str, object]]  # detector -> {token: value}
     versions: dict[str, int]  # detector -> registry version used
     health: IndexingHealthReport | None = None
+
+
+@dataclass
+class StagedVideo:
+    """One full indexing pass, run against a private scratch model.
+
+    Produced by :meth:`FeatureDetectorEngine.stage_video` on any worker
+    thread; consumed by :meth:`FeatureDetectorEngine.commit_staged` on
+    the committer.  Nothing here has touched the engine's shared state:
+    entity identifiers are scratch-local, health accounting is recorded
+    in :attr:`results` instead of applied to the runner, and the
+    quarantine checks the pass made are remembered in
+    :attr:`decisions` so the committer can detect that another video's
+    commit changed them in the meantime.
+
+    Attributes:
+        clip: the raw multimedia object the pass indexed.
+        model: the scratch :class:`~repro.core.model.CobraModel` holding
+            the pass's entities (scratch-local identifiers).
+        video_id: the raw-layer id inside the scratch model.
+        context: the pass's indexing context (scratch model, scratch id).
+        health: the pass's health report.
+        outputs: per-detector token outputs (values may embed
+            scratch-local identifiers — see :meth:`commit_staged`).
+        versions: per-detector registry versions used.
+        results: deferred ``record_video_result`` calls as
+            ``(detector, failed)`` pairs, in canonical order.
+        decisions: quarantine state observed per preflighted detector;
+            the committer revalidates these against the live runner.
+        failure: the first non-OK outcome under ``fail_fast``, else
+            ``None``.
+    """
+
+    clip: object
+    model: CobraModel
+    video_id: int
+    context: IndexingContext
+    health: IndexingHealthReport
+    outputs: dict[str, dict[str, object]]
+    versions: dict[str, int]
+    results: list[tuple[str, bool]]
+    decisions: dict[str, bool]
+    failure: DetectorOutcome | None
 
 
 class FeatureDetectorEngine:
@@ -154,11 +212,18 @@ class FeatureDetectorEngine:
                 graph.add_edge(source, decl.name, token=token)
         return graph
 
+    def waves(self) -> list[list[str]]:
+        """The detector DAG partitioned into dependency waves.
+
+        Detectors of one wave are mutually independent (their producers
+        all live in earlier waves) and may run concurrently; the
+        concatenation of the waves is :meth:`execution_order`.
+        """
+        return wave_partition(self.dependency_graph(), self.grammar.axiom)
+
     def execution_order(self) -> list[str]:
-        """Deterministic topological order of the detectors."""
-        graph = self.dependency_graph()
-        order = list(nx.lexicographical_topological_sort(graph))
-        return [name for name in order if name != self.grammar.axiom]
+        """Deterministic topological order of the detectors (wave-major)."""
+        return [name for wave in self.waves() for name in wave]
 
     def descendants_of(self, names: set[str]) -> set[str]:
         """The given detectors plus everything downstream of them."""
@@ -182,6 +247,55 @@ class FeatureDetectorEngine:
                 f"unregistered detector implementations: {missing}"
             )
 
+    def _preflight(
+        self,
+        name: str,
+        deadline_at: float | None,
+        skipped: dict[str, str],
+        decisions: dict[str, bool] | None,
+    ) -> DetectorOutcome | None:
+        """Decide whether *name* runs at all, without invoking it.
+
+        Mirrors the sequential check order — skip map, quarantine,
+        deadline — and returns the terminal outcome when the detector
+        must not run, or ``None`` when it is runnable.  Quarantine
+        checks are recorded in *decisions* (when given) so a staged pass
+        can later prove its checks still match the live runner.
+        """
+        runner = self.runner
+        if name in skipped:
+            return DetectorOutcome(
+                name=name, status=DetectorStatus.SKIPPED, skipped_because=skipped[name]
+            )
+        quarantined = runner.is_quarantined(name)
+        if decisions is not None:
+            decisions[name] = quarantined
+        if quarantined:
+            return DetectorOutcome(name=name, status=DetectorStatus.QUARANTINED)
+        if deadline_at is not None and runner.clock() >= deadline_at:
+            return DetectorOutcome(
+                name=name, status=DetectorStatus.SKIPPED, skipped_because="deadline"
+            )
+        return None
+
+    def _settle(
+        self,
+        name: str,
+        outcome: DetectorOutcome,
+        ran: bool,
+        skipped: dict[str, str],
+        health: IndexingHealthReport,
+        record_result,
+    ) -> DetectorOutcome:
+        """Account one detector outcome (always in canonical order)."""
+        if ran:
+            record_result(name, outcome.status is not DetectorStatus.OK)
+        if outcome.status in (DetectorStatus.FAILED, DetectorStatus.QUARANTINED):
+            for descendant in self.descendants_of({name}) - {name}:
+                skipped.setdefault(descendant, name)
+        health.outcomes[name] = outcome
+        return outcome
+
     def _execute(
         self,
         name: str,
@@ -189,6 +303,8 @@ class FeatureDetectorEngine:
         deadline_at: float | None,
         skipped: dict[str, str],
         health: IndexingHealthReport,
+        record_result=None,
+        decisions: dict[str, bool] | None = None,
     ) -> DetectorOutcome:
         """Run one detector under the runtime and record its outcome.
 
@@ -198,25 +314,201 @@ class FeatureDetectorEngine:
         Isolation consequences — rollback vs degraded commit — are the
         caller's.
         """
-        runner = self.runner
-        if name in skipped:
-            outcome = DetectorOutcome(
-                name=name, status=DetectorStatus.SKIPPED, skipped_because=skipped[name]
+        if record_result is None:
+            record_result = self._record_live
+        outcome = self._preflight(name, deadline_at, skipped, decisions)
+        ran = outcome is None
+        if ran:
+            outcome = self.runner.run(name, context, deadline_at=deadline_at)
+        return self._settle(name, outcome, ran, skipped, health, record_result)
+
+    def _record_live(self, name: str, failed: bool) -> None:
+        self.runner.record_video_result(name, failed=failed)
+
+    def _run_gated(
+        self,
+        name: str,
+        context: IndexingContext,
+        gate: WaveTurnstile,
+        deadline_at: float | None,
+    ) -> DetectorOutcome:
+        """Thread body of one wave member.
+
+        The detector gets a private context copy (so
+        ``current_detector`` attribution cannot race) whose model is
+        gated on the wave turnstile: compute overlaps freely, but the
+        first meta-index access waits for the detector's canonical turn.
+        """
+        gated = replace(context, model=GatedModel(context.model, gate, name))
+        try:
+            return self.runner.run(name, gated, deadline_at=deadline_at)
+        finally:
+            gate.finish(name)
+
+    def _run_wave(
+        self,
+        wave: list[str],
+        context: IndexingContext,
+        deadline_at: float | None,
+        skipped: dict[str, str],
+        health: IndexingHealthReport,
+        record_result,
+        decisions: dict[str, bool] | None,
+        on_ok,
+    ) -> DetectorOutcome | None:
+        """Run one wave concurrently; account results in canonical order.
+
+        All in-flight work is drained before any outcome is settled, so
+        a ``fail_fast`` failure never leaves threads running.  Returns
+        the first non-OK outcome under ``fail_fast``, else ``None``.
+        """
+        preflighted: dict[str, DetectorOutcome] = {}
+        runnable: list[str] = []
+        for name in wave:
+            outcome = self._preflight(name, deadline_at, skipped, decisions)
+            if outcome is None:
+                runnable.append(name)
+            else:
+                preflighted[name] = outcome
+        results: dict[str, DetectorOutcome] = {}
+        if len(runnable) == 1:
+            only = runnable[0]
+            results[only] = self.runner.run(only, context, deadline_at=deadline_at)
+        elif runnable:
+            gate = WaveTurnstile(runnable)
+            workers = min(self.policy.max_workers, len(runnable))
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="fde-wave"
+            ) as pool:
+                futures = [
+                    (name, pool.submit(self._run_gated, name, context, gate, deadline_at))
+                    for name in runnable
+                ]
+                for name, future in futures:
+                    results[name] = future.result()
+        for name in wave:
+            if name in preflighted:
+                outcome, ran = preflighted[name], False
+            else:
+                outcome, ran = results[name], True
+            self._settle(name, outcome, ran, skipped, health, record_result)
+            if (
+                outcome.status is not DetectorStatus.OK
+                and self.policy.isolation is IsolationPolicy.FAIL_FAST
+            ):
+                return outcome
+            if outcome.status is DetectorStatus.OK and on_ok is not None:
+                on_ok(name)
+        return None
+
+    def _run_subset(
+        self,
+        names: set[str],
+        context: IndexingContext,
+        deadline_at: float | None,
+        skipped: dict[str, str],
+        health: IndexingHealthReport,
+        record_result,
+        decisions: dict[str, bool] | None = None,
+        on_ok=None,
+    ) -> DetectorOutcome | None:
+        """Run the given detectors in wave order; return the fatal outcome.
+
+        With ``max_workers == 1`` this is the historical sequential
+        loop; otherwise each wave's runnable detectors share a thread
+        pool, gated so model mutations stay in canonical order.  Either
+        way the outcomes recorded in *health*, the skip-map updates and
+        the ``record_result`` calls are identical.
+        """
+        waves = [[name for name in wave if name in names] for wave in self.waves()]
+        if self.policy.max_workers <= 1:
+            for wave in waves:
+                for name in wave:
+                    outcome = self._execute(
+                        name, context, deadline_at, skipped, health,
+                        record_result, decisions,
+                    )
+                    if (
+                        outcome.status is not DetectorStatus.OK
+                        and self.policy.isolation is IsolationPolicy.FAIL_FAST
+                    ):
+                        return outcome
+                    if outcome.status is DetectorStatus.OK and on_ok is not None:
+                        on_ok(name)
+            return None
+        for wave in waves:
+            if not wave:
+                continue
+            failure = self._run_wave(
+                wave, context, deadline_at, skipped, health,
+                record_result, decisions, on_ok,
             )
-        elif runner.is_quarantined(name):
-            outcome = DetectorOutcome(name=name, status=DetectorStatus.QUARANTINED)
-        elif deadline_at is not None and runner.clock() >= deadline_at:
-            outcome = DetectorOutcome(
-                name=name, status=DetectorStatus.SKIPPED, skipped_because="deadline"
-            )
-        else:
-            outcome = runner.run(name, context, deadline_at=deadline_at)
-            runner.record_video_result(name, failed=outcome.status is not DetectorStatus.OK)
-        if outcome.status in (DetectorStatus.FAILED, DetectorStatus.QUARANTINED):
-            for descendant in self.descendants_of({name}) - {name}:
-                skipped.setdefault(descendant, name)
-        health.outcomes[name] = outcome
-        return outcome
+            if failure is not None:
+                return failure
+        return None
+
+    def _run_video_pass(
+        self,
+        model: CobraModel,
+        clip,
+        record_result=None,
+        decisions: dict[str, bool] | None = None,
+    ) -> StagedVideo:
+        """One full indexing pass over *clip* against *model*.
+
+        The shared core of :meth:`index_video` (live model, live runner
+        accounting) and :meth:`stage_video` (scratch model, deferred
+        accounting).  When *record_result* is ``None``, the
+        ``record_video_result`` calls are deferred into the returned
+        stage's :attr:`~StagedVideo.results` instead of being applied.
+        """
+        policy = self.policy
+        results: list[tuple[str, bool]] = []
+        if record_result is None:
+
+            def record_result(name: str, failed: bool) -> None:
+                results.append((name, failed))
+
+        video = model.add_video(clip.name, fps=clip.fps, n_frames=len(clip))
+        context = IndexingContext(
+            clip=clip,
+            model=model,
+            video_id=video.video_id,
+            axiom=self.grammar.axiom,
+        )
+        health = IndexingHealthReport(video_name=clip.name)
+        started = self.runner.clock()
+        deadline_at = started + policy.deadline if policy.deadline is not None else None
+        outputs: dict[str, dict[str, object]] = {}
+        versions: dict[str, int] = {}
+        skipped: dict[str, str] = {}
+
+        def on_ok(name: str) -> None:
+            decl = self.grammar.detector(name)
+            outputs[name] = {
+                token: context.tokens.get(token) for token in decl.outputs
+            }
+            versions[name] = self.registry.version(name)
+
+        failure = self._run_subset(
+            set(self.execution_order()), context, deadline_at, skipped, health,
+            record_result, decisions, on_ok,
+        )
+        health.elapsed = self.runner.clock() - started
+        health.degraded = failure is not None or len(health.ok) < len(health.outcomes)
+        context.health = health
+        return StagedVideo(
+            clip=clip,
+            model=model,
+            video_id=video.video_id,
+            context=context,
+            health=health,
+            outputs=outputs,
+            versions=versions,
+            results=results,
+            decisions=decisions if decisions is not None else {},
+            failure=failure,
+        )
 
     def _raise_outcome(self, outcome: DetectorOutcome):
         """Re-raise the failure behind *outcome* (``fail_fast`` path)."""
@@ -240,53 +532,169 @@ class FeatureDetectorEngine:
         failing subtree's meta-data missing and its raw-layer record
         flagged degraded.  The pass's health report is available as
         ``context.health``, :attr:`last_health` and :meth:`health_of`.
+
+        With ``policy.max_workers > 1`` independent detectors of each
+        dependency wave run concurrently; results are byte-identical to
+        a sequential pass (see :mod:`repro.grammar.schedule`).
         """
         self._check_registry()
         if clip.name in self._states:
             raise ValueError(
                 f"video {clip.name!r} already indexed; use revalidate() for updates"
             )
-        policy = self.policy
-        video = self.model.add_video(clip.name, fps=clip.fps, n_frames=len(clip))
-        context = IndexingContext(
+        passed = self._run_video_pass(self.model, clip, record_result=self._record_live)
+        self.last_health = passed.health
+        if passed.failure is not None:
+            # A crashing detector must not leave a half-indexed video
+            # in the meta-index: roll the raw-layer record (and any
+            # partial meta-data) back so the video can be retried.
+            self.model.remove_video(passed.video_id)
+            self._raise_outcome(passed.failure)
+        if passed.health.degraded:
+            self.model.mark_degraded(passed.video_id)
+        self._states[clip.name] = _VideoState(
             clip=clip,
+            context=passed.context,
+            outputs=passed.outputs,
+            versions=passed.versions,
+            health=passed.health,
+        )
+        return passed.context
+
+    # ------------------------------------------------------------------ #
+    # Staged indexing (per-video parallelism)
+    # ------------------------------------------------------------------ #
+
+    def stage_video(self, clip) -> StagedVideo:
+        """Run a full pass over *clip* against a private scratch model.
+
+        Safe to call from any worker thread: nothing engine-shared is
+        mutated.  Quarantine checks go against the live runner but the
+        observed answers are recorded (:attr:`StagedVideo.decisions`)
+        and re-validated at commit; health accounting is deferred into
+        :attr:`StagedVideo.results`.  Commit stages in plan order via
+        :meth:`commit_staged` to reproduce a sequential run exactly.
+        """
+        self._check_registry()
+        if clip.name in self._states:
+            raise ValueError(
+                f"video {clip.name!r} already indexed; use revalidate() for updates"
+            )
+        return self._run_video_pass(
+            CobraModel(), clip, record_result=None, decisions={}
+        )
+
+    def commit_staged(self, staged: StagedVideo) -> IndexingContext:
+        """Adopt a staged pass into the engine (committer thread only).
+
+        Replays the scratch model into the shared one layer by layer —
+        identifier assignment consumes exactly the ranges a sequential
+        :meth:`index_video` call at this point would — then applies the
+        deferred health accounting in canonical order.
+
+        If another video's commit changed the quarantine state a staged
+        pass relied on (:attr:`StagedVideo.decisions` no longer match
+        the live runner), the stage is discarded and the video is
+        re-indexed in place, which at this plan position is exactly what
+        a sequential run would have produced.
+
+        The committed video's cached detector outputs are reset (token
+        values from the stage may embed scratch-local identifiers), so
+        the first :meth:`revalidate` re-runs every detector rather than
+        serving poisoned caches.
+
+        Under ``fail_fast`` a staged failure is re-raised here, after
+        consuming the same identifier ranges a sequential failing pass
+        would have burned, so later videos keep byte-identical ids.
+        """
+        name = staged.clip.name
+        if name in self._states:
+            raise ValueError(
+                f"video {name!r} already indexed; use revalidate() for updates"
+            )
+        moved = any(
+            self.runner.is_quarantined(detector) != quarantined
+            for detector, quarantined in staged.decisions.items()
+        )
+        if moved:
+            return self.index_video(staged.clip)
+        for detector, failed in staged.results:
+            self.runner.record_video_result(detector, failed=failed)
+        self.last_health = staged.health
+        video_ids = self._merge_model(staged.model)
+        video_id = video_ids[staged.video_id]
+        if staged.failure is not None:
+            self.model.remove_video(video_id)
+            self._raise_outcome(staged.failure)
+        if staged.health.degraded:
+            self.model.mark_degraded(video_id)
+        context = IndexingContext(
+            clip=staged.clip,
             model=self.model,
-            video_id=video.video_id,
+            video_id=video_id,
             axiom=self.grammar.axiom,
         )
-        health = IndexingHealthReport(video_name=clip.name)
-        started = self.runner.clock()
-        deadline_at = started + policy.deadline if policy.deadline is not None else None
-        outputs: dict[str, dict[str, object]] = {}
-        versions: dict[str, int] = {}
-        skipped: dict[str, str] = {}
-        for name in self.execution_order():
-            outcome = self._execute(name, context, deadline_at, skipped, health)
-            if outcome.status is DetectorStatus.OK:
-                decl = self.grammar.detector(name)
-                outputs[name] = {
-                    token: context.tokens.get(token) for token in decl.outputs
-                }
-                versions[name] = self.registry.version(name)
-            elif policy.isolation is IsolationPolicy.FAIL_FAST:
-                # A crashing detector must not leave a half-indexed video
-                # in the meta-index: roll the raw-layer record (and any
-                # partial meta-data) back so the video can be retried.
-                health.degraded = True
-                health.elapsed = self.runner.clock() - started
-                self.last_health = health
-                self.model.remove_video(video.video_id)
-                self._raise_outcome(outcome)
-        health.elapsed = self.runner.clock() - started
-        health.degraded = len(health.ok) < len(health.outcomes)
-        if health.degraded:
-            self.model.mark_degraded(video.video_id)
-        context.health = health
-        self.last_health = health
-        self._states[clip.name] = _VideoState(
-            clip=clip, context=context, outputs=outputs, versions=versions, health=health
+        context.health = staged.health
+        self._states[name] = _VideoState(
+            clip=staged.clip,
+            context=context,
+            outputs={},
+            versions={},
+            health=staged.health,
         )
         return context
+
+    def _merge_model(self, scratch: CobraModel) -> dict[int, int]:
+        """Replay *scratch* into the shared model, layer by layer.
+
+        Identifiers are handed out by the shared model's per-layer
+        counters in scratch insertion order — the same order the
+        detectors created them under the wave turnstile — so the merged
+        entities get exactly the ids a sequential pass would have
+        assigned.  Returns the scratch→shared raw-layer id map.
+        """
+        model = self.model
+        video_ids: dict[int, int] = {}
+        shot_ids: dict[int, int] = {}
+        object_ids: dict[int, int] = {}
+        for video in scratch.videos:
+            merged = model.add_video(
+                video.name, fps=video.fps, n_frames=video.n_frames,
+                match_id=video.match_id,
+            )
+            if video.degraded:
+                model.mark_degraded(merged.video_id)
+            video_ids[video.video_id] = merged.video_id
+        for shot in scratch.shots:
+            merged_shot = model.add_shot(
+                video_ids[shot.video_id],
+                start=shot.start,
+                stop=shot.stop,
+                category=shot.category,
+                features=shot.features,
+            )
+            shot_ids[shot.shot_id] = merged_shot.shot_id
+        for obj in scratch.objects:
+            merged_obj = model.add_object(
+                shot_ids[obj.shot_id],
+                label=obj.label,
+                trajectory=obj.trajectory,
+                dominant_color=obj.dominant_color,
+                mean_area=obj.mean_area,
+            )
+            object_ids[obj.object_id] = merged_obj.object_id
+        for event in scratch.events:
+            model.add_event(
+                shot_ids[event.shot_id],
+                label=event.label,
+                start=event.start,
+                stop=event.stop,
+                confidence=event.confidence,
+                object_id=(
+                    None if event.object_id is None else object_ids[event.object_id]
+                ),
+            )
+        return video_ids
 
     @property
     def indexed_videos(self) -> list[str]:
@@ -356,30 +764,38 @@ class FeatureDetectorEngine:
         staged_outputs: dict[str, dict[str, object]] = {}
         staged_versions: dict[str, int] = {}
         skipped: dict[str, str] = {}
+        # Serve every unaffected detector from the cache up front; each
+        # token has a unique producer, so cached values cannot collide
+        # with tokens the affected subset will (re)produce.
         for name in self.execution_order():
-            decl = self.grammar.detector(name)
-            if name not in affected:
-                staged_outputs[name] = state.outputs[name]
-                staged_versions[name] = state.versions[name]
-                for token, value in state.outputs[name].items():
-                    context.tokens[token] = value
-                report.reused[name] = report.reused.get(name, 0) + 1
+            if name in affected:
                 continue
-            outcome = self._execute(name, context, deadline_at, skipped, health)
-            if outcome.status is DetectorStatus.OK:
-                staged_outputs[name] = {
-                    token: context.tokens.get(token) for token in decl.outputs
-                }
-                staged_versions[name] = self.registry.version(name)
-                report.executed[name] = report.executed.get(name, 0) + 1
-            elif policy.isolation is IsolationPolicy.FAIL_FAST:
-                # Crash consistency: nothing staged is committed, the
-                # cached outputs/versions/context are untouched.
-                health.elapsed = self.runner.clock() - started
-                self.last_health = health
-                self._raise_outcome(outcome)
-            # Skip policies: the detector keeps no staged entry, so it
-            # stays stale and a later revalidation retries it.
+            staged_outputs[name] = state.outputs[name]
+            staged_versions[name] = state.versions[name]
+            for token, value in state.outputs[name].items():
+                context.tokens[token] = value
+            report.reused[name] = report.reused.get(name, 0) + 1
+
+        def on_ok(name: str) -> None:
+            decl = self.grammar.detector(name)
+            staged_outputs[name] = {
+                token: context.tokens.get(token) for token in decl.outputs
+            }
+            staged_versions[name] = self.registry.version(name)
+            report.executed[name] = report.executed.get(name, 0) + 1
+
+        # Skip policies: a non-OK detector keeps no staged entry, so it
+        # stays stale and a later revalidation retries it.
+        failure = self._run_subset(
+            affected, context, deadline_at, skipped, health,
+            self._record_live, None, on_ok,
+        )
+        if failure is not None:
+            # Crash consistency: nothing staged is committed, the
+            # cached outputs/versions/context are untouched.
+            health.elapsed = self.runner.clock() - started
+            self.last_health = health
+            self._raise_outcome(failure)
         health.elapsed = self.runner.clock() - started
         health.degraded = len(health.ok) < len(health.outcomes)
         state.outputs = staged_outputs

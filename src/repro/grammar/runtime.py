@@ -37,6 +37,7 @@ clearing their model layer on entry).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -160,6 +161,11 @@ class RunPolicy:
             historical all-or-nothing behaviour).
         quarantine_after: under ``quarantine``, disable a detector
             engine-wide after it fails on this many consecutive videos.
+        max_workers: thread-pool width for the engine's wave scheduler
+            (``1`` = the historical strictly-sequential walk).  Whatever
+            the width, detector outputs, health reports and meta-index
+            identifiers are byte-identical to a sequential pass — see
+            :mod:`repro.grammar.schedule`.
     """
 
     max_retries: int = 0
@@ -172,6 +178,7 @@ class RunPolicy:
     deadline: float | None = None
     isolation: IsolationPolicy = IsolationPolicy.FAIL_FAST
     quarantine_after: int = 3
+    max_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -180,6 +187,8 @@ class RunPolicy:
             raise ValueError("backoff_base must be >= 0 and backoff_factor >= 1")
         if self.quarantine_after < 1:
             raise ValueError(f"quarantine_after must be >= 1, got {self.quarantine_after}")
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         object.__setattr__(self, "isolation", IsolationPolicy(self.isolation))
 
     def retries_for(self, detector: str) -> int:
@@ -339,6 +348,13 @@ class DetectorRunner:
     One runner serves one engine: it owns the engine-wide quarantine
     state (consecutive per-detector failure counts across videos).
 
+    The quarantine state is thread-safe: the parallel wave scheduler and
+    the per-video staging pool call :meth:`is_quarantined` /
+    :meth:`record_video_result` from many threads concurrently, so every
+    read-modify-write of the counters happens under one re-entrant lock.
+    :meth:`run` itself touches no shared mutable state and may be called
+    concurrently for *different* detectors of the same pass.
+
     Args:
         registry: the detector implementations.
         policy: retry/timeout/isolation configuration.
@@ -358,6 +374,7 @@ class DetectorRunner:
         self.policy = policy or RunPolicy()
         self.clock = clock
         self.sleep = sleep
+        self._lock = threading.RLock()
         self._consecutive_failures: dict[str, int] = {}
         self._quarantined_version: dict[str, int] = {}
 
@@ -369,20 +386,22 @@ class DetectorRunner:
         A registry version different from the one recorded at quarantine
         time (a re-registration or version bump) lifts the quarantine.
         """
-        version = self._quarantined_version.get(name)
-        if version is None:
-            return False
-        if self.registry.version(name) != version:
-            del self._quarantined_version[name]
-            self._consecutive_failures.pop(name, None)
-            return False
-        return True
+        with self._lock:
+            version = self._quarantined_version.get(name)
+            if version is None:
+                return False
+            if self.registry.version(name) != version:
+                del self._quarantined_version[name]
+                self._consecutive_failures.pop(name, None)
+                return False
+            return True
 
     @property
     def quarantined_detectors(self) -> list[str]:
-        return sorted(
-            n for n in list(self._quarantined_version) if self.is_quarantined(n)
-        )
+        with self._lock:
+            return sorted(
+                n for n in list(self._quarantined_version) if self.is_quarantined(n)
+            )
 
     def export_state(self) -> dict:
         """JSON-serialisable quarantine state (persistence snapshot).
@@ -393,10 +412,11 @@ class DetectorRunner:
             quarantine time}}`` — exactly what :meth:`restore_state`
             accepts, so quarantine survives engine restarts.
         """
-        return {
-            "consecutive_failures": dict(self._consecutive_failures),
-            "quarantined_version": dict(self._quarantined_version),
-        }
+        with self._lock:
+            return {
+                "consecutive_failures": dict(self._consecutive_failures),
+                "quarantined_version": dict(self._quarantined_version),
+            }
 
     def restore_state(self, state: dict | None) -> None:
         """Adopt quarantine state exported by :meth:`export_state`.
@@ -410,17 +430,19 @@ class DetectorRunner:
         """
         if state is None:
             return
-        self._consecutive_failures = {
-            str(name): int(count)
-            for name, count in state.get("consecutive_failures", {}).items()
-        }
-        self._quarantined_version = {
-            str(name): int(version)
-            for name, version in state.get("quarantined_version", {}).items()
-        }
+        with self._lock:
+            self._consecutive_failures = {
+                str(name): int(count)
+                for name, count in state.get("consecutive_failures", {}).items()
+            }
+            self._quarantined_version = {
+                str(name): int(version)
+                for name, version in state.get("quarantined_version", {}).items()
+            }
 
     def consecutive_failures(self, name: str) -> int:
-        return self._consecutive_failures.get(name, 0)
+        with self._lock:
+            return self._consecutive_failures.get(name, 0)
 
     def record_video_result(self, name: str, failed: bool) -> None:
         """Track per-video success/failure for the quarantine counter.
@@ -429,17 +451,22 @@ class DetectorRunner:
         for skipped ones).  Under :attr:`IsolationPolicy.QUARANTINE`,
         :attr:`RunPolicy.quarantine_after` consecutive failing videos
         disable the detector until its version changes.
+
+        Thread-safe: concurrent calls from the wave scheduler or the
+        per-video staging pool serialise on the runner's lock, so no
+        increment is ever lost.
         """
-        if failed:
-            count = self._consecutive_failures.get(name, 0) + 1
-            self._consecutive_failures[name] = count
-            if (
-                self.policy.isolation is IsolationPolicy.QUARANTINE
-                and count >= self.policy.quarantine_after
-            ):
-                self._quarantined_version[name] = self.registry.version(name)
-        else:
-            self._consecutive_failures.pop(name, None)
+        with self._lock:
+            if failed:
+                count = self._consecutive_failures.get(name, 0) + 1
+                self._consecutive_failures[name] = count
+                if (
+                    self.policy.isolation is IsolationPolicy.QUARANTINE
+                    and count >= self.policy.quarantine_after
+                ):
+                    self._quarantined_version[name] = self.registry.version(name)
+            else:
+                self._consecutive_failures.pop(name, None)
 
     # -- execution ------------------------------------------------------ #
 

@@ -9,7 +9,8 @@ Python object graphs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.model import CobraModel
@@ -75,7 +76,15 @@ class LibraryIndexer:
             raise ValueError(f"video {plan.name!r} already indexed")
         clip, truth = plan.materialise()
         context = self.fde.index_video(clip)
+        return self._register_video(plan, clip, truth, context)
 
+    def _register_video(self, plan: VideoPlan, clip, truth, context) -> IndexedVideo:
+        """Library-side bookkeeping for one committed video.
+
+        Creates the webspace Video object, links it to its Match, and
+        records the :class:`IndexedVideo` entry.  Mutates shared state,
+        so in a parallel batch only the committer thread calls this.
+        """
         video_obj = self.dataset.instance.create(
             "Video", name=plan.name, n_frames=len(clip)
         )
@@ -100,6 +109,7 @@ class LibraryIndexer:
         checkpoint=None,
         skip: set[str] | frozenset[str] = frozenset(),
         resume: bool = False,
+        workers: int = 1,
     ) -> list[IndexedVideo]:
         """Index the dataset's video plans (optionally only the first *limit*).
 
@@ -121,6 +131,12 @@ class LibraryIndexer:
                 this indexer (restored from a snapshot) instead of
                 raising; with ``resume=False`` the historical behaviour
                 — ``ValueError`` on a duplicate — is kept.
+            workers: videos materialised/staged concurrently.  All
+                shared-state mutation — meta-index merge, journal and
+                checkpoint writes, webspace linking — stays on the
+                calling thread, which commits stages in plan order, so
+                the journal, snapshots and meta-index are byte-identical
+                to a sequential batch.
 
         Returns:
             The videos indexed *by this call* (skipped ones excluded).
@@ -128,19 +144,67 @@ class LibraryIndexer:
         plans = self.dataset.video_plans
         if limit is not None:
             plans = plans[:limit]
+        todo = [
+            plan
+            for plan in plans
+            if plan.name not in skip and not (resume and plan.name in self.indexed)
+        ]
+        if workers <= 1 or len(todo) <= 1:
+            records: list[IndexedVideo] = []
+            for plan in todo:
+                if journal is not None:
+                    journal.begin(plan.name)
+                record = self.index_plan(plan)
+                if checkpoint is not None:
+                    checkpoint()
+                if journal is not None:
+                    degraded = bool(record.health.degraded) if record.health else False
+                    journal.commit(plan.name, degraded=degraded)
+                records.append(record)
+            return records
+        return self._index_all_parallel(todo, journal, checkpoint, workers)
+
+    def _stage_plan(self, plan: VideoPlan):
+        """Worker-thread half of one video: materialise + stage."""
+        clip, truth = plan.materialise()
+        return clip, truth, self.fde.stage_video(clip)
+
+    def _index_all_parallel(
+        self,
+        todo: list[VideoPlan],
+        journal: IndexingJournal | None,
+        checkpoint,
+        workers: int,
+    ) -> list[IndexedVideo]:
+        """Overlap video staging; commit in plan order on this thread.
+
+        Worker threads materialise clips and run the FDE against
+        private scratch models (:meth:`FeatureDetectorEngine.stage_video`);
+        this thread is the single committer: per video, in plan order,
+        it writes the journal ``begin``, merges the stage into the
+        shared meta-index, registers the webspace object, runs the
+        checkpoint and writes the ``commit`` — exactly the sequence (and
+        bytes) of a sequential batch, so the PR 2 crash-safety
+        invariants hold unchanged.
+        """
         records: list[IndexedVideo] = []
-        for plan in plans:
-            if plan.name in skip or (resume and plan.name in self.indexed):
-                continue
-            if journal is not None:
-                journal.begin(plan.name)
-            record = self.index_plan(plan)
-            if checkpoint is not None:
-                checkpoint()
-            if journal is not None:
-                degraded = bool(record.health.degraded) if record.health else False
-                journal.commit(plan.name, degraded=degraded)
-            records.append(record)
+        pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="indexer")
+        try:
+            futures = [pool.submit(self._stage_plan, plan) for plan in todo]
+            for plan, future in zip(todo, futures):
+                if journal is not None:
+                    journal.begin(plan.name)
+                clip, truth, staged = future.result()
+                context = self.fde.commit_staged(staged)
+                record = self._register_video(plan, clip, truth, context)
+                if checkpoint is not None:
+                    checkpoint()
+                if journal is not None:
+                    degraded = bool(record.health.degraded) if record.health else False
+                    journal.commit(plan.name, degraded=degraded)
+                records.append(record)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
         return records
 
     def index_checkpointed(
@@ -149,6 +213,7 @@ class LibraryIndexer:
         journal: IndexingJournal | None = None,
         limit: int | None = None,
         resume: bool = False,
+        workers: int = 1,
     ) -> list[IndexedVideo]:
         """Checkpointed (and resumable) batch indexing.
 
@@ -166,6 +231,10 @@ class LibraryIndexer:
             limit: only the first *limit* plans.
             resume: skip journalled/restored videos instead of starting
                 over; a fresh run (``resume=False``) clears the journal.
+            workers: videos staged concurrently; journal and snapshot
+                writes stay serialized on this thread (see
+                :meth:`index_all`), so the snapshot bytes and resume
+                semantics match a sequential run for any worker count.
 
         Returns:
             The videos indexed by this call (resumed batches return
@@ -193,6 +262,7 @@ class LibraryIndexer:
             checkpoint=checkpoint,
             skip=committed,
             resume=resume,
+            workers=workers,
         )
         if not records and not path.exists():
             checkpoint()  # an empty batch still leaves a loadable snapshot

@@ -15,7 +15,7 @@ Two classifiers over the same features:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

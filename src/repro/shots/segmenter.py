@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.shots.boundary import Boundary, ThresholdCutDetector
+from repro.shots.boundary import ThresholdCutDetector
 from repro.shots.classify import (
     RuleBasedShotClassifier,
     ShotFeatureExtractor,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.storage.index import HashIndex, SortedIndex
-from repro.storage.table import Schema, SchemaError, Table
+from repro.storage.table import SchemaError, Table
 
 __all__ = ["Catalog"]
 

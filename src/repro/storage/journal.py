@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -70,31 +71,39 @@ class JournalReport:
 class IndexingJournal:
     """Durable append-only record of indexing progress.
 
+    Appends are serialized on an internal lock, so stray concurrent
+    writers cannot interleave half-records.  The parallel indexer does
+    not rely on this: it funnels every journal write through its single
+    committer thread, which is what keeps the record *order* (and hence
+    the journal bytes) identical to a sequential run.
+
     Args:
         path: the journal file; created on first append.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
+        self._lock = threading.Lock()
 
     # -- writing -------------------------------------------------------- #
 
     def append(self, record: dict) -> None:
         """Append one record durably (fsync before returning)."""
         data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
-        trip("journal-pre-append")
-        with open(self.path, "ab") as handle:
-            if is_armed("journal-mid-append"):
-                # Simulate dying halfway through the write: flush a
-                # prefix of the record's bytes, then crash.
-                handle.write(data[: max(1, len(data) // 2)])
+        with self._lock:
+            trip("journal-pre-append")
+            with open(self.path, "ab") as handle:
+                if is_armed("journal-mid-append"):
+                    # Simulate dying halfway through the write: flush a
+                    # prefix of the record's bytes, then crash.
+                    handle.write(data[: max(1, len(data) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    trip("journal-mid-append")
+                handle.write(data)
                 handle.flush()
                 os.fsync(handle.fileno())
-                trip("journal-mid-append")
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        trip("journal-post-append")
+            trip("journal-post-append")
 
     def begin(self, video: str) -> None:
         """Record that *video*'s extraction has started."""

@@ -7,7 +7,6 @@ counting for reports, and top-k ordering.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.storage.table import Table
 

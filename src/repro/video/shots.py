@@ -15,7 +15,7 @@ produces frames with that category's signature statistics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,7 +24,6 @@ from repro.video.noise import add_gaussian_noise
 from repro.video.players import (
     FAR_PLAYER,
     NEAR_PLAYER,
-    MotionScript,
     PlayerAppearance,
     draw_player,
     far_player_positions,

@@ -38,7 +38,7 @@ def _player_page(player: WebspaceObject) -> str:
         f"{gender} singles draw. A {hand} player, currently seeded "
         f"{player.get('seed')}.</p>"
         f"{title_sentence}"
-        f"</body></html>"
+        "</body></html>"
     )
 
 
@@ -49,7 +49,7 @@ def _match_page(match: WebspaceObject) -> str:
         f"<p>A {match.get('round')} match of the {match.get('year')} "
         f"Australian Open, won in {match.get('sets')} sets "
         f"({match.get('score')}).</p>"
-        f"</body></html>"
+        "</body></html>"
     )
 
 
@@ -58,16 +58,16 @@ def _video_page(video: WebspaceObject) -> str:
         f"<html><head><title>{video.get('name')}</title></head><body>"
         f"<h1>Video: {video.get('name')}</h1>"
         f"<p>Broadcast footage, {video.get('n_frames')} frames.</p>"
-        f"</body></html>"
+        "</body></html>"
     )
 
 
 def _interview_page(interview: WebspaceObject) -> str:
     return (
-        f"<html><head><title>Interview</title></head><body>"
-        f"<h1>Interview transcript</h1>"
+        "<html><head><title>Interview</title></head><body>"
+        "<h1>Interview transcript</h1>"
         f"<p>{interview.get('text')}</p>"
-        f"</body></html>"
+        "</body></html>"
     )
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.audio.signal import AudioSignal
 from repro.audio.spotting import KeywordSpotter
 from repro.audio.synth import synthesize_utterance
 from repro.grammar.interview import TENNIS_KEYWORDS, build_interview_fde

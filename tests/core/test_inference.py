@@ -1,6 +1,5 @@
 """Grammar inference engine tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.defaults import tennis_grammar

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.model import CobraModel, Layer
+from repro.core.model import CobraModel
 
 
 @pytest.fixture

@@ -22,7 +22,7 @@ def model():
     model = CobraModel()
     video = model.add_video("final_set3", fps=25.0, n_frames=500, match_id=7)
     shot_a = model.add_shot(video.video_id, 0, 200, "tennis", {"entropy": 2.5, "skin_ratio": 0.01})
-    shot_b = model.add_shot(video.video_id, 200, 500, "closeup")
+    model.add_shot(video.video_id, 200, 500, "closeup")
     obj = model.add_object(
         shot_a.shot_id,
         "player",

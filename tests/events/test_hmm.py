@@ -86,7 +86,6 @@ class TestBaumWelch:
         assert (diffs >= -1e-6).all()
 
     def test_improves_over_initial(self):
-        rng = np.random.default_rng(4)
         # Structured data: alternating blocks of symbols.
         train = [np.array([0] * 10 + [3] * 10) for _ in range(4)]
         hmm = make_hmm(seed=2)

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.events.quantize import (
     MOTION_NAMES,
     N_SYMBOLS,
-    SIDE_NAMES,
     ZONE_NAMES,
     CourtZones,
     TrajectoryQuantizer,

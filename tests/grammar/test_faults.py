@@ -5,7 +5,6 @@ import pytest
 from repro.faults import FaultPlan, FaultSpec
 from repro.grammar.runtime import (
     DetectorStatus,
-    DetectorTimeoutError,
     IsolationPolicy,
     PermanentDetectorError,
     RunPolicy,

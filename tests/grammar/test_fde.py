@@ -3,7 +3,6 @@
 import networkx as nx
 import pytest
 
-from repro.core.model import CobraModel
 from repro.grammar.detectors import DetectorRegistry, IndexingContext
 from repro.grammar.fde import FeatureDetectorEngine
 from repro.grammar.grammar import FeatureGrammarError, parse_feature_grammar

@@ -7,7 +7,6 @@ Every test is deterministic: the runner gets a fake clock whose
 import numpy as np
 import pytest
 
-from repro.core.model import CobraModel
 from repro.faults import FaultPlan, FaultSpec
 from repro.grammar.detectors import DetectorRegistry, IndexingContext
 from repro.grammar.fde import FeatureDetectorEngine

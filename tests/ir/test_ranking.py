@@ -1,6 +1,5 @@
 """Ranking function tests."""
 
-import math
 
 import pytest
 

@@ -115,7 +115,6 @@ class TestCatalogExport:
 
     def test_relational_queries_work(self, engine):
         catalog = engine.indexer.export_to_catalog()
-        events = catalog.table("events")
         net_ids = catalog.hash_index("events", "label").lookup("net_play")
         model_count = len(
             [e for e in engine.indexer.model.events if e.label == "net_play"]

@@ -1,0 +1,204 @@
+"""Parallel indexing must be invisible in the results.
+
+The acceptance property of the wave scheduler and the staged committer:
+for any worker count, the final snapshot (tables *and* checksum), the
+journal, and every health report are identical to a sequential run —
+including under fault injection, where failure accounting and quarantine
+transitions happen on worker threads.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.faults import CrashPoint, FaultPlan, FaultSpec, SimulatedCrash
+from repro.grammar.runtime import (
+    IsolationPolicy,
+    PermanentDetectorError,
+    RunPolicy,
+)
+from repro.grammar.tennis import build_tennis_fde
+from repro.library.indexing import LibraryIndexer
+
+N_VIDEOS = 4
+WORKER_MATRIX = [1, 2, 8]
+
+
+def make_indexer(workers: int, policy: RunPolicy | None = None) -> LibraryIndexer:
+    dataset = build_australian_open(seed=7, video_shots=4)
+    if policy is None:
+        policy = RunPolicy()
+    fde = build_tennis_fde(policy=dataclasses.replace(policy, max_workers=workers))
+    return LibraryIndexer(dataset, fde=fde)
+
+
+def snapshot_document(path) -> dict:
+    return json.loads(path.read_text())
+
+
+def outcome_projection(outcome) -> tuple:
+    """Everything deterministic about a DetectorOutcome (no wall clock)."""
+    return (
+        outcome.name,
+        outcome.status,
+        outcome.attempts,
+        outcome.retries,
+        type(outcome.error).__name__ if outcome.error is not None else None,
+        outcome.error_kind,
+        outcome.skipped_because,
+    )
+
+
+def health_projection(indexer: LibraryIndexer) -> list:
+    """Per-video health reports minus the inherently non-deterministic
+    ``elapsed`` fields, preserving outcome order."""
+    out = []
+    for report in indexer.health_reports():
+        out.append(
+            (
+                report.video_name,
+                report.degraded,
+                [outcome_projection(o) for o in report.outcomes.values()],
+            )
+        )
+    return out
+
+
+def checkpointed_run(tmp_path, workers, policy=None, fault_plan=None):
+    path = tmp_path / f"w{workers}" / "meta.json"
+    path.parent.mkdir()
+    indexer = make_indexer(workers, policy=policy)
+    if fault_plan is not None:
+        fault_plan().install(indexer.fde.registry)
+    records = indexer.index_checkpointed(path, limit=N_VIDEOS, workers=workers)
+    journal = path.with_name(path.name + ".journal").read_bytes()
+    return {
+        "records": [record.plan.name for record in records],
+        "document": snapshot_document(path),
+        "journal": journal,
+        "health": health_projection(indexer),
+        "runner_state": indexer.fde.runner.export_state(),
+    }
+
+
+class TestWorkerMatrix:
+    """Snapshot, journal and health identical for workers in {1, 2, 8}."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("matrix")
+        return {w: checkpointed_run(tmp_path, w) for w in WORKER_MATRIX}
+
+    def test_snapshot_tables_identical(self, runs):
+        for workers in WORKER_MATRIX[1:]:
+            assert runs[workers]["document"]["tables"] == runs[1]["document"]["tables"]
+
+    def test_snapshot_checksum_identical(self, runs):
+        for workers in WORKER_MATRIX[1:]:
+            assert runs[workers]["document"]["checksum"] == runs[1]["document"]["checksum"]
+
+    def test_journal_bytes_identical(self, runs):
+        for workers in WORKER_MATRIX[1:]:
+            assert runs[workers]["journal"] == runs[1]["journal"]
+
+    def test_health_reports_identical(self, runs):
+        for workers in WORKER_MATRIX[1:]:
+            assert runs[workers]["health"] == runs[1]["health"]
+
+    def test_all_videos_indexed(self, runs):
+        for workers in WORKER_MATRIX:
+            assert len(runs[workers]["records"]) == N_VIDEOS
+
+
+SKIP_POLICY = RunPolicy(isolation=IsolationPolicy.SKIP_SUBTREE)
+QUARANTINE_POLICY = RunPolicy(
+    isolation=IsolationPolicy.QUARANTINE, quarantine_after=2
+)
+
+
+def failing_tennis_plan() -> FaultPlan:
+    """Permanent failure in the middle of the DAG, every video: the
+    whole ``tennis`` subtree (player, shape, rules) must be skipped
+    identically at any worker count."""
+    return FaultPlan(
+        [FaultSpec(detector="tennis", times=None, error=PermanentDetectorError)]
+    )
+
+
+class TestFaultInjectionMatrix:
+    """Degraded commits and quarantine transitions stay deterministic."""
+
+    @pytest.fixture(scope="class")
+    def skip_runs(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("skip")
+        return {
+            w: checkpointed_run(
+                tmp_path, w, policy=SKIP_POLICY, fault_plan=failing_tennis_plan
+            )
+            for w in WORKER_MATRIX
+        }
+
+    @pytest.fixture(scope="class")
+    def quarantine_runs(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("quarantine")
+        return {
+            w: checkpointed_run(
+                tmp_path, w, policy=QUARANTINE_POLICY, fault_plan=failing_tennis_plan
+            )
+            for w in WORKER_MATRIX
+        }
+
+    def test_skip_subtree_snapshots_identical(self, skip_runs):
+        for workers in WORKER_MATRIX[1:]:
+            assert (
+                skip_runs[workers]["document"]["checksum"]
+                == skip_runs[1]["document"]["checksum"]
+            )
+            assert (
+                skip_runs[workers]["document"]["tables"]
+                == skip_runs[1]["document"]["tables"]
+            )
+
+    def test_skip_subtree_health_identical_and_degraded(self, skip_runs):
+        for workers in WORKER_MATRIX[1:]:
+            assert skip_runs[workers]["health"] == skip_runs[1]["health"]
+        assert all(degraded for _, degraded, _outcomes in skip_runs[1]["health"])
+
+    def test_quarantine_trips_identically(self, quarantine_runs):
+        reference = quarantine_runs[1]["runner_state"]
+        assert reference["quarantined_version"].keys() == {"tennis"}
+        for workers in WORKER_MATRIX[1:]:
+            assert quarantine_runs[workers]["runner_state"] == reference
+
+    def test_quarantine_snapshots_identical(self, quarantine_runs):
+        for workers in WORKER_MATRIX[1:]:
+            assert (
+                quarantine_runs[workers]["document"]["checksum"]
+                == quarantine_runs[1]["document"]["checksum"]
+            )
+
+
+class TestCrashRecoveryParallel:
+    """The PR 2 killed-writer property holds at --workers 4."""
+
+    def test_resume_after_crash_with_workers(self, tmp_path):
+        reference_path = tmp_path / "reference.json"
+        make_indexer(1).index_checkpointed(reference_path, limit=3)
+        reference = snapshot_document(reference_path)
+
+        path = tmp_path / "meta.json"
+        crashed = make_indexer(4)
+        with CrashPoint("snapshot-pre-replace", after=1):
+            with pytest.raises(SimulatedCrash):
+                crashed.index_checkpointed(path, limit=3, workers=4)
+
+        fresh = make_indexer(4)
+        restored = fresh.restore_snapshot(path)
+        assert restored == 1
+        records = fresh.index_checkpointed(path, limit=3, resume=True, workers=4)
+        assert len(records) == 2
+        document = snapshot_document(path)
+        assert document["tables"] == reference["tables"]
+        assert document["checksum"] == reference["checksum"]

@@ -52,7 +52,6 @@ class TestSequenceSearch:
         """Whatever sequences come back satisfy the temporal constraint."""
         query = LibraryQuery(sequence=("service", "rally"), within=200)
         results = engine.search(query)
-        model = engine.indexer.model
         for scene in results:
             assert scene.event_label == "service->rally"
             assert scene.stop > scene.start

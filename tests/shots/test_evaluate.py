@@ -12,7 +12,7 @@ from repro.shots.evaluate import (
     transition_scores,
 )
 from repro.shots.segmenter import SegmentDetector
-from repro.video.ground_truth import GroundTruth, ShotTruth, TransitionTruth
+from repro.video.ground_truth import GroundTruth, TransitionTruth
 
 
 def cuts(*frames):

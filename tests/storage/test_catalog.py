@@ -46,7 +46,7 @@ class TestIndexes:
         assert first is second
 
     def test_hash_index_auto_refresh(self, catalog):
-        index = catalog.create_hash_index("shots", "category")
+        catalog.create_hash_index("shots", "category")
         catalog.table("shots").append({"shot_id": 2, "category": "tennis"})
         fresh = catalog.hash_index("shots", "category")
         assert list(fresh.lookup("tennis")) == [0, 1]

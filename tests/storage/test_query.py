@@ -44,7 +44,9 @@ class TestHashJoin:
     def test_swapped_sides_same_rows(self, videos, shots):
         a = hash_join(videos, shots, "video_id", "video_id")
         b = hash_join(shots, videos, "video_id", "video_id")
-        key = lambda r: (r["l_video_id"], r["shot_id"])
+        def key(r):
+            return (r["l_video_id"], r["shot_id"])
+
         assert sorted(key(r) for r in a) == sorted(key(r) for r in b)
 
     def test_empty_result(self, videos):

@@ -5,7 +5,6 @@ Table and a plain-Python reference model; any divergence is a bug in the
 column store's buffer management or masking.
 """
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule

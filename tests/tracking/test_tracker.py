@@ -41,8 +41,6 @@ class TestTracker:
         assert observation.shape.aspect_ratio > 0.5
 
     def test_dominant_color_is_shirt(self, tennis_clips):
-        from repro.video.players import NEAR_PLAYER
-
         clip, _ = tennis_clips["rally"]
         track = PlayerTracker().track(list(clip))
         observation = next(p.observation for p in track.points if p.found)

@@ -1,7 +1,6 @@
 """Court renderer tests."""
 
 import numpy as np
-import pytest
 
 from repro.video.court import (
     AUSTRALIAN_OPEN_STYLE,
