@@ -10,6 +10,16 @@ parallel (workers=4) indexing never regresses below sequential::
         --baseline test_e14_sequential_indexing \\
         --candidate test_e14_parallel_indexing \\
         --tolerance 0.10
+
+With ``--min-speedup`` the gate flips into speedup mode: the candidate
+must be at least that many times *faster* than the baseline.  The E15
+entry uses it to guarantee cached query serving keeps beating cold
+evaluation::
+
+    python benchmarks/check_regression.py bench.json \\
+        --baseline test_e15_uncached_query \\
+        --candidate test_e15_cached_query \\
+        --min-speedup 10
 """
 
 from __future__ import annotations
@@ -47,11 +57,32 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed slowdown fraction (0.10 = candidate may take up to "
         "110%% of the baseline median)",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="speedup mode: the candidate must be at least this many "
+        "times faster than the baseline (overrides --tolerance)",
+    )
     args = parser.parse_args(argv)
 
     report = json.loads(Path(args.report).read_text())
     baseline = median_of(report, args.baseline)
     candidate = median_of(report, args.candidate)
+
+    if args.min_speedup is not None:
+        speedup = baseline / candidate if candidate > 0 else float("inf")
+        print(
+            f"baseline  {args.baseline}: {baseline:.6f}s\n"
+            f"candidate {args.candidate}: {candidate:.6f}s "
+            f"({speedup:.1f}x faster, gate {args.min_speedup:.1f}x)"
+        )
+        if speedup < args.min_speedup:
+            print("FAIL: candidate speedup below the gate", file=sys.stderr)
+            return 1
+        print("OK: candidate speedup meets the gate")
+        return 0
+
     limit = baseline * (1.0 + args.tolerance)
     ratio = candidate / baseline if baseline > 0 else float("inf")
     print(

@@ -48,6 +48,17 @@ Subcommands::
         and journal consistency; exits non-zero with a readable report
         when anything is corrupt.
 
+    repro query-stats --seed S --metaindex META.json "QUERY" ["QUERY"...]
+        Serve the given queries (each --repeat times) through the
+        cached query-serving layer and print the QueryStats report:
+        per-stage timers, cache hit/miss/eviction counters and
+        postings-processed accounting.
+
+    repro serve-bench --seed S --videos N --threads T --requests R
+        Query-serving driver: index N videos, then measure cold
+        (uncached) vs warm (cached) latency over a fixed query mix and
+        multi-threaded reader throughput against the shared cache.
+
 All commands are deterministic in their seeds.
 """
 
@@ -119,6 +130,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal",
         default=None,
         help="indexing journal path (default: <metaindex>.journal)",
+    )
+
+    stats_query_cmd = sub.add_parser(
+        "query-stats", help="serve queries through the cache and report QueryStats"
+    )
+    stats_query_cmd.add_argument("--seed", type=int, default=7, help="dataset seed (must match index run)")
+    stats_query_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+    stats_query_cmd.add_argument(
+        "--repeat", type=int, default=3, help="times each query is served"
+    )
+    stats_query_cmd.add_argument(
+        "--cache-size", type=int, default=256, help="result-cache capacity (LRU)"
+    )
+    stats_query_cmd.add_argument(
+        "queries", nargs="+", help="queries, e.g. 'SCENES WHERE event = net_play'"
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve-bench", help="measure warm/cold serving latency and reader throughput"
+    )
+    serve_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
+    serve_cmd.add_argument("--videos", type=int, default=2, help="videos to index first")
+    serve_cmd.add_argument("--threads", type=int, default=4, help="concurrent readers")
+    serve_cmd.add_argument(
+        "--requests", type=int, default=50, help="requests per reader thread"
+    )
+    serve_cmd.add_argument(
+        "--cache-size", type=int, default=256, help="result-cache capacity (LRU)"
     )
 
     def add_policy_options(cmd, default_policy: str) -> None:
@@ -414,6 +453,93 @@ def _cmd_fsck(args) -> int:
     return 0
 
 
+def _cmd_query_stats(args) -> int:
+    from repro.dataset import build_australian_open
+    from repro.library import DigitalLibraryEngine, LibrarySearchService, parse_query
+    from repro.library.persistence import load_model
+    from repro.library.service import format_query_stats
+
+    dataset = build_australian_open(seed=args.seed)
+    engine = DigitalLibraryEngine(dataset)
+    restored = engine.indexer.restore(load_model(args.metaindex))
+    print(f"restored {restored} indexed video(s)")
+    service = LibrarySearchService(engine, cache_size=args.cache_size)
+
+    queries = [parse_query(text) for text in args.queries]
+    for text, query in zip(args.queries, queries):
+        for _ in range(max(args.repeat, 1)):
+            served = service.search(query)
+        origin = "cache" if served.cache_hit else "engine"
+        print(
+            f"{text!r}: {len(served.results)} scene(s), "
+            f"last served from {origin} in {served.seconds * 1e3:.2f} ms"
+        )
+    print()
+    print(format_query_stats(service.stats()))
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.dataset import build_australian_open
+    from repro.library import (
+        DigitalLibraryEngine,
+        LibraryQuery,
+        LibrarySearchService,
+    )
+    from repro.library.service import format_query_stats
+
+    dataset = build_australian_open(seed=args.seed)
+    engine = DigitalLibraryEngine(dataset)
+    service = LibrarySearchService(engine, cache_size=args.cache_size)
+    for plan in dataset.video_plans[: args.videos]:
+        service.index_plan(plan)
+    print(f"indexed {args.videos} video(s); generation {service.generation}")
+
+    mix = [
+        LibraryQuery(top_n=100),
+        LibraryQuery(event="rally"),
+        LibraryQuery(event="net_play", text="approach the net"),
+        LibraryQuery(player={"gender": "female"}, event="service"),
+        LibraryQuery(sequence=("service", "rally"), within=500),
+        LibraryQuery(text="champion wins in straight sets"),
+    ]
+
+    def run_pass(bypass_cache: bool) -> float:
+        started = time.perf_counter()
+        for query in mix:
+            service.search(query, bypass_cache=bypass_cache)
+        return (time.perf_counter() - started) / len(mix)
+
+    cold = run_pass(bypass_cache=True)
+    run_pass(bypass_cache=False)  # populate
+    warm = run_pass(bypass_cache=False)
+    speedup = cold / warm if warm > 0 else float("inf")
+    print(
+        f"cold latency {cold * 1e3:.3f} ms/query, "
+        f"warm latency {warm * 1e3:.3f} ms/query, speedup {speedup:.1f}x"
+    )
+
+    def reader(reader_id: int) -> int:
+        for step in range(args.requests):
+            service.search(mix[(reader_id + step) % len(mix)])
+        return args.requests
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=args.threads) as pool:
+        served = sum(pool.map(reader, range(args.threads)))
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.threads} reader(s) x {args.requests} request(s): "
+        f"{served / elapsed:.0f} queries/s over {elapsed:.2f}s"
+    )
+    print()
+    print(format_query_stats(service.stats()))
+    return 0
+
+
 def _index_with_policy(args, make_fault_plan=None) -> int:
     """Shared driver of ``health`` and ``faults``: index and report."""
     from repro.dataset import build_australian_open
@@ -494,6 +620,8 @@ _COMMANDS = {
     "export-mpeg7": _cmd_export_mpeg7,
     "build-site": _cmd_build_site,
     "stats": _cmd_stats,
+    "query-stats": _cmd_query_stats,
+    "serve-bench": _cmd_serve_bench,
     "fsck": _cmd_fsck,
     "health": _cmd_health,
     "faults": _cmd_faults,

@@ -27,7 +27,18 @@ from dataclasses import dataclass, field
 from repro.ir.inverted_index import InvertedIndex, Posting
 from repro.ir.ranking import RankedHit, bm25_score, tf_idf_score
 
-__all__ = ["FragmentedIndex", "TopNResult"]
+__all__ = ["FragmentedIndex", "TopNResult", "full_scan_postings"]
+
+
+def full_scan_postings(index: InvertedIndex, query_terms: list[str]) -> int:
+    """Postings a full-scan evaluation of *query_terms* scores.
+
+    The machine-independent cost of :func:`~repro.ir.ranking
+    .rank_full_scan` — each query term contributes its whole postings
+    list (duplicated terms are scored twice, as in the scan itself).
+    The query-serving layer reports it per text stage.
+    """
+    return sum(index.document_frequency(term) for term in query_terms)
 
 
 @dataclass

@@ -12,7 +12,9 @@ they approach the net".
 - :mod:`repro.library.query` — the combined concept + content + text
   query structure,
 - :mod:`repro.library.results` — scene results and score fusion,
-- :mod:`repro.library.engine` — the facade.
+- :mod:`repro.library.engine` — the facade,
+- :mod:`repro.library.service` — the concurrent query-serving layer
+  (generation-keyed result cache, snapshot-isolated reads, QueryStats).
 """
 
 from repro.library.query import LibraryQuery
@@ -21,12 +23,24 @@ from repro.library.indexing import LibraryIndexer
 from repro.library.engine import DigitalLibraryEngine
 from repro.library.parser import parse_query, QuerySyntaxError
 from repro.library.persistence import save_model, load_model
+from repro.library.service import (
+    LibrarySearchService,
+    QueryStats,
+    QueryTrace,
+    ServedQuery,
+    canonical_query_key,
+)
 
 __all__ = [
     "LibraryQuery",
     "SceneResult",
     "LibraryIndexer",
     "DigitalLibraryEngine",
+    "LibrarySearchService",
+    "QueryStats",
+    "QueryTrace",
+    "ServedQuery",
+    "canonical_query_key",
     "parse_query",
     "QuerySyntaxError",
     "save_model",

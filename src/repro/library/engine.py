@@ -20,10 +20,11 @@ from repro.dataset.build import TournamentDataset
 from repro.grammar.fde import FeatureDetectorEngine
 from repro.ir.inverted_index import InvertedIndex
 from repro.ir.ranking import RankedHit, rank_full_scan
-from repro.ir.topn import FragmentedIndex
+from repro.ir.topn import FragmentedIndex, full_scan_postings
 from repro.library.indexing import LibraryIndexer
 from repro.library.query import LibraryQuery
 from repro.library.results import SceneResult, fuse_scores
+from repro.library.service import QueryTrace
 from repro.webspace.instances import WebspaceObject
 
 __all__ = ["DigitalLibraryEngine"]
@@ -48,6 +49,19 @@ class DigitalLibraryEngine:
         self.indexer = LibraryIndexer(dataset, fde=fde)
         self.text_index = InvertedIndex(dataset.pages)
         self.fragmented_index = FragmentedIndex(self.text_index, n_fragments=n_fragments)
+        self._text_generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone index generation: video commits + text refreshes.
+
+        Bumped on every meta-index commit (video registered or snapshot
+        restored) and on every *effective* text-index refresh.  The
+        query-serving layer (:mod:`repro.library.service`) keys its
+        result cache on it, which makes serving a stale result
+        impossible by construction.
+        """
+        return self.indexer.generation + self._text_generation
 
     # ------------------------------------------------------------------ #
     # Build steps
@@ -72,11 +86,20 @@ class DigitalLibraryEngine:
         return self.indexer.degraded_videos()
 
     def refresh_text_index(self) -> None:
-        """Re-index pages added since construction."""
+        """Re-index pages added since construction.
+
+        A no-op when no pages were added: the fragmented index is kept
+        as-is and the generation does not move, so warm caches stay
+        warm.  (It used to rebuild the full fragmented index on every
+        call.)
+        """
+        if len(self.dataset.pages) == self.text_index.n_documents:
+            return
         self.text_index.refresh()
         self.fragmented_index = FragmentedIndex(
             self.text_index, n_fragments=self.fragmented_index.n_fragments
         )
+        self._text_generation += 1
 
     # ------------------------------------------------------------------ #
     # Query parts
@@ -111,9 +134,13 @@ class DigitalLibraryEngine:
                     out.setdefault(video.get("name"), set()).add(player.get("name"))
         return out
 
-    def text_scores(self, text: str, n: int = 50) -> dict[int, float]:
+    def text_scores(
+        self, text: str, n: int = 50, trace: QueryTrace | None = None
+    ) -> dict[int, float]:
         """doc id -> score for the free-text part (full evaluation)."""
         terms = self.dataset.pages.query_terms(text)
+        if trace is not None:
+            trace.add_postings(full_scan_postings(self.text_index, terms))
         hits = rank_full_scan(self.text_index, terms, n)
         return {hit.doc_id: hit.score for hit in hits}
 
@@ -121,76 +148,96 @@ class DigitalLibraryEngine:
     # Combined search
     # ------------------------------------------------------------------ #
 
-    def search(self, query: LibraryQuery) -> list[SceneResult]:
-        """Evaluate a combined query; results best-first."""
+    def search(
+        self, query: LibraryQuery, trace: QueryTrace | None = None
+    ) -> list[SceneResult]:
+        """Evaluate a combined query; results best-first.
+
+        Args:
+            query: the combined query.
+            trace: optional :class:`~repro.library.service.QueryTrace`
+                recording per-stage wall time (``concept_filter``,
+                ``text_topn``, ``scene_scan`` with ``sequence_match`` as
+                its sub-stage, ``rank_merge``) and postings accounting.
+        """
+        if trace is None:
+            trace = QueryTrace()
         model = self.indexer.model
 
-        if query.has_concept_part:
-            players = self.concept_players(query.player)
-            if not players:
-                return []
-            video_players = self.videos_of_players(players)
-        else:
-            video_players = {
-                video.name: set() for video in model.videos
-            }
+        with trace.stage("concept_filter"):
+            if query.has_concept_part:
+                players = self.concept_players(query.player)
+                if not players:
+                    return []
+                video_players = self.videos_of_players(players)
+            else:
+                video_players = {
+                    video.name: set() for video in model.videos
+                }
 
         text_by_video: dict[str, float] = {}
         if query.has_text_part:
-            scores = self.text_scores(query.text)
-            text_by_video = self._text_scores_per_video(scores, video_players)
+            with trace.stage("text_topn"):
+                scores = self.text_scores(query.text, trace=trace)
+                text_by_video = self._text_scores_per_video(scores, video_players)
 
         results: list[SceneResult] = []
-        for video in model.videos:
-            if video.name not in video_players:
-                continue
-            match_title = self._match_title_of(video.name)
-            names = tuple(sorted(video_players[video.name]))
-            text_score = text_by_video.get(video.name)
-            if query.has_content_part:
-                for event in model.events_of(video_id=video.video_id, label=query.event):
+        with trace.stage("scene_scan"):
+            for video in model.videos:
+                if video.name not in video_players:
+                    continue
+                match_title = self._match_title_of(video.name)
+                names = tuple(sorted(video_players[video.name]))
+                text_score = text_by_video.get(video.name)
+                if query.has_content_part:
+                    for event in model.events_of(
+                        video_id=video.video_id, label=query.event
+                    ):
+                        results.append(
+                            SceneResult(
+                                video_name=video.name,
+                                start=event.start,
+                                stop=event.stop,
+                                event_label=event.label,
+                                match_title=match_title,
+                                players=names,
+                                score=fuse_scores(event.confidence, text_score),
+                            )
+                        )
+                elif query.has_sequence_part:
+                    with trace.stage("sequence_match"):
+                        pairs = self._event_sequences(
+                            video.video_id, query.sequence, query.within
+                        )
+                    for first, then in pairs:
+                        results.append(
+                            SceneResult(
+                                video_name=video.name,
+                                start=first.start,
+                                stop=then.stop,
+                                event_label=f"{first.label}->{then.label}",
+                                match_title=match_title,
+                                players=names,
+                                score=fuse_scores(
+                                    min(first.confidence, then.confidence), text_score
+                                ),
+                            )
+                        )
+                else:
                     results.append(
                         SceneResult(
                             video_name=video.name,
-                            start=event.start,
-                            stop=event.stop,
-                            event_label=event.label,
+                            start=0,
+                            stop=video.n_frames,
+                            event_label=None,
                             match_title=match_title,
                             players=names,
-                            score=fuse_scores(event.confidence, text_score),
+                            score=fuse_scores(1.0, text_score),
                         )
                     )
-            elif query.has_sequence_part:
-                for first, then in self._event_sequences(
-                    video.video_id, query.sequence, query.within
-                ):
-                    results.append(
-                        SceneResult(
-                            video_name=video.name,
-                            start=first.start,
-                            stop=then.stop,
-                            event_label=f"{first.label}->{then.label}",
-                            match_title=match_title,
-                            players=names,
-                            score=fuse_scores(
-                                min(first.confidence, then.confidence), text_score
-                            ),
-                        )
-                    )
-            else:
-                results.append(
-                    SceneResult(
-                        video_name=video.name,
-                        start=0,
-                        stop=video.n_frames,
-                        event_label=None,
-                        match_title=match_title,
-                        players=names,
-                        score=fuse_scores(1.0, text_score),
-                    )
-                )
-        results.sort(key=lambda r: (-r.score, r.video_name, r.start))
-        return results[: query.top_n]
+        with trace.stage("rank_merge"):
+            results.sort(key=lambda r: (-r.score, r.video_name, r.start))
+            return results[: query.top_n]
 
     def _event_sequences(
         self, video_id: int, sequence: tuple[str, str], within: int
@@ -264,12 +311,17 @@ class DigitalLibraryEngine:
         self._meta_catalog = self.indexer.export_to_catalog()
         self._ws_evaluator = RelationalConceptEvaluator(self.dataset.instance)
 
-    def search_relational(self, query: LibraryQuery) -> list[SceneResult]:
+    def search_relational(
+        self, query: LibraryQuery, trace: QueryTrace | None = None
+    ) -> list[SceneResult]:
         """Evaluate a combined query against the relational snapshot.
 
         Produces exactly the results of :meth:`search` (asserted by the
-        test suite); requires :meth:`build_relational` first.
+        test suite); requires :meth:`build_relational` first.  *trace*
+        records the same stages as :meth:`search`.
         """
+        if trace is None:
+            trace = QueryTrace()
         meta = getattr(self, "_meta_catalog", None)
         ws = getattr(self, "_ws_evaluator", None)
         if meta is None or ws is None:
@@ -277,107 +329,119 @@ class DigitalLibraryEngine:
 
         # Concept part: filter ws_Player, then walk the link tables
         # played -> recorded_in to the videos.
-        if query.has_concept_part:
-            players = [
-                row
-                for row in ws.catalog.table("ws_Player").scan()
-                if self._player_row_matches(row, query.player)
-            ]
-            if not players:
-                return []
-            video_players = self._videos_of_player_rows(ws, players)
-        else:
-            video_players = {
-                row["name"]: set() for row in meta.table("videos").scan()
-            }
+        with trace.stage("concept_filter"):
+            if query.has_concept_part:
+                players = [
+                    row
+                    for row in ws.catalog.table("ws_Player").scan()
+                    if self._player_row_matches(row, query.player)
+                ]
+                if not players:
+                    return []
+                video_players = self._videos_of_player_rows(ws, players)
+            else:
+                video_players = {
+                    row["name"]: set() for row in meta.table("videos").scan()
+                }
 
         text_by_video: dict[str, float] = {}
         if query.has_text_part:
-            scores = self.text_scores(query.text)
-            text_by_video = self._text_scores_per_video(scores, video_players)
+            with trace.stage("text_topn"):
+                scores = self.text_scores(query.text, trace=trace)
+                text_by_video = self._text_scores_per_video(scores, video_players)
 
         # Content part: events (by label index) joined to shots to videos.
-        shots_by_id = {row["shot_id"]: row for row in meta.table("shots").scan()}
-        videos_by_id = {row["video_id"]: row for row in meta.table("videos").scan()}
-        results: list[SceneResult] = []
-        if query.has_content_part:
-            events_table = meta.table("events")
-            for row_id in meta.hash_index("events", "label").lookup(query.event):
-                event = events_table.row(int(row_id))
-                shot = shots_by_id[event["shot_id"]]
-                video = videos_by_id[shot["video_id"]]
-                if video["name"] not in video_players:
-                    continue
-                names = tuple(sorted(video_players[video["name"]]))
-                results.append(
-                    SceneResult(
-                        video_name=video["name"],
-                        start=event["start"],
-                        stop=event["stop"],
-                        event_label=event["label"],
-                        match_title=self._match_title_of(video["name"]),
-                        players=names,
-                        score=fuse_scores(
-                            event["confidence"], text_by_video.get(video["name"])
-                        ),
-                    )
-                )
-        elif query.has_sequence_part:
-            first_label, then_label = query.sequence
-            events_table = meta.table("events")
-            index = meta.hash_index("events", "label")
-
-            def rows_of(label):
-                by_video: dict[int, list[dict]] = {}
-                for row_id in index.lookup(label):
+        with trace.stage("scene_scan"):
+            shots_by_id = {row["shot_id"]: row for row in meta.table("shots").scan()}
+            videos_by_id = {row["video_id"]: row for row in meta.table("videos").scan()}
+            results: list[SceneResult] = []
+            if query.has_content_part:
+                events_table = meta.table("events")
+                for row_id in meta.hash_index("events", "label").lookup(query.event):
                     event = events_table.row(int(row_id))
-                    video_id = shots_by_id[event["shot_id"]]["video_id"]
-                    by_video.setdefault(video_id, []).append(event)
-                return by_video
-
-            firsts = rows_of(first_label)
-            thens = rows_of(then_label)
-            for video_id, first_events in firsts.items():
-                video = videos_by_id[video_id]
-                if video["name"] not in video_players:
-                    continue
-                names = tuple(sorted(video_players[video["name"]]))
-                for first in first_events:
-                    for then in thens.get(video_id, []):
-                        gap = then["start"] - first["stop"]
-                        if 0 <= gap <= query.within:
-                            results.append(
-                                SceneResult(
-                                    video_name=video["name"],
-                                    start=first["start"],
-                                    stop=then["stop"],
-                                    event_label=f"{first['label']}->{then['label']}",
-                                    match_title=self._match_title_of(video["name"]),
-                                    players=names,
-                                    score=fuse_scores(
-                                        min(first["confidence"], then["confidence"]),
-                                        text_by_video.get(video["name"]),
-                                    ),
-                                )
-                            )
-        else:
-            for video in videos_by_id.values():
-                if video["name"] not in video_players:
-                    continue
-                names = tuple(sorted(video_players[video["name"]]))
-                results.append(
-                    SceneResult(
-                        video_name=video["name"],
-                        start=0,
-                        stop=video["n_frames"],
-                        event_label=None,
-                        match_title=self._match_title_of(video["name"]),
-                        players=names,
-                        score=fuse_scores(1.0, text_by_video.get(video["name"])),
+                    shot = shots_by_id[event["shot_id"]]
+                    video = videos_by_id[shot["video_id"]]
+                    if video["name"] not in video_players:
+                        continue
+                    names = tuple(sorted(video_players[video["name"]]))
+                    results.append(
+                        SceneResult(
+                            video_name=video["name"],
+                            start=event["start"],
+                            stop=event["stop"],
+                            event_label=event["label"],
+                            match_title=self._match_title_of(video["name"]),
+                            players=names,
+                            score=fuse_scores(
+                                event["confidence"], text_by_video.get(video["name"])
+                            ),
+                        )
                     )
-                )
-        results.sort(key=lambda r: (-r.score, r.video_name, r.start))
-        return results[: query.top_n]
+            elif query.has_sequence_part:
+                with trace.stage("sequence_match"):
+                    first_label, then_label = query.sequence
+                    events_table = meta.table("events")
+                    index = meta.hash_index("events", "label")
+
+                    def rows_of(label):
+                        by_video: dict[int, list[dict]] = {}
+                        for row_id in index.lookup(label):
+                            event = events_table.row(int(row_id))
+                            video_id = shots_by_id[event["shot_id"]]["video_id"]
+                            by_video.setdefault(video_id, []).append(event)
+                        return by_video
+
+                    firsts = rows_of(first_label)
+                    thens = rows_of(then_label)
+                    for video_id, first_events in firsts.items():
+                        video = videos_by_id[video_id]
+                        if video["name"] not in video_players:
+                            continue
+                        names = tuple(sorted(video_players[video["name"]]))
+                        for first in first_events:
+                            for then in thens.get(video_id, []):
+                                gap = then["start"] - first["stop"]
+                                if 0 <= gap <= query.within:
+                                    results.append(
+                                        SceneResult(
+                                            video_name=video["name"],
+                                            start=first["start"],
+                                            stop=then["stop"],
+                                            event_label=(
+                                                f"{first['label']}->{then['label']}"
+                                            ),
+                                            match_title=self._match_title_of(
+                                                video["name"]
+                                            ),
+                                            players=names,
+                                            score=fuse_scores(
+                                                min(
+                                                    first["confidence"],
+                                                    then["confidence"],
+                                                ),
+                                                text_by_video.get(video["name"]),
+                                            ),
+                                        )
+                                    )
+            else:
+                for video in videos_by_id.values():
+                    if video["name"] not in video_players:
+                        continue
+                    names = tuple(sorted(video_players[video["name"]]))
+                    results.append(
+                        SceneResult(
+                            video_name=video["name"],
+                            start=0,
+                            stop=video["n_frames"],
+                            event_label=None,
+                            match_title=self._match_title_of(video["name"]),
+                            players=names,
+                            score=fuse_scores(1.0, text_by_video.get(video["name"])),
+                        )
+                    )
+        with trace.stage("rank_merge"):
+            results.sort(key=lambda r: (-r.score, r.video_name, r.start))
+            return results[: query.top_n]
 
     @staticmethod
     def _player_row_matches(row: dict, constraints: dict[str, object]) -> bool:

@@ -10,6 +10,7 @@ Python object graphs).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -65,6 +66,10 @@ class LibraryIndexer:
         self.dataset = dataset
         self.fde = fde or build_tennis_fde()
         self.indexed: dict[str, IndexedVideo] = {}
+        #: Monotone commit counter: +1 per registered video, +1 per
+        #: restored snapshot.  The query-serving layer keys its result
+        #: cache on it (see :mod:`repro.library.service`).
+        self.generation = 0
 
     @property
     def model(self) -> CobraModel:
@@ -99,7 +104,18 @@ class LibraryIndexer:
             health=getattr(context, "health", None),
         )
         self.indexed[plan.name] = record
+        self.generation += 1
         return record
+
+    def commit_staged_plan(self, plan: VideoPlan, clip, truth, staged) -> IndexedVideo:
+        """Commit one staged detector pass and register its video.
+
+        The counterpart of :meth:`FeatureDetectorEngine.stage_video`:
+        staging runs anywhere, this merge mutates shared state and must
+        run on (or be serialized with) the committer thread.
+        """
+        context = self.fde.commit_staged(staged)
+        return self._register_video(plan, clip, truth, context)
 
     def index_all(
         self,
@@ -110,6 +126,7 @@ class LibraryIndexer:
         skip: set[str] | frozenset[str] = frozenset(),
         resume: bool = False,
         workers: int = 1,
+        commit_lock=None,
     ) -> list[IndexedVideo]:
         """Index the dataset's video plans (optionally only the first *limit*).
 
@@ -137,6 +154,12 @@ class LibraryIndexer:
                 calling thread, which commits stages in plan order, so
                 the journal, snapshots and meta-index are byte-identical
                 to a sequential batch.
+            commit_lock: zero-argument callable returning a context
+                manager, entered around each video's shared-state
+                mutation (detector commit, webspace linking, checkpoint
+                and journal writes).  The query-serving layer passes its
+                write lock here so concurrent readers only ever observe
+                whole-video commits.
 
         Returns:
             The videos indexed *by this call* (skipped ones excluded).
@@ -149,20 +172,22 @@ class LibraryIndexer:
             for plan in plans
             if plan.name not in skip and not (resume and plan.name in self.indexed)
         ]
+        lock = commit_lock if commit_lock is not None else nullcontext
         if workers <= 1 or len(todo) <= 1:
             records: list[IndexedVideo] = []
             for plan in todo:
-                if journal is not None:
-                    journal.begin(plan.name)
-                record = self.index_plan(plan)
-                if checkpoint is not None:
-                    checkpoint()
-                if journal is not None:
-                    degraded = bool(record.health.degraded) if record.health else False
-                    journal.commit(plan.name, degraded=degraded)
+                with lock():
+                    if journal is not None:
+                        journal.begin(plan.name)
+                    record = self.index_plan(plan)
+                    if checkpoint is not None:
+                        checkpoint()
+                    if journal is not None:
+                        degraded = bool(record.health.degraded) if record.health else False
+                        journal.commit(plan.name, degraded=degraded)
                 records.append(record)
             return records
-        return self._index_all_parallel(todo, journal, checkpoint, workers)
+        return self._index_all_parallel(todo, journal, checkpoint, workers, lock)
 
     def _stage_plan(self, plan: VideoPlan):
         """Worker-thread half of one video: materialise + stage."""
@@ -175,6 +200,7 @@ class LibraryIndexer:
         journal: IndexingJournal | None,
         checkpoint,
         workers: int,
+        lock=nullcontext,
     ) -> list[IndexedVideo]:
         """Overlap video staging; commit in plan order on this thread.
 
@@ -192,16 +218,16 @@ class LibraryIndexer:
         try:
             futures = [pool.submit(self._stage_plan, plan) for plan in todo]
             for plan, future in zip(todo, futures):
-                if journal is not None:
-                    journal.begin(plan.name)
                 clip, truth, staged = future.result()
-                context = self.fde.commit_staged(staged)
-                record = self._register_video(plan, clip, truth, context)
-                if checkpoint is not None:
-                    checkpoint()
-                if journal is not None:
-                    degraded = bool(record.health.degraded) if record.health else False
-                    journal.commit(plan.name, degraded=degraded)
+                with lock():
+                    if journal is not None:
+                        journal.begin(plan.name)
+                    record = self.commit_staged_plan(plan, clip, truth, staged)
+                    if checkpoint is not None:
+                        checkpoint()
+                    if journal is not None:
+                        degraded = bool(record.health.degraded) if record.health else False
+                        journal.commit(plan.name, degraded=degraded)
                 records.append(record)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
@@ -214,6 +240,7 @@ class LibraryIndexer:
         limit: int | None = None,
         resume: bool = False,
         workers: int = 1,
+        commit_lock=None,
     ) -> list[IndexedVideo]:
         """Checkpointed (and resumable) batch indexing.
 
@@ -235,6 +262,9 @@ class LibraryIndexer:
                 writes stay serialized on this thread (see
                 :meth:`index_all`), so the snapshot bytes and resume
                 semantics match a sequential run for any worker count.
+            commit_lock: per-video commit lock factory (see
+                :meth:`index_all`); the query-serving layer uses it to
+                land commits atomically between queries.
 
         Returns:
             The videos indexed by this call (resumed batches return
@@ -263,6 +293,7 @@ class LibraryIndexer:
             skip=committed,
             resume=resume,
             workers=workers,
+            commit_lock=commit_lock,
         )
         if not records and not path.exists():
             checkpoint()  # an empty batch still leaves a loadable snapshot
@@ -304,6 +335,7 @@ class LibraryIndexer:
         if self.indexed:
             raise ValueError("cannot restore into an indexer that already indexed videos")
         self.fde.model = model
+        self.generation += 1  # the adopted snapshot is a new generation
         plans_by_name = {plan.name: plan for plan in self.dataset.video_plans}
         restored = 0
         for video in model.videos:

@@ -1,0 +1,413 @@
+"""The concurrent query-serving layer.
+
+:class:`LibrarySearchService` wraps a
+:class:`~repro.library.engine.DigitalLibraryEngine` for repeated and
+concurrent use:
+
+- **Generation-keyed result cache.**  Results are cached under
+  ``(generation, canonical_query_key(query))``, where the generation is
+  the engine's monotone index-generation counter (bumped on every video
+  commit and on every effective text-index refresh).  A commit changes
+  the generation, so a stale entry can never be served — staleness is
+  impossible by construction, no explicit invalidation protocol needed.
+- **Snapshot-isolated reads.**  Queries run under the read side of a
+  readers-writer lock; commits (video registration, text refresh,
+  relational rebuild) take the write side.  A query therefore evaluates
+  against one pinned generation — it can never observe a half-committed
+  video — while expensive writer work (clip materialisation, detector
+  staging) happens outside the lock.
+- **Observability.**  Per-stage wall-clock timers (concept filter, text
+  top-N, scene scan, sequence match, rank merge), cache hit/miss/
+  eviction counters and postings-processed accounting are aggregated
+  into a :class:`QueryStats` report (``repro query-stats`` prints it).
+
+The invariants the stress suite enforces: every served result carries a
+generation >= the generation observed at request start, and the result
+set is exactly what a fresh evaluation at that generation produces.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.library.query import LibraryQuery
+from repro.library.results import SceneResult
+
+__all__ = [
+    "LibrarySearchService",
+    "QueryStats",
+    "QueryTrace",
+    "ServedQuery",
+    "canonical_query_key",
+]
+
+#: Stage names in report order (a query touches a subset of these).
+STAGES = ("concept_filter", "text_topn", "scene_scan", "sequence_match", "rank_merge")
+
+
+def canonical_query_key(query: LibraryQuery) -> str:
+    """A canonical serialization of *query* — the cache key.
+
+    Semantically identical queries map to the same key: the player
+    constraints are sorted, and ``within`` (which only matters for
+    sequence queries) is normalised away when no sequence part exists.
+    """
+    payload = {
+        "player": {key: query.player[key] for key in sorted(query.player)},
+        "event": query.event,
+        "sequence": list(query.sequence) if query.sequence is not None else None,
+        "within": query.within if query.sequence is not None else None,
+        "text": query.text,
+        "top_n": query.top_n,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class QueryTrace:
+    """Per-stage wall-clock and work accounting for one evaluation."""
+
+    def __init__(self) -> None:
+        self.stage_seconds: dict[str, float] = {}
+        self.postings_processed = 0
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one evaluation stage (additive on re-entry)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+
+    def add_postings(self, n: int) -> None:
+        self.postings_processed += n
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """One answered query, with serving provenance.
+
+    Attributes:
+        results: the scenes, best first (a private copy per caller).
+        generation: the index generation the results are valid for.
+        cache_hit: whether the cache answered.
+        seconds: service-side wall time for this request.
+        trace: the evaluation trace (``None`` on cache hits).
+    """
+
+    results: list[SceneResult]
+    generation: int
+    cache_hit: bool
+    seconds: float
+    trace: QueryTrace | None = None
+
+
+@dataclass
+class QueryStats:
+    """Aggregated serving statistics since the last reset.
+
+    Attributes:
+        queries: requests served (hits + misses).
+        cache_hits / cache_misses / cache_evictions: cache counters.
+        cache_entries: entries currently cached.
+        generation: the engine generation at report time.
+        postings_processed: text-stage postings scored across misses.
+        stage_seconds: total per-stage evaluation time across misses.
+        hit_seconds / miss_seconds: total request time by outcome.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_entries: int = 0
+    generation: int = 0
+    postings_processed: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    hit_seconds: float = 0.0
+    miss_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.cache_hits / self.queries
+
+    @property
+    def total_seconds(self) -> float:
+        return self.hit_seconds + self.miss_seconds
+
+
+def format_query_stats(stats: QueryStats) -> str:
+    """Render a :class:`QueryStats` report as a readable table."""
+    lines = [
+        f"queries served      {stats.queries}",
+        f"cache hits          {stats.cache_hits} ({stats.hit_rate:.0%} hit rate)",
+        f"cache misses        {stats.cache_misses}",
+        f"cache evictions     {stats.cache_evictions}",
+        f"cache entries       {stats.cache_entries}",
+        f"index generation    {stats.generation}",
+        f"postings processed  {stats.postings_processed}",
+        f"hit time            {stats.hit_seconds * 1e3:.2f} ms total",
+        f"miss time           {stats.miss_seconds * 1e3:.2f} ms total",
+    ]
+    if stats.stage_seconds:
+        lines.append("per-stage evaluation time:")
+        for name in STAGES:
+            if name in stats.stage_seconds:
+                lines.append(f"  {name:<16}{stats.stage_seconds[name] * 1e3:.2f} ms")
+    return "\n".join(lines)
+
+
+class _ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Waiting writers block new readers, so a stream of queries
+    cannot starve the indexer.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class _LRUCache:
+    """A thread-safe LRU map from cache key to result tuple."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[int, str], tuple[SceneResult, ...]] = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: tuple[int, str]) -> tuple[SceneResult, ...] | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple[int, str], value: tuple[SceneResult, ...]) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class LibrarySearchService:
+    """Concurrent, cached query serving over a library engine.
+
+    Args:
+        engine: the :class:`DigitalLibraryEngine` to serve from.
+        cache_size: maximum cached result sets (LRU beyond that).
+
+    Readers call :meth:`search`; writers go through :meth:`index_plan`,
+    :meth:`index_checkpointed`, :meth:`refresh_text_index` or
+    :meth:`write` so their shared-state mutations serialize against
+    in-flight queries.
+    """
+
+    def __init__(self, engine, cache_size: int = 256):
+        self.engine = engine
+        self._cache = _LRUCache(cache_size)
+        self._rw = _ReadWriteLock()
+        self._stats_lock = threading.Lock()
+        self._queries = 0
+        self._hits = 0
+        self._misses = 0
+        self._postings = 0
+        self._stage_seconds: dict[str, float] = {}
+        self._hit_seconds = 0.0
+        self._miss_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+
+    @property
+    def generation(self) -> int:
+        """The engine's current index generation."""
+        return self.engine.generation
+
+    def search(self, query: LibraryQuery, *, bypass_cache: bool = False) -> ServedQuery:
+        """Serve one combined query.
+
+        The evaluation is pinned to the generation current at request
+        start: commits wait for it (and it for them), so the result set
+        is exactly a fresh evaluation at that generation.
+
+        Args:
+            query: the combined query.
+            bypass_cache: evaluate without reading or writing the cache
+                (the cold path the E15 benchmark measures).
+        """
+        started = time.perf_counter()
+        key = canonical_query_key(query)
+        with self._rw.read():
+            generation = self.engine.generation
+            if not bypass_cache:
+                cached = self._cache.get((generation, key))
+                if cached is not None:
+                    seconds = time.perf_counter() - started
+                    self._record(hit=True, seconds=seconds)
+                    return ServedQuery(
+                        results=list(cached),
+                        generation=generation,
+                        cache_hit=True,
+                        seconds=seconds,
+                    )
+            trace = QueryTrace()
+            results = self.engine.search(query, trace=trace)
+            if not bypass_cache:
+                self._cache.put((generation, key), tuple(results))
+        seconds = time.perf_counter() - started
+        self._record(hit=False, seconds=seconds, trace=trace)
+        return ServedQuery(
+            results=results,
+            generation=generation,
+            cache_hit=False,
+            seconds=seconds,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def write(self):
+        """Exclusive access to the engine for arbitrary writer work.
+
+        In-flight queries finish first; new queries wait until the
+        writer is done, then see the bumped generation.  Yields the
+        engine.
+        """
+        with self._rw.write():
+            yield self.engine
+
+    def index_plan(self, plan):
+        """Index one video plan with minimal reader disruption.
+
+        Clip materialisation and the detector pass run *outside* the
+        write lock against a scratch model (:meth:`FeatureDetectorEngine
+        .stage_video`); only the commit — meta-index merge, webspace
+        linking, generation bump — excludes readers.
+        """
+        clip, truth = plan.materialise()
+        staged = self.engine.indexer.fde.stage_video(clip)
+        with self._rw.write():
+            return self.engine.indexer.commit_staged_plan(plan, clip, truth, staged)
+
+    def index_checkpointed(self, path, **kwargs):
+        """Checkpointed batch indexing with per-video commit locking.
+
+        Delegates to :meth:`LibraryIndexer.index_checkpointed`, passing
+        the service's write lock as the per-video ``commit_lock`` — each
+        video's commit (and its snapshot/journal write) lands atomically
+        between queries, and queries between commits see a consistent
+        prefix of the batch.
+        """
+        return self.engine.indexer.index_checkpointed(path, commit_lock=self._rw.write, **kwargs)
+
+    def refresh_text_index(self) -> None:
+        """Refresh the text index under the write lock (no-op when clean)."""
+        with self._rw.write():
+            self.engine.refresh_text_index()
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def _record(self, *, hit: bool, seconds: float, trace: QueryTrace | None = None) -> None:
+        with self._stats_lock:
+            self._queries += 1
+            if hit:
+                self._hits += 1
+                self._hit_seconds += seconds
+            else:
+                self._misses += 1
+                self._miss_seconds += seconds
+            if trace is not None:
+                self._postings += trace.postings_processed
+                for name, value in trace.stage_seconds.items():
+                    self._stage_seconds[name] = self._stage_seconds.get(name, 0.0) + value
+
+    def stats(self) -> QueryStats:
+        """A snapshot of the serving counters."""
+        with self._stats_lock:
+            return QueryStats(
+                queries=self._queries,
+                cache_hits=self._hits,
+                cache_misses=self._misses,
+                cache_evictions=self._cache.evictions,
+                cache_entries=len(self._cache),
+                generation=self.engine.generation,
+                postings_processed=self._postings,
+                stage_seconds=dict(self._stage_seconds),
+                hit_seconds=self._hit_seconds,
+                miss_seconds=self._miss_seconds,
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (the cache itself is kept)."""
+        with self._stats_lock:
+            self._queries = self._hits = self._misses = 0
+            self._postings = 0
+            self._stage_seconds = {}
+            self._hit_seconds = self._miss_seconds = 0.0
+            self._cache.evictions = 0
+
+    def clear_cache(self) -> None:
+        """Drop every cached result set."""
+        self._cache.clear()

@@ -16,6 +16,26 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._indexes: dict[tuple[str, str, str], object] = {}
+        self._generation = 0
+
+    # -- generation stamping --------------------------------------------- #
+
+    @property
+    def generation(self) -> int:
+        """Monotone change counter over the catalogue's contents.
+
+        Every DDL change (table created or dropped) bumps it
+        automatically; bulk writers stamp their commits explicitly via
+        :meth:`bump_generation`.  Readers that cache derived state (the
+        query-serving layer, materialised snapshots) key it on this
+        counter so stale reads are structurally impossible.
+        """
+        return self._generation
+
+    def bump_generation(self) -> int:
+        """Stamp a commit: advance and return the generation counter."""
+        self._generation += 1
+        return self._generation
 
     # -- tables ---------------------------------------------------------- #
 
@@ -25,6 +45,7 @@ class Catalog:
             raise SchemaError(f"table {name!r} already exists")
         table = Table(name, schema)
         self._tables[name] = table
+        self.bump_generation()
         return table
 
     def table(self, name: str) -> Table:
@@ -46,6 +67,7 @@ class Catalog:
         del self._tables[name]
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
+        self.bump_generation()
 
     # -- indexes ----------------------------------------------------------#
 

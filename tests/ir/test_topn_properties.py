@@ -1,0 +1,102 @@
+"""Property-based tests for the fragmented top-N engine.
+
+For random corpora, query mixes and both ranking schemes (tf-idf,
+BM25), :class:`FragmentedIndex` must satisfy:
+
+- ``max_fragments=None`` is result-identical to the full
+  :class:`InvertedIndex` scan (same docs, same scores, same order);
+- ``work_fraction`` is monotone non-decreasing in ``max_fragments``;
+- hits come back sorted best-first for any fragment budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.collection import DocumentCollection
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.ranking import rank_full_scan
+from repro.ir.topn import FragmentedIndex, full_scan_postings
+
+VOCAB = [
+    "net", "vollei", "ralli", "serv", "baselin", "match", "open",
+    "champion", "court", "crowd", "press", "coach",
+]  # already-stemmed forms so queries and postings share terms
+
+corpora = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=40),
+    min_size=1,
+    max_size=25,
+)
+queries = st.lists(st.sampled_from(VOCAB + ["ghost"]), min_size=1, max_size=5)
+schemes = st.sampled_from(["tfidf", "bm25"])
+
+
+def build_index(docs: list[list[str]]) -> InvertedIndex:
+    collection = DocumentCollection()
+    for i, words in enumerate(docs):
+        collection.add(f"doc{i}", " ".join(words))
+    return InvertedIndex(collection)
+
+
+class TestExactness:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        docs=corpora,
+        terms=queries,
+        scheme=schemes,
+        n_fragments=st.integers(1, 6),
+        n=st.integers(1, 10),
+    )
+    def test_all_fragments_equal_full_scan(self, docs, terms, scheme, n_fragments, n):
+        index = build_index(docs)
+        fragmented = FragmentedIndex(index, n_fragments=n_fragments)
+        result = fragmented.search(terms, n, max_fragments=None, scheme=scheme)
+        full = rank_full_scan(index, terms, n, scheme=scheme)
+        # Identical down to the floats: per document, both paths add the
+        # same term weights in the same (query-term) order.
+        assert result.hits == full
+        assert result.postings_processed == result.postings_total
+        assert result.postings_total == full_scan_postings(index, terms)
+
+
+class TestMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        docs=corpora,
+        terms=queries,
+        scheme=schemes,
+        n_fragments=st.integers(1, 6),
+    )
+    def test_work_fraction_non_decreasing(self, docs, terms, scheme, n_fragments):
+        index = build_index(docs)
+        fragmented = FragmentedIndex(index, n_fragments=n_fragments)
+        fractions = [
+            fragmented.search(terms, 10, max_fragments=k, scheme=scheme).work_fraction
+            for k in range(1, n_fragments + 1)
+        ]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        full = fragmented.search(terms, 10, max_fragments=None, scheme=scheme)
+        if fractions:
+            assert fractions[-1] == full.work_fraction
+
+
+class TestOrdering:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        docs=corpora,
+        terms=queries,
+        scheme=schemes,
+        n_fragments=st.integers(1, 6),
+        max_fragments=st.integers(1, 6),
+        n=st.integers(1, 10),
+    )
+    def test_hits_sorted_best_first(self, docs, terms, scheme, n_fragments, max_fragments, n):
+        index = build_index(docs)
+        fragmented = FragmentedIndex(index, n_fragments=n_fragments)
+        result = fragmented.search(
+            terms, n, max_fragments=min(max_fragments, n_fragments), scheme=scheme
+        )
+        keys = [(-hit.score, hit.doc_id) for hit in result.hits]
+        assert keys == sorted(keys)
+        assert len(result.hits) <= n

@@ -134,3 +134,73 @@ class TestCrashResumeFsck:
         out = capsys.readouterr().out
         assert "CORRUPT" in out
         assert "no previous generation to fall back to" in out
+
+
+class TestQueryStats:
+    @pytest.fixture(scope="class")
+    def metaindex(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serving") / "meta.json"
+        assert main(["index", "--seed", "7", "--videos", "1", "--out", str(path)]) == 0
+        return path
+
+    def test_reports_cache_and_stage_counters(self, metaindex, capsys):
+        code = main(
+            [
+                "query-stats",
+                "--seed",
+                "7",
+                "--metaindex",
+                str(metaindex),
+                "--repeat",
+                "3",
+                "SCENES",
+                "SCENES WHERE event = rally",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries served      6" in out
+        assert "cache hits          4" in out
+        assert "last served from cache" in out
+        assert "scene_scan" in out
+
+    def test_single_shot_is_all_misses(self, metaindex, capsys):
+        code = main(
+            [
+                "query-stats",
+                "--seed",
+                "7",
+                "--metaindex",
+                str(metaindex),
+                "--repeat",
+                "1",
+                "SCENES",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hits          0" in out
+        assert "last served from engine" in out
+
+
+class TestServeBench:
+    def test_prints_latency_and_throughput(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--seed",
+                "7",
+                "--videos",
+                "1",
+                "--threads",
+                "2",
+                "--requests",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold latency" in out
+        assert "speedup" in out
+        assert "queries/s" in out
+        assert "index generation    1" in out

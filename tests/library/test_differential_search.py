@@ -1,0 +1,121 @@
+"""Differential tests over the whole query path.
+
+Randomized (seeded, reproducible) libraries and query mixes drive three
+equivalences:
+
+- ``search`` vs ``search_relational`` return identical scene lists;
+- cached serving is byte-identical to uncached evaluation;
+- both stay true across an interleaved index commit — post-commit
+  queries reflect the new generation, never a stale cache entry.
+"""
+
+import random
+
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.library import DigitalLibraryEngine, LibraryQuery, LibrarySearchService
+
+EVENTS = ("rally", "net_play", "service", "baseline_play")
+PHRASES = (
+    "approach the net",
+    "champion wins in straight sets",
+    "baseline rally pressure",
+    "left handed volley",
+    "the crowd and the press conference",
+)
+
+
+def random_query(rng: random.Random) -> LibraryQuery:
+    """One random combined query drawn from the library's vocabulary."""
+    player: dict[str, object] = {}
+    if rng.random() < 0.5:
+        for key, pool in (
+            ("gender", ("male", "female")),
+            ("handedness", ("left", "right")),
+            ("past_winner", (True, False)),
+        ):
+            if rng.random() < 0.4:
+                player[key] = rng.choice(pool)
+    kind = rng.choice(("any", "event", "sequence"))
+    event = rng.choice(EVENTS) if kind == "event" else None
+    sequence = None
+    within = 100
+    if kind == "sequence":
+        sequence = (rng.choice(EVENTS), rng.choice(EVENTS))
+        within = rng.choice((0, 40, 150, 1000))
+    text = rng.choice(PHRASES) if rng.random() < 0.5 else None
+    top_n = rng.choice((1, 2, 5, 20, 100))
+    return LibraryQuery(
+        player=player,
+        event=event,
+        sequence=sequence,
+        within=within,
+        text=text,
+        top_n=top_n,
+    )
+
+
+def query_mix(seed: int, n: int) -> list[LibraryQuery]:
+    rng = random.Random(seed)
+    return [random_query(rng) for _ in range(n)]
+
+
+@pytest.fixture(scope="module", params=[7, 19])
+def engine(request):
+    """Two randomized libraries (different seeds, shapes and videos)."""
+    dataset = build_australian_open(seed=request.param, video_shots=4)
+    engine = DigitalLibraryEngine(dataset)
+    engine.index_videos(limit=2)
+    engine.build_relational()
+    return engine
+
+
+class TestObjectVsRelational:
+    @pytest.mark.parametrize("mix_seed", range(4))
+    def test_identical_scene_sets(self, engine, mix_seed):
+        for query in query_mix(mix_seed, 12):
+            assert engine.search_relational(query) == engine.search(query), query
+
+
+class TestCachedVsUncached:
+    @pytest.mark.parametrize("mix_seed", range(4))
+    def test_byte_identical_results(self, engine, mix_seed):
+        service = LibrarySearchService(engine, cache_size=256)
+        queries = query_mix(mix_seed, 12)
+        for query in queries:
+            service.search(query)  # populate
+        for query in queries:
+            served = service.search(query)
+            assert served.cache_hit
+            assert served.results == engine.search(query), query
+
+    def test_identical_across_interleaved_commit(self):
+        """A commit between passes must refresh every affected answer."""
+        dataset = build_australian_open(seed=11, video_shots=4)
+        engine = DigitalLibraryEngine(dataset)
+        engine.index_videos(limit=2)
+        service = LibrarySearchService(engine, cache_size=256)
+        queries = query_mix(99, 15)
+
+        before = [service.search(query) for query in queries]
+        generation = service.generation
+        service.index_plan(dataset.video_plans[2])
+        assert service.generation == generation + 1
+
+        for query, old in zip(queries, before):
+            served = service.search(query)
+            # Post-commit queries carry the new generation and agree
+            # byte-for-byte with a fresh uncached evaluation.
+            assert served.generation == generation + 1
+            assert not served.cache_hit
+            assert served.results == engine.search(query), query
+            assert old.generation == generation
+        # And the refreshed answers are themselves cache-served now.
+        assert all(service.search(query).cache_hit for query in queries)
+
+
+class TestReproducibility:
+    def test_query_mix_is_deterministic(self):
+        assert query_mix(3, 10) == query_mix(3, 10)
+        assert query_mix(3, 10) != query_mix(4, 10)

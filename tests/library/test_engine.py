@@ -127,3 +127,33 @@ class TestCatalogExport:
             catalog.table("videos"), catalog.table("shots"), "video_id", "video_id"
         )
         assert len(rows) == len(catalog.table("shots"))
+
+
+class TestRefreshTextIndex:
+    """Regression: refresh used to rebuild the fragmented index even
+    when no pages had been added since the last build."""
+
+    @pytest.fixture()
+    def fresh_engine(self):
+        return DigitalLibraryEngine(build_australian_open(seed=7, video_shots=3))
+
+    def test_noop_when_collection_unchanged(self, fresh_engine):
+        fragmented = fresh_engine.fragmented_index
+        generation = fresh_engine.generation
+        fresh_engine.refresh_text_index()
+        assert fresh_engine.fragmented_index is fragmented  # not rebuilt
+        assert fresh_engine.generation == generation
+
+    def test_rebuilds_for_new_pages(self, fresh_engine):
+        fragmented = fresh_engine.fragmented_index
+        generation = fresh_engine.generation
+        fresh_engine.dataset.pages.add(
+            "late_page", "a surprise champion approaches the net"
+        )
+        fresh_engine.refresh_text_index()
+        assert fresh_engine.fragmented_index is not fragmented
+        assert fresh_engine.generation == generation + 1
+        assert fresh_engine.fragmented_index.n_fragments == fragmented.n_fragments
+        hits = fresh_engine.keyword_search("surprise champion", n=5)
+        names = {fresh_engine.dataset.pages.document(h.doc_id).name for h in hits}
+        assert "late_page" in names

@@ -1,0 +1,112 @@
+"""Concurrency stress: readers hammer the cache while a writer commits.
+
+The serving invariants under test:
+
+- **No stale results** — every served generation is >= the generation
+  observed at request start, and never runs ahead of what the writer
+  has committed.
+- **No torn reads** — a whole-library query at generation *g* returns
+  exactly the videos committed by the first *g* commits, never a
+  half-registered video; event scenes only ever come from committed
+  videos.
+- **Coherent accounting** — hits + misses equals requests served.
+"""
+
+import threading
+
+from repro.dataset import build_australian_open
+from repro.library import DigitalLibraryEngine, LibraryQuery, LibrarySearchService
+
+N_READERS = 4
+EXTRA_ROUNDS = 25  # reader iterations after the writer finished
+
+
+def test_readers_never_see_stale_or_torn_state():
+    dataset = build_australian_open(seed=13, video_shots=3)
+    engine = DigitalLibraryEngine(dataset)
+    service = LibrarySearchService(engine, cache_size=64)
+
+    plans = dataset.video_plans[:4]
+    service.index_plan(plans[0])
+    # One commit per plan and no text refreshes, so generation g means
+    # exactly plans[:g] are committed — checkable without extra locking.
+    expected = {g: {plan.name for plan in plans[:g]} for g in range(1, len(plans) + 1)}
+
+    whole_library = LibraryQuery(top_n=100)
+    event_queries = [
+        LibraryQuery(event="rally", top_n=100),
+        LibraryQuery(event="net_play", text="approach the net", top_n=100),
+        LibraryQuery(sequence=("service", "rally"), within=1000, top_n=100),
+    ]
+
+    writer_done = threading.Event()
+    errors: list[str] = []
+    errors_lock = threading.Lock()
+
+    def complain(message: str) -> None:
+        with errors_lock:
+            errors.append(message)
+
+    def reader(reader_id: int) -> None:
+        last_generation = 0
+        rounds_after_done = 0
+        step = 0
+        while rounds_after_done < EXTRA_ROUNDS:
+            if writer_done.is_set():
+                rounds_after_done += 1
+            step += 1
+            started_at = service.generation
+            served = service.search(whole_library)
+            if served.generation < started_at:
+                complain(
+                    f"reader {reader_id}: stale result "
+                    f"(generation {served.generation} < {started_at})"
+                )
+            if served.generation < last_generation:
+                complain(f"reader {reader_id}: generation went backwards")
+            last_generation = served.generation
+            names = {scene.video_name for scene in served.results}
+            if names != expected.get(served.generation):
+                complain(
+                    f"reader {reader_id}: torn read at generation "
+                    f"{served.generation}: {sorted(names)}"
+                )
+            if len(served.results) != len(expected.get(served.generation, ())):
+                complain(f"reader {reader_id}: duplicate/missing whole-video scenes")
+            scenes = service.search(event_queries[step % len(event_queries)])
+            scene_names = {scene.video_name for scene in scenes.results}
+            if not scene_names <= expected.get(scenes.generation, set()):
+                complain(
+                    f"reader {reader_id}: event scenes from uncommitted "
+                    f"video(s) {sorted(scene_names)}"
+                )
+
+    def writer() -> None:
+        try:
+            for plan in plans[1:]:
+                service.index_plan(plan)
+        finally:
+            writer_done.set()
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+        for i in range(N_READERS)
+    ]
+    threads.append(threading.Thread(target=writer, name="writer"))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), f"{thread.name} deadlocked"
+
+    assert errors == [], errors[:10]
+    assert service.generation == len(plans)
+
+    final = service.search(whole_library)
+    assert {scene.video_name for scene in final.results} == expected[len(plans)]
+    assert final.results == engine.search(whole_library)
+
+    stats = service.stats()
+    assert stats.cache_hits + stats.cache_misses == stats.queries
+    assert stats.queries >= 2 * N_READERS * EXTRA_ROUNDS
+    assert stats.cache_hits > 0  # the cache actually served traffic

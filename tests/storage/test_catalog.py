@@ -56,3 +56,30 @@ class TestIndexes:
         catalog.table("shots").append({"shot_id": 0, "category": "x"})
         index = catalog.sorted_index("shots", "shot_id")
         assert list(index.range(0, 0)) == [1]
+
+
+class TestGenerationStamping:
+    def test_starts_at_zero(self):
+        assert Catalog().generation == 0
+
+    def test_ddl_bumps(self):
+        catalog = Catalog()
+        catalog.create_table("shots", {"shot_id": "int"})
+        assert catalog.generation == 1
+        catalog.create_table("events", {"event_id": "int"})
+        assert catalog.generation == 2
+        catalog.drop_table("events")
+        assert catalog.generation == 3
+
+    def test_explicit_commit_stamp(self):
+        catalog = Catalog()
+        catalog.create_table("shots", {"shot_id": "int"})
+        before = catalog.generation
+        assert catalog.bump_generation() == before + 1
+        assert catalog.generation == before + 1
+
+    def test_index_building_does_not_bump(self, catalog):
+        before = catalog.generation
+        catalog.create_hash_index("shots", "category")
+        catalog.hash_index("shots", "category")
+        assert catalog.generation == before
