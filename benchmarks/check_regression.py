@@ -20,6 +20,16 @@ evaluation::
         --baseline test_e15_uncached_query \\
         --candidate test_e15_cached_query \\
         --min-speedup 10
+
+With ``--max-extra KEY=VALUE`` / ``--zero-extra KEY`` the gate instead
+bounds metrics the candidate recorded as benchmark ``extra_info`` —
+non-latency numbers like shed rates or tail latencies.  The E16 entry
+uses it to bound overload behaviour::
+
+    python benchmarks/check_regression.py bench.json \\
+        --candidate test_e16_overload_burst \\
+        --max-extra shed_rate=0.60 --max-extra p99_ms=100 \\
+        --zero-extra unlabeled
 """
 
 from __future__ import annotations
@@ -30,11 +40,46 @@ import sys
 from pathlib import Path
 
 
-def median_of(report: dict, name: str) -> float:
+def bench_of(report: dict, name: str) -> dict:
     for bench in report.get("benchmarks", []):
         if bench.get("name") == name:
-            return float(bench["stats"]["median"])
+            return bench
     raise SystemExit(f"benchmark {name!r} missing from the report")
+
+
+def median_of(report: dict, name: str) -> float:
+    return float(bench_of(report, name)["stats"]["median"])
+
+
+def extra_of(report: dict, name: str, key: str) -> float:
+    extra = bench_of(report, name).get("extra_info", {})
+    if key not in extra:
+        raise SystemExit(f"extra_info key {key!r} missing from benchmark {name!r}")
+    return float(extra[key])
+
+
+def check_extras(report: dict, args) -> int:
+    """Gate on recorded ``extra_info`` metrics; returns the exit code."""
+    failures = 0
+    for bound in args.max_extra:
+        key, _, limit_text = bound.partition("=")
+        if not limit_text:
+            raise SystemExit(f"--max-extra needs KEY=VALUE, got {bound!r}")
+        limit = float(limit_text)
+        value = extra_of(report, args.candidate, key)
+        verdict = "OK" if value <= limit else "FAIL"
+        print(f"{verdict}: {args.candidate} {key} = {value} (limit {limit})")
+        failures += value > limit
+    for key in args.zero_extra:
+        value = extra_of(report, args.candidate, key)
+        verdict = "OK" if value == 0 else "FAIL"
+        print(f"{verdict}: {args.candidate} {key} = {value} (must be 0)")
+        failures += value != 0
+    if failures:
+        print(f"FAIL: {failures} extra_info bound(s) violated", file=sys.stderr)
+        return 1
+    print("OK: every extra_info metric within bounds")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -64,9 +109,26 @@ def main(argv: list[str] | None = None) -> int:
         help="speedup mode: the candidate must be at least this many "
         "times faster than the baseline (overrides --tolerance)",
     )
+    parser.add_argument(
+        "--max-extra",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="bound a candidate extra_info metric (repeatable); enables "
+        "extra_info mode, which ignores --baseline/--tolerance",
+    )
+    parser.add_argument(
+        "--zero-extra",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="require a candidate extra_info metric to be exactly 0 (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     report = json.loads(Path(args.report).read_text())
+    if args.max_extra or args.zero_extra:
+        return check_extras(report, args)
     baseline = median_of(report, args.baseline)
     candidate = median_of(report, args.candidate)
 

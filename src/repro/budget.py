@@ -1,0 +1,188 @@
+"""Cooperative query budgets and the serving-fault taxonomy.
+
+Interactive serving only works when every query is *bounded*: a slow
+stage must not hold the read lock (and a user) hostage.  This module is
+the substrate the serving layer builds its overload story on:
+
+- :class:`QueryBudget` — a wall-clock deadline plus an optional
+  postings/work budget, carried through the query pipeline and checked
+  cooperatively at stage boundaries and inside the hot scan loops
+  (:meth:`~repro.ir.topn.FragmentedIndex.search`, the scene/sequence
+  scans of :class:`~repro.library.engine.DigitalLibraryEngine`).  The
+  clock is injectable, so tests drive expiry deterministically.
+- :class:`DeadlineExceeded` — raised when a budget runs out; carries
+  the stage that blew it, the reason (``deadline`` or ``postings``),
+  and whatever ranked partial results the evaluation had accumulated,
+  so the degradation ladder can decide what is still servable.
+- :class:`OverloadedError` / :class:`LockTimeout` — admission-control
+  and lock-acquisition rejections, the load-shedding half of the
+  taxonomy.
+
+The module sits below both :mod:`repro.ir` and :mod:`repro.library`
+(it imports only the standard library), mirroring how
+:mod:`repro.grammar.runtime` classifies *indexing* failures: serving
+code catches these types, never bare exceptions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "DeadlineExceeded",
+    "LockTimeout",
+    "OverloadedError",
+    "QueryBudget",
+    "ServingError",
+]
+
+
+class ServingError(Exception):
+    """Base class of classified query-serving faults."""
+
+    #: Taxonomy tag, mirroring ``repro.grammar.runtime.classify_error``.
+    kind = "serving"
+
+
+class DeadlineExceeded(ServingError):
+    """A query budget ran out mid-evaluation.
+
+    Attributes:
+        stage: the pipeline stage that tripped the check.
+        reason: ``"deadline"`` (wall clock) or ``"postings"`` (work).
+        partial: ranked results accumulated before expiry (``None`` when
+            nothing useful was produced) — the degradation ladder's raw
+            material.
+    """
+
+    kind = "deadline"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        reason: str = "deadline",
+        partial: list | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.reason = reason
+        self.partial = partial
+
+
+class OverloadedError(ServingError):
+    """The serving layer shed this request instead of queueing it.
+
+    Attributes:
+        reason: ``"queue_full"``, ``"queue_timeout"`` or
+            ``"lock_timeout"`` — which shedding mechanism fired.
+    """
+
+    kind = "overload"
+
+    def __init__(self, message: str, *, reason: str = "overloaded") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class LockTimeout(OverloadedError):
+    """A timed readers-writer-lock acquisition gave up."""
+
+    kind = "lock_timeout"
+
+    def __init__(self, message: str, *, reason: str = "lock_timeout") -> None:
+        super().__init__(message, reason=reason)
+
+
+@dataclass
+class QueryBudget:
+    """A per-query deadline and work budget, checked cooperatively.
+
+    The budget starts ticking at construction.  Pipeline code calls
+    :meth:`check` at stage boundaries, :meth:`tick` inside hot loops
+    (samples the clock once every :attr:`tick_stride` calls, so the
+    common case is one integer increment), and :meth:`charge_postings`
+    before doing text-scan work whose cost is known up front.
+
+    Args:
+        seconds: wall-clock allowance (``None`` = unbounded time).
+        postings: postings-processed allowance (``None`` = unbounded).
+        clock: monotonic time source (injectable for tests).
+        tick_stride: loop iterations between clock samples in
+            :meth:`tick`.
+
+    Attributes:
+        started: clock reading at construction.
+        postings_used: postings charged so far.
+        checks: how many clock checks actually ran (observability).
+    """
+
+    seconds: float | None = None
+    postings: int | None = None
+    clock: Callable[[], float] = time.monotonic
+    tick_stride: int = 32
+    started: float = field(init=False)
+    postings_used: int = field(default=0, init=False)
+    checks: int = field(default=0, init=False)
+    _ticks: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0 or None, got {self.seconds}")
+        if self.postings is not None and self.postings < 0:
+            raise ValueError(f"postings must be >= 0 or None, got {self.postings}")
+        if self.tick_stride < 1:
+            raise ValueError(f"tick_stride must be >= 1, got {self.tick_stride}")
+        self.started = self.clock()
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute expiry on the budget's clock (``None`` = never)."""
+        if self.seconds is None:
+            return None
+        return self.started + self.seconds
+
+    def remaining(self) -> float | None:
+        """Seconds left before expiry (may be negative; ``None`` = unbounded)."""
+        if self.seconds is None:
+            return None
+        return self.started + self.seconds - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the wall clock ran out."""
+        self.checks += 1
+        if self.expired:
+            raise DeadlineExceeded(
+                f"query deadline of {self.seconds * 1e3:.1f} ms exceeded in {stage!r}",
+                stage=stage,
+            )
+
+    def tick(self, stage: str) -> None:
+        """Cheap loop-body check: samples the clock every ``tick_stride`` calls."""
+        self._ticks += 1
+        if self._ticks % self.tick_stride == 0:
+            self.check(stage)
+
+    def charge_postings(self, n: int, stage: str = "text_topn") -> None:
+        """Charge *n* postings; raise when the work budget is exhausted.
+
+        Charging happens *before* the work runs, so an evaluation whose
+        known up-front cost already exceeds the allowance is rejected
+        without scanning a single posting.
+        """
+        self.postings_used += n
+        if self.postings is not None and self.postings_used > self.postings:
+            raise DeadlineExceeded(
+                f"postings budget of {self.postings} exceeded in {stage!r} "
+                f"({self.postings_used} charged)",
+                stage=stage,
+                reason="postings",
+            )

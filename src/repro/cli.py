@@ -58,6 +58,15 @@ Subcommands::
         Query-serving driver: index N videos, then measure cold
         (uncached) vs warm (cached) latency over a fixed query mix and
         multi-threaded reader throughput against the shared cache.
+        With --budget-ms / --max-concurrent the service runs with
+        deadlines, admission control and the degradation ladder.
+
+    repro serve-bench --soak --seconds S --fault-ms MS
+        Chaos soak: mixed reader threads, a concurrent writer and
+        injected per-stage latency faults for S seconds; asserts no
+        stuck threads, no unlabeled stale or degraded serving, bounded
+        generation lag and a bounded served p99, exiting non-zero on
+        any violation.
 
 All commands are deterministic in their seeds.
 """
@@ -158,6 +167,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--cache-size", type=int, default=256, help="result-cache capacity (LRU)"
+    )
+    serve_cmd.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        help="per-query wall-clock budget in ms (enables the resilient path)",
+    )
+    serve_cmd.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="admission capacity (concurrent queries)",
+    )
+    serve_cmd.add_argument(
+        "--queue", type=int, default=16, help="bounded admission wait-queue length"
+    )
+    serve_cmd.add_argument(
+        "--queue-timeout-ms",
+        type=float,
+        default=50.0,
+        help="max ms a request waits in the admission queue",
+    )
+    serve_cmd.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the chaos soak (readers + writer + faults) instead of the latency passes",
+    )
+    serve_cmd.add_argument(
+        "--seconds", type=float, default=10.0, help="soak duration in seconds"
+    )
+    serve_cmd.add_argument(
+        "--fault-stage",
+        default="text_topn",
+        help="query stage the soak injects latency into",
+    )
+    serve_cmd.add_argument(
+        "--fault-ms",
+        type=float,
+        default=0.0,
+        help="injected latency per fault delivery in ms",
+    )
+    serve_cmd.add_argument(
+        "--p99-ms",
+        type=float,
+        default=None,
+        help="served-p99 bound the soak asserts (default: 2x --budget-ms)",
     )
 
     def add_policy_options(cmd, default_policy: str) -> None:
@@ -488,12 +543,26 @@ def _cmd_serve_bench(args) -> int:
         DigitalLibraryEngine,
         LibraryQuery,
         LibrarySearchService,
+        ResilienceConfig,
     )
     from repro.library.service import format_query_stats
 
     dataset = build_australian_open(seed=args.seed)
     engine = DigitalLibraryEngine(dataset)
-    service = LibrarySearchService(engine, cache_size=args.cache_size)
+    budget_ms = args.budget_ms
+    if budget_ms is None and args.soak:
+        budget_ms = 50.0
+    resilience = None
+    if budget_ms is not None:
+        resilience = ResilienceConfig(
+            max_concurrent=args.max_concurrent,
+            max_queue=args.queue,
+            queue_timeout=args.queue_timeout_ms / 1e3,
+            budget_seconds=budget_ms / 1e3,
+        )
+    service = LibrarySearchService(
+        engine, cache_size=args.cache_size, resilience=resilience
+    )
     for plan in dataset.video_plans[: args.videos]:
         service.index_plan(plan)
     print(f"indexed {args.videos} video(s); generation {service.generation}")
@@ -506,6 +575,9 @@ def _cmd_serve_bench(args) -> int:
         LibraryQuery(sequence=("service", "rally"), within=500),
         LibraryQuery(text="champion wins in straight sets"),
     ]
+
+    if args.soak:
+        return _run_soak(args, dataset, engine, service, mix, budget_ms)
 
     def run_pass(bypass_cache: bool) -> float:
         started = time.perf_counter()
@@ -537,6 +609,130 @@ def _cmd_serve_bench(args) -> int:
     )
     print()
     print(format_query_stats(service.stats()))
+    return 0
+
+
+def _run_soak(args, dataset, engine, service, mix, budget_ms: float) -> int:
+    """Chaos soak: mixed readers + a writer + injected stage latency.
+
+    Asserts the serving invariants for the whole run — no stuck
+    threads, no unlabeled stale or degraded results, bounded generation
+    lag, empty rejected results, and a bounded served p99 — and exits
+    non-zero listing every violation.
+    """
+    import threading
+    import time
+
+    from repro.faults import QueryFaultPlan
+    from repro.library.service import format_query_stats
+
+    p99_bound_ms = args.p99_ms if args.p99_ms is not None else 2.0 * budget_ms
+    injector = None
+    if args.fault_ms > 0:
+        plan = QueryFaultPlan.latency(
+            [args.fault_stage], args.fault_ms / 1e3, jitter=args.fault_ms / 4e3,
+            seed=args.seed,
+        )
+        injector = plan.install(engine)
+        print(
+            f"injecting {args.fault_ms:.0f} ms latency into {args.fault_stage!r}"
+        )
+
+    deadline_t = time.monotonic() + args.seconds
+    stop = threading.Event()
+    violations: list[str] = []
+    latencies: list[list[float]] = [[] for _ in range(args.threads)]
+    requests = [0] * args.threads
+
+    def reader(reader_id: int) -> None:
+        step = 0
+        while time.monotonic() < deadline_t:
+            query = mix[(reader_id + step) % len(mix)]
+            step += 1
+            pre_gen = service.generation
+            try:
+                served = service.search(query)
+            except Exception as exc:
+                violations.append(f"reader {reader_id}: unexpected {exc!r}")
+                continue
+            requests[reader_id] += 1
+            if served.generation < pre_gen - 1:
+                violations.append(
+                    f"reader {reader_id}: generation lag "
+                    f"{served.generation} < {pre_gen} - 1"
+                )
+            if not served.rejected and not served.stale and served.generation < pre_gen:
+                violations.append(
+                    f"reader {reader_id}: unlabeled stale result "
+                    f"(generation {served.generation} < {pre_gen})"
+                )
+            if served.degraded and not served.skipped_stages:
+                violations.append(f"reader {reader_id}: degraded without skipped stages")
+            if served.rejected and served.results:
+                violations.append(f"reader {reader_id}: rejected result with scenes")
+            if not served.rejected:
+                latencies[reader_id].append(served.seconds)
+
+    def writer() -> None:
+        for plan in dataset.video_plans[args.videos:]:
+            if time.monotonic() >= deadline_t or stop.is_set():
+                return
+            try:
+                service.index_plan(plan)
+            except Exception as exc:
+                violations.append(f"writer: {exc!r}")
+            stop.wait(0.2)
+        while time.monotonic() < deadline_t and not stop.is_set():
+            try:
+                service.refresh_text_index()
+            except Exception as exc:
+                violations.append(f"writer: {exc!r}")
+            stop.wait(0.25)
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), name=f"soak-reader-{i}", daemon=True)
+        for i in range(args.threads)
+    ]
+    threads.append(threading.Thread(target=writer, name="soak-writer", daemon=True))
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    join_slack = 5.0 + args.fault_ms / 1e3
+    for thread in threads:
+        thread.join(timeout=max(0.0, deadline_t - time.monotonic()) + join_slack)
+    stop.set()
+    stuck = [thread.name for thread in threads if thread.is_alive()]
+    if stuck:
+        violations.append(f"stuck threads after deadline: {', '.join(stuck)}")
+    elapsed = time.perf_counter() - started
+    if injector is not None:
+        injector.uninstall()
+
+    merged = sorted(s for per_reader in latencies for s in per_reader)
+    total = sum(requests)
+    stats = service.stats()
+    print(
+        f"soak: {total} requests over {elapsed:.1f}s "
+        f"({total / elapsed:.0f}/s), {len(merged)} served, "
+        f"{stats.shed_total} shed, {stats.stale_served} stale, "
+        f"{stats.degraded_served} degraded"
+    )
+    if merged:
+        rank = max(1, -(-len(merged) * 99 // 100))
+        p99_ms = merged[rank - 1] * 1e3
+        print(f"served p99 {p99_ms:.1f} ms (bound {p99_bound_ms:.1f} ms)")
+        if p99_ms > p99_bound_ms:
+            violations.append(f"served p99 {p99_ms:.1f} ms exceeds {p99_bound_ms:.1f} ms")
+    print()
+    print(format_query_stats(stats))
+    if violations:
+        print()
+        print(f"{len(violations)} invariant violation(s):")
+        for violation in violations[:20]:
+            print(f"  {violation}")
+        return 1
+    print()
+    print("soak passed: no stuck threads, no unlabeled results, p99 within bound")
     return 0
 
 

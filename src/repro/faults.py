@@ -29,6 +29,14 @@ write through an armed point raises :class:`SimulatedCrash`, a
 ``BaseException`` no recovery code can swallow.  The E13 durability
 benchmark and the crash-recovery test matrix kill the writer at every
 point and assert the library reloads to a consistent state.
+
+The *query side* has its own fault surface: a slow or broken pipeline
+stage inside :meth:`DigitalLibraryEngine.search`.  :class:`QueryFaultSpec`
+/ :class:`QueryFaultPlan` / :class:`QueryFaultInjector` inject
+deterministic latency or exceptions at stage entry through the engine's
+``stage_hook``, which is what the E16 resilience benchmark and the
+``repro serve-bench --soak`` chaos harness use to provoke deadline
+expiry, circuit-breaker trips and the degradation ladder.
 """
 
 from __future__ import annotations
@@ -52,6 +60,10 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    "StageFault",
+    "QueryFaultSpec",
+    "QueryFaultPlan",
+    "QueryFaultInjector",
     "CrashPoint",
     "SimulatedCrash",
     "SNAPSHOT_POINTS",
@@ -309,3 +321,200 @@ class FaultInjector:
             fn(context)
 
         return run
+
+
+# ---------------------------------------------------------------------- #
+# Query-side chaos: stage latency and stage errors
+# ---------------------------------------------------------------------- #
+
+
+class StageFault(Exception):
+    """The default exception a query-stage fault raises.
+
+    Carries the stage name so the serving layer's degradation ladder
+    can attribute the failure (mirroring ``DeadlineExceeded.stage``).
+    """
+
+    def __init__(self, message: str, *, stage: str | None = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+@dataclass(frozen=True)
+class QueryFaultSpec:
+    """One injected query-pipeline fault, delivered at stage entry.
+
+    Attributes:
+        stage: the pipeline stage to sabotage (``concept_filter``,
+            ``text_topn``, ``scene_scan``, ``sequence_match``,
+            ``rank_merge``).
+        latency_seconds: sleep this long before the stage runs (eats the
+            query's budget — the soak harness's main lever).
+        jitter_seconds: extra sleep in ``[0, jitter_seconds)``, drawn
+            deterministically from :attr:`jitter_seed` and the
+            (stage, attempt) pair — same delays on every run, different
+            per delivery.
+        jitter_seed: seed for the jitter draw.
+        error: exception class to raise after any sleep (``None`` =
+            latency only).
+        times: deliveries before the stage behaves again (``None`` =
+            every entry, forever).
+        message: override for the raised error's message.
+    """
+
+    stage: str
+    latency_seconds: float = 0.0
+    jitter_seconds: float = 0.0
+    jitter_seed: int = 0
+    error: type[BaseException] | None = None
+    times: int | None = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError(f"latency_seconds must be >= 0, got {self.latency_seconds}")
+        if self.jitter_seconds < 0:
+            raise ValueError(f"jitter_seconds must be >= 0, got {self.jitter_seconds}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+    def delay_for(self, attempt: int) -> float:
+        """The (deterministic) sleep one delivery applies."""
+        delay = self.latency_seconds
+        if self.jitter_seconds > 0:
+            draw = random.Random(f"{self.jitter_seed}:{self.stage}:{attempt}")
+            delay += draw.uniform(0.0, self.jitter_seconds)
+        return delay
+
+    def make_error(self) -> BaseException:
+        message = self.message or f"injected fault in query stage {self.stage!r}"
+        assert self.error is not None
+        try:
+            return self.error(message, stage=self.stage)  # StageFault-like
+        except TypeError:
+            return self.error(message)
+
+
+@dataclass
+class QueryFaultPlan:
+    """An ordered set of :class:`QueryFaultSpec` to install together."""
+
+    specs: list[QueryFaultSpec] = field(default_factory=list)
+
+    def add(self, spec: QueryFaultSpec) -> "QueryFaultPlan":
+        self.specs.append(spec)
+        return self
+
+    @classmethod
+    def latency(
+        cls,
+        stages: list[str],
+        seconds: float,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> "QueryFaultPlan":
+        """Slow every listed stage down on every query, forever."""
+        plan = cls()
+        for stage in stages:
+            plan.add(
+                QueryFaultSpec(
+                    stage=stage,
+                    latency_seconds=seconds,
+                    jitter_seconds=jitter,
+                    jitter_seed=seed,
+                )
+            )
+        return plan
+
+    @classmethod
+    def failing(
+        cls,
+        stages: list[str],
+        error: type[BaseException] = StageFault,
+        times: int | None = 1,
+    ) -> "QueryFaultPlan":
+        """Make every listed stage raise *error* for its first *times* entries."""
+        plan = cls()
+        for stage in stages:
+            plan.add(QueryFaultSpec(stage=stage, error=error, times=times))
+        return plan
+
+    def install(self, engine, sleep=time.sleep) -> "QueryFaultInjector":
+        """Wire the plan into *engine*'s ``stage_hook``; returns the injector."""
+        injector = QueryFaultInjector(self, engine, sleep=sleep)
+        injector.install()
+        return injector
+
+
+class QueryFaultInjector:
+    """Delivers a :class:`QueryFaultPlan` through an engine's stage hook.
+
+    The hook fires at stage *entry*, before the stage's budget check, so
+    injected latency is charged to the stage that "hung" — exactly how a
+    slow text index or a pathological sequence scan would bill.
+    Delivery is thread-safe and the log is lock-protected (compare its
+    contents, not its order, under concurrency).
+    """
+
+    def __init__(self, plan: QueryFaultPlan, engine, sleep=time.sleep):
+        self.plan = plan
+        self.engine = engine
+        self._sleep = sleep
+        self._fired: dict[int, int] = {}  # spec index -> deliveries
+        self._installed = False
+        self._lock = threading.Lock()
+        self.log: list[InjectionEvent] = []
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def install(self) -> None:
+        if self._installed:
+            raise RuntimeError("query fault plan already installed")
+        if self.engine.stage_hook is not None:
+            raise RuntimeError("engine already has a stage_hook installed")
+        self.engine.stage_hook = self._deliver
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.engine.stage_hook = None
+            self._installed = False
+
+    def __enter__(self) -> "QueryFaultInjector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- delivery ------------------------------------------------------- #
+
+    @property
+    def injected(self) -> int:
+        """How many faults have been delivered so far."""
+        return len(self.log)
+
+    def _next_fault(self, stage: str) -> tuple[QueryFaultSpec | None, int]:
+        with self._lock:
+            for index, spec in enumerate(self.plan.specs):
+                if spec.stage != stage:
+                    continue
+                fired = self._fired.get(index, 0)
+                if spec.times is not None and fired >= spec.times:
+                    continue
+                self._fired[index] = fired + 1
+                return spec, fired
+        return None, 0
+
+    def _deliver(self, stage: str) -> None:
+        spec, attempt = self._next_fault(stage)
+        if spec is None:
+            return
+        delay = spec.delay_for(attempt)
+        if delay > 0:
+            with self._lock:
+                self.log.append(InjectionEvent(spec.stage, "<query>", "hang"))
+            self._sleep(delay)
+        if spec.error is not None:
+            with self._lock:
+                self.log.append(InjectionEvent(spec.stage, "<query>", "raise"))
+            raise spec.make_error()

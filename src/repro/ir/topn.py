@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.budget import QueryBudget
 from repro.ir.inverted_index import InvertedIndex, Posting
 from repro.ir.ranking import RankedHit, bm25_score, tf_idf_score
 
@@ -115,6 +116,7 @@ class FragmentedIndex:
         n: int,
         max_fragments: int | None = None,
         scheme: str = "tfidf",
+        budget: QueryBudget | None = None,
     ) -> TopNResult:
         """Fragment-at-a-time top-*n* evaluation.
 
@@ -124,6 +126,9 @@ class FragmentedIndex:
             max_fragments: process at most this many fragments per term
                 (``None`` = all: exact evaluation).
             scheme: ``"tfidf"`` or ``"bm25"``.
+            budget: optional :class:`~repro.budget.QueryBudget` checked
+                per term and (strided) per posting; expiry raises
+                :class:`~repro.budget.DeadlineExceeded`.
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
@@ -141,6 +146,8 @@ class FragmentedIndex:
         fragments_processed = 0
 
         for term in query_terms:
+            if budget is not None:
+                budget.check("text_topn")
             fragments = self._fragments.get(term)
             if fragments is None:
                 continue
@@ -151,6 +158,8 @@ class FragmentedIndex:
                     continue
                 fragments_processed += 1
                 for posting in fragment:
+                    if budget is not None:
+                        budget.tick("text_topn")
                     if scheme == "tfidf":
                         weight = tf_idf_score(posting.tf, df, n_docs)
                     else:

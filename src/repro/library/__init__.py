@@ -14,7 +14,10 @@ they approach the net".
 - :mod:`repro.library.results` — scene results and score fusion,
 - :mod:`repro.library.engine` — the facade,
 - :mod:`repro.library.service` — the concurrent query-serving layer
-  (generation-keyed result cache, snapshot-isolated reads, QueryStats).
+  (generation-keyed result cache, snapshot-isolated reads, admission
+  control, the graceful-degradation ladder, QueryStats),
+- :mod:`repro.library.resilience` — circuit breakers and the
+  :class:`ResilienceConfig` knobs of the overload story.
 """
 
 from repro.library.query import LibraryQuery
@@ -23,7 +26,9 @@ from repro.library.indexing import LibraryIndexer
 from repro.library.engine import DigitalLibraryEngine
 from repro.library.parser import parse_query, QuerySyntaxError
 from repro.library.persistence import save_model, load_model
+from repro.library.resilience import ResilienceConfig, StageBreaker
 from repro.library.service import (
+    AdmissionController,
     LibrarySearchService,
     QueryStats,
     QueryTrace,
@@ -37,6 +42,9 @@ __all__ = [
     "LibraryIndexer",
     "DigitalLibraryEngine",
     "LibrarySearchService",
+    "AdmissionController",
+    "ResilienceConfig",
+    "StageBreaker",
     "QueryStats",
     "QueryTrace",
     "ServedQuery",

@@ -16,6 +16,7 @@ that only sees page text (the E7/E10 comparison point).
 
 from __future__ import annotations
 
+from repro.budget import DeadlineExceeded, QueryBudget
 from repro.dataset.build import TournamentDataset
 from repro.grammar.fde import FeatureDetectorEngine
 from repro.ir.inverted_index import InvertedIndex
@@ -28,6 +29,11 @@ from repro.library.service import QueryTrace
 from repro.webspace.instances import WebspaceObject
 
 __all__ = ["DigitalLibraryEngine"]
+
+
+def _ranked(results: list[SceneResult], top_n: int) -> list[SceneResult]:
+    """The canonical result ordering (best first, deterministic ties)."""
+    return sorted(results, key=lambda r: (-r.score, r.video_name, r.start))[:top_n]
 
 
 class DigitalLibraryEngine:
@@ -50,6 +56,23 @@ class DigitalLibraryEngine:
         self.text_index = InvertedIndex(dataset.pages)
         self.fragmented_index = FragmentedIndex(self.text_index, n_fragments=n_fragments)
         self._text_generation = 0
+        #: Chaos-injection hook fired at every stage entry (see
+        #: :class:`repro.faults.QueryFaultInjector`); ``None`` in
+        #: production.
+        self.stage_hook = None
+
+    def _enter_stage(self, name: str, budget: QueryBudget | None) -> None:
+        """Stage-boundary bookkeeping: chaos hook first, then the budget check.
+
+        The ordering is deliberate — injected latency is *spent* before
+        the deadline check runs, so a hung stage is charged to the stage
+        that hung, exactly as a real slow stage would be.
+        """
+        hook = self.stage_hook
+        if hook is not None:
+            hook(name)
+        if budget is not None:
+            budget.check(name)
 
     @property
     def generation(self) -> int:
@@ -135,13 +158,28 @@ class DigitalLibraryEngine:
         return out
 
     def text_scores(
-        self, text: str, n: int = 50, trace: QueryTrace | None = None
+        self,
+        text: str,
+        n: int = 50,
+        trace: QueryTrace | None = None,
+        budget: QueryBudget | None = None,
     ) -> dict[int, float]:
-        """doc id -> score for the free-text part (full evaluation)."""
+        """doc id -> score for the free-text part (full evaluation).
+
+        With a *budget*, the full-scan postings cost is charged *before*
+        the scan runs (rejecting over-budget work up front) and the wall
+        clock is re-checked after ranking.
+        """
         terms = self.dataset.pages.query_terms(text)
-        if trace is not None:
-            trace.add_postings(full_scan_postings(self.text_index, terms))
+        if trace is not None or budget is not None:
+            postings = full_scan_postings(self.text_index, terms)
+            if trace is not None:
+                trace.add_postings(postings)
+            if budget is not None:
+                budget.charge_postings(postings)
         hits = rank_full_scan(self.text_index, terms, n)
+        if budget is not None:
+            budget.check("text_topn")
         return {hit.doc_id: hit.score for hit in hits}
 
     # ------------------------------------------------------------------ #
@@ -149,7 +187,11 @@ class DigitalLibraryEngine:
     # ------------------------------------------------------------------ #
 
     def search(
-        self, query: LibraryQuery, trace: QueryTrace | None = None
+        self,
+        query: LibraryQuery,
+        trace: QueryTrace | None = None,
+        budget: QueryBudget | None = None,
+        skip_stages: frozenset[str] = frozenset(),
     ) -> list[SceneResult]:
         """Evaluate a combined query; results best-first.
 
@@ -159,88 +201,118 @@ class DigitalLibraryEngine:
                 recording per-stage wall time (``concept_filter``,
                 ``text_topn``, ``scene_scan`` with ``sequence_match`` as
                 its sub-stage, ``rank_merge``) and postings accounting.
+            budget: optional :class:`~repro.budget.QueryBudget` checked
+                cooperatively at every stage boundary and inside the
+                scan loops; expiry raises
+                :class:`~repro.budget.DeadlineExceeded` carrying the
+                ranked partial results accumulated so far.
+            skip_stages: degradable stages (``text_topn``,
+                ``sequence_match``) to leave out — the concept-only
+                evaluation the degradation ladder serves.  A skipped
+                text part simply drops text evidence from the scores; a
+                skipped sequence part falls back to whole-video scenes.
         """
         if trace is None:
             trace = QueryTrace()
         model = self.indexer.model
-
-        with trace.stage("concept_filter"):
-            if query.has_concept_part:
-                players = self.concept_players(query.player)
-                if not players:
-                    return []
-                video_players = self.videos_of_players(players)
-            else:
-                video_players = {
-                    video.name: set() for video in model.videos
-                }
-
-        text_by_video: dict[str, float] = {}
-        if query.has_text_part:
-            with trace.stage("text_topn"):
-                scores = self.text_scores(query.text, trace=trace)
-                text_by_video = self._text_scores_per_video(scores, video_players)
+        use_text = query.has_text_part and "text_topn" not in skip_stages
+        use_sequence = query.has_sequence_part and "sequence_match" not in skip_stages
 
         results: list[SceneResult] = []
-        with trace.stage("scene_scan"):
-            for video in model.videos:
-                if video.name not in video_players:
-                    continue
-                match_title = self._match_title_of(video.name)
-                names = tuple(sorted(video_players[video.name]))
-                text_score = text_by_video.get(video.name)
-                if query.has_content_part:
-                    for event in model.events_of(
-                        video_id=video.video_id, label=query.event
-                    ):
-                        results.append(
-                            SceneResult(
-                                video_name=video.name,
-                                start=event.start,
-                                stop=event.stop,
-                                event_label=event.label,
-                                match_title=match_title,
-                                players=names,
-                                score=fuse_scores(event.confidence, text_score),
-                            )
-                        )
-                elif query.has_sequence_part:
-                    with trace.stage("sequence_match"):
-                        pairs = self._event_sequences(
-                            video.video_id, query.sequence, query.within
-                        )
-                    for first, then in pairs:
-                        results.append(
-                            SceneResult(
-                                video_name=video.name,
-                                start=first.start,
-                                stop=then.stop,
-                                event_label=f"{first.label}->{then.label}",
-                                match_title=match_title,
-                                players=names,
-                                score=fuse_scores(
-                                    min(first.confidence, then.confidence), text_score
-                                ),
-                            )
-                        )
+        try:
+            with trace.stage("concept_filter"):
+                self._enter_stage("concept_filter", budget)
+                if query.has_concept_part:
+                    players = self.concept_players(query.player)
+                    if not players:
+                        return []
+                    video_players = self.videos_of_players(players)
                 else:
-                    results.append(
-                        SceneResult(
-                            video_name=video.name,
-                            start=0,
-                            stop=video.n_frames,
-                            event_label=None,
-                            match_title=match_title,
-                            players=names,
-                            score=fuse_scores(1.0, text_score),
+                    video_players = {video.name: set() for video in model.videos}
+
+            text_by_video: dict[str, float] = {}
+            if use_text:
+                with trace.stage("text_topn"):
+                    self._enter_stage("text_topn", budget)
+                    scores = self.text_scores(query.text, trace=trace, budget=budget)
+                    text_by_video = self._text_scores_per_video(scores, video_players)
+
+            with trace.stage("scene_scan"):
+                self._enter_stage("scene_scan", budget)
+                for video in model.videos:
+                    if budget is not None:
+                        budget.check("scene_scan")
+                    if video.name not in video_players:
+                        continue
+                    match_title = self._match_title_of(video.name)
+                    names = tuple(sorted(video_players[video.name]))
+                    text_score = text_by_video.get(video.name)
+                    if query.has_content_part:
+                        for event in model.events_of(
+                            video_id=video.video_id, label=query.event
+                        ):
+                            if budget is not None:
+                                budget.tick("scene_scan")
+                            results.append(
+                                SceneResult(
+                                    video_name=video.name,
+                                    start=event.start,
+                                    stop=event.stop,
+                                    event_label=event.label,
+                                    match_title=match_title,
+                                    players=names,
+                                    score=fuse_scores(event.confidence, text_score),
+                                )
+                            )
+                    elif use_sequence:
+                        with trace.stage("sequence_match"):
+                            self._enter_stage("sequence_match", budget)
+                            pairs = self._event_sequences(
+                                video.video_id, query.sequence, query.within,
+                                budget=budget,
+                            )
+                        for first, then in pairs:
+                            results.append(
+                                SceneResult(
+                                    video_name=video.name,
+                                    start=first.start,
+                                    stop=then.stop,
+                                    event_label=f"{first.label}->{then.label}",
+                                    match_title=match_title,
+                                    players=names,
+                                    score=fuse_scores(
+                                        min(first.confidence, then.confidence),
+                                        text_score,
+                                    ),
+                                )
+                            )
+                    else:
+                        results.append(
+                            SceneResult(
+                                video_name=video.name,
+                                start=0,
+                                stop=video.n_frames,
+                                event_label=None,
+                                match_title=match_title,
+                                players=names,
+                                score=fuse_scores(1.0, text_score),
+                            )
                         )
-                    )
-        with trace.stage("rank_merge"):
-            results.sort(key=lambda r: (-r.score, r.video_name, r.start))
-            return results[: query.top_n]
+            with trace.stage("rank_merge"):
+                self._enter_stage("rank_merge", budget)
+                results.sort(key=lambda r: (-r.score, r.video_name, r.start))
+                return results[: query.top_n]
+        except DeadlineExceeded as exc:
+            if exc.partial is None:
+                exc.partial = _ranked(results, query.top_n)
+            raise
 
     def _event_sequences(
-        self, video_id: int, sequence: tuple[str, str], within: int
+        self,
+        video_id: int,
+        sequence: tuple[str, str],
+        within: int,
+        budget: QueryBudget | None = None,
     ) -> list[tuple]:
         """Event pairs realising ``first THEN then WITHIN n`` in one video.
 
@@ -257,6 +329,8 @@ class DigitalLibraryEngine:
         pairs = []
         for first in firsts:
             for then in thens:
+                if budget is not None:
+                    budget.tick("sequence_match")
                 relation = allen_relation(first.interval, then.interval)
                 if relation in ("before", "meets") and first.interval.gap_to(
                     then.interval
@@ -312,13 +386,17 @@ class DigitalLibraryEngine:
         self._ws_evaluator = RelationalConceptEvaluator(self.dataset.instance)
 
     def search_relational(
-        self, query: LibraryQuery, trace: QueryTrace | None = None
+        self,
+        query: LibraryQuery,
+        trace: QueryTrace | None = None,
+        budget: QueryBudget | None = None,
     ) -> list[SceneResult]:
         """Evaluate a combined query against the relational snapshot.
 
         Produces exactly the results of :meth:`search` (asserted by the
         test suite); requires :meth:`build_relational` first.  *trace*
-        records the same stages as :meth:`search`.
+        records the same stages as :meth:`search`; *budget* is checked
+        at the same stage boundaries.
         """
         if trace is None:
             trace = QueryTrace()
@@ -330,6 +408,7 @@ class DigitalLibraryEngine:
         # Concept part: filter ws_Player, then walk the link tables
         # played -> recorded_in to the videos.
         with trace.stage("concept_filter"):
+            self._enter_stage("concept_filter", budget)
             if query.has_concept_part:
                 players = [
                     row
@@ -347,11 +426,13 @@ class DigitalLibraryEngine:
         text_by_video: dict[str, float] = {}
         if query.has_text_part:
             with trace.stage("text_topn"):
-                scores = self.text_scores(query.text, trace=trace)
+                self._enter_stage("text_topn", budget)
+                scores = self.text_scores(query.text, trace=trace, budget=budget)
                 text_by_video = self._text_scores_per_video(scores, video_players)
 
         # Content part: events (by label index) joined to shots to videos.
         with trace.stage("scene_scan"):
+            self._enter_stage("scene_scan", budget)
             shots_by_id = {row["shot_id"]: row for row in meta.table("shots").scan()}
             videos_by_id = {row["video_id"]: row for row in meta.table("videos").scan()}
             results: list[SceneResult] = []
@@ -379,6 +460,7 @@ class DigitalLibraryEngine:
                     )
             elif query.has_sequence_part:
                 with trace.stage("sequence_match"):
+                    self._enter_stage("sequence_match", budget)
                     first_label, then_label = query.sequence
                     events_table = meta.table("events")
                     index = meta.hash_index("events", "label")
@@ -440,6 +522,7 @@ class DigitalLibraryEngine:
                         )
                     )
         with trace.stage("rank_merge"):
+            self._enter_stage("rank_merge", budget)
             results.sort(key=lambda r: (-r.score, r.video_name, r.start))
             return results[: query.top_n]
 

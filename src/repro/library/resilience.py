@@ -1,0 +1,204 @@
+"""Per-stage circuit breakers and the serving-resilience configuration.
+
+The query pipeline's stages fail in correlated bursts: a text index
+under rebuild, an injected chaos latency, a pathological sequence scan.
+Paying the full deadline for every request that touches a sick stage
+wastes the whole budget on known-bad work, so the serving layer keeps a
+:class:`StageBreaker` per degradable stage (EWMA latency + consecutive
+failure count, the classic closed → open → half-open machine) and
+*proactively* skips a tripped stage — serving a labeled degraded result
+immediately instead of timing out every time.
+
+:class:`ResilienceConfig` bundles every knob of the overload story
+(admission capacity, queue bounds, default budgets, breaker tuning,
+ladder toggles) so :class:`~repro.library.service.LibrarySearchService`
+takes one optional argument; ``resilience=None`` keeps the PR 4
+fast path byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+__all__ = ["BreakerState", "DEGRADABLE_STAGES", "ResilienceConfig", "StageBreaker"]
+
+#: Stages the degradation ladder may skip: everything except the
+#: concept filter (the query's core) and the final cheap rank merge.
+DEGRADABLE_STAGES = ("text_topn", "sequence_match")
+
+
+class BreakerState(str, Enum):
+    """Circuit-breaker lifecycle: CLOSED (healthy) → OPEN (skipping)
+    → HALF_OPEN (one probe allowed through to test recovery)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class StageBreaker:
+    """A circuit breaker for one query-pipeline stage.
+
+    State machine:
+
+    - **closed** — the stage runs normally.  ``failure_threshold``
+      consecutive failures, or an EWMA latency above
+      ``latency_threshold``, trip the breaker.
+    - **open** — :meth:`allow` answers ``False`` (the serving layer
+      skips the stage) until ``cooldown`` seconds have passed.
+    - **half-open** — one probe request runs the stage; success closes
+      the breaker, failure re-opens it.  Concurrent requests keep being
+      skipped while a probe is in flight (a probe abandoned for longer
+      than ``cooldown`` — e.g. its query died in an earlier stage — is
+      replaced rather than wedging the breaker).
+
+    All methods are thread-safe; the clock is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        latency_threshold: float | None = None,
+        cooldown: float = 1.0,
+        alpha: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.failure_threshold = failure_threshold
+        self.latency_threshold = latency_threshold
+        self.cooldown = cooldown
+        self.alpha = alpha
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_at: float | None = None
+        self.ewma_seconds: float | None = None
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state.value
+
+    def allow(self) -> bool:
+        """May the stage run for this request?
+
+        Call only when the stage is actually relevant to the query: a
+        ``True`` answer from a non-closed breaker reserves the probe
+        slot, and the probe resolves via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            now = self._clock()
+            if self._state is BreakerState.OPEN:
+                if now - self._opened_at < self.cooldown:
+                    return False
+                self._state = BreakerState.HALF_OPEN
+                self._probe_at = now
+                return True
+            # Half-open: one probe at a time, replaced if abandoned.
+            if self._probe_at is not None and now - self._probe_at < self.cooldown:
+                return False
+            self._probe_at = now
+            return True
+
+    def record_success(self, seconds: float) -> None:
+        """The stage completed in *seconds*; may close or (on latency) trip."""
+        with self._lock:
+            self._update_ewma(seconds)
+            if self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self._failures = 0
+                self._probe_at = None
+                return
+            self._failures = 0
+            if (
+                self.latency_threshold is not None
+                and self.ewma_seconds is not None
+                and self.ewma_seconds > self.latency_threshold
+            ):
+                self._trip()
+
+    def record_failure(self, seconds: float | None = None) -> None:
+        """The stage failed (deadline, error); may trip the breaker."""
+        with self._lock:
+            if seconds is not None:
+                self._update_ewma(seconds)
+            self._failures += 1
+            if self._state is BreakerState.HALF_OPEN or self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _update_ewma(self, seconds: float) -> None:
+        if self.ewma_seconds is None:
+            self.ewma_seconds = seconds
+        else:
+            self.ewma_seconds = self.alpha * seconds + (1.0 - self.alpha) * self.ewma_seconds
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probe_at = None
+        self._failures = 0
+        self.trips += 1
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Every knob of the serving layer's overload story.
+
+    Attributes:
+        max_concurrent: queries evaluating at once (admission capacity).
+        max_queue: bounded FIFO wait queue beyond capacity; anything
+            more is shed immediately (``queue_full``).
+        queue_timeout: seconds a queued request waits before being shed
+            (``queue_timeout``); ``0`` sheds on any queueing.
+        budget_seconds: default per-query wall-clock budget applied when
+            the caller passes no :class:`~repro.budget.QueryBudget`.
+        budget_postings: default per-query postings budget.
+        lock_timeout: cap on read-lock acquisition (further clamped to
+            the query's remaining budget); ``None`` = budget-only.
+        stale_serving: ladder rung 1 — serve the previous generation's
+            cached result, labeled ``stale=True``.
+        degraded_serving: ladder rung 2 — serve a concept-only partial
+            evaluation, labeled ``degraded=True``.
+        breaker_stages: stages guarded by circuit breakers.
+        breaker_failure_threshold / breaker_latency_threshold /
+            breaker_cooldown / breaker_alpha: :class:`StageBreaker`
+            tuning.
+    """
+
+    max_concurrent: int = 8
+    max_queue: int = 16
+    queue_timeout: float = 0.05
+    budget_seconds: float | None = None
+    budget_postings: int | None = None
+    lock_timeout: float | None = 1.0
+    stale_serving: bool = True
+    degraded_serving: bool = True
+    breaker_stages: tuple[str, ...] = DEGRADABLE_STAGES
+    breaker_failure_threshold: int = 3
+    breaker_latency_threshold: float | None = None
+    breaker_cooldown: float = 1.0
+    breaker_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {self.max_concurrent}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.queue_timeout < 0:
+            raise ValueError(f"queue_timeout must be >= 0, got {self.queue_timeout}")

@@ -33,6 +33,15 @@ class SceneResult:
     def length(self) -> int:
         return self.stop - self.start
 
+    def scene_key(self) -> tuple[str, int, int, str | None]:
+        """Scene identity ignoring scores — what degraded results keep.
+
+        A degraded (stage-skipping) evaluation drops score *evidence*
+        but never invents scenes: its keys are a subset of the full
+        evaluation's keys.  The property tests compare on this.
+        """
+        return (self.video_name, self.start, self.stop, self.event_label)
+
 
 def fuse_scores(content_confidence: float, text_score: float | None) -> float:
     """Combine event confidence with an optional text score.

@@ -1,4 +1,4 @@
-"""The concurrent query-serving layer.
+"""The concurrent, overload-resilient query-serving layer.
 
 :class:`LibrarySearchService` wraps a
 :class:`~repro.library.engine.DigitalLibraryEngine` for repeated and
@@ -8,22 +8,42 @@ concurrent use:
   ``(generation, canonical_query_key(query))``, where the generation is
   the engine's monotone index-generation counter (bumped on every video
   commit and on every effective text-index refresh).  A commit changes
-  the generation, so a stale entry can never be served — staleness is
-  impossible by construction, no explicit invalidation protocol needed.
+  the generation, so a stale entry can never be served *unlabeled* —
+  staleness is impossible by construction, no explicit invalidation
+  protocol needed.
 - **Snapshot-isolated reads.**  Queries run under the read side of a
   readers-writer lock; commits (video registration, text refresh,
   relational rebuild) take the write side.  A query therefore evaluates
   against one pinned generation — it can never observe a half-committed
   video — while expensive writer work (clip materialisation, detector
   staging) happens outside the lock.
-- **Observability.**  Per-stage wall-clock timers (concept filter, text
-  top-N, scene scan, sequence match, rank merge), cache hit/miss/
-  eviction counters and postings-processed accounting are aggregated
-  into a :class:`QueryStats` report (``repro query-stats`` prints it).
+- **Overload resilience** (opt-in via
+  :class:`~repro.library.resilience.ResilienceConfig`): per-query
+  deadlines (:class:`~repro.budget.QueryBudget`) checked cooperatively
+  inside the engine, semaphore-style admission control with a bounded
+  FIFO wait queue (:class:`AdmissionController`), per-stage circuit
+  breakers, and a graceful-degradation ladder — on deadline or overload
+  the service falls back, in order, to (1) the previous generation's
+  cached result labeled ``stale=True``, (2) a concept-only partial
+  evaluation labeled ``degraded=True`` with the skipped stages listed,
+  (3) a typed rejection.  Shed requests are rejected fast without
+  touching the read lock.  ``resilience=None`` (the default) keeps the
+  original fast path: results are byte-identical to the unresilient
+  service.
+- **Observability.**  Per-stage wall-clock timers (a synthetic ``cache``
+  stage for hits, then concept filter, text top-N, scene scan, sequence
+  match, rank merge), cache hit/miss/eviction counters,
+  postings-processed accounting, bounded p50/p95/p99 latency reservoirs
+  (hits and misses separately) and shed/stale/degraded counters are
+  aggregated into a :class:`QueryStats` report (``repro query-stats``
+  prints it).
 
-The invariants the stress suite enforces: every served result carries a
-generation >= the generation observed at request start, and the result
-set is exactly what a fresh evaluation at that generation produces.
+The invariants the stress and soak suites enforce: every served result
+carries a generation >= the generation observed at request start minus
+one, results older than the current generation are always labeled
+``stale``, degraded results always list their skipped stages, and no
+query holds the read lock past its deadline (plus one bounded
+concept-only fallback evaluation).
 """
 
 from __future__ import annotations
@@ -31,14 +51,18 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.budget import DeadlineExceeded, LockTimeout, OverloadedError, QueryBudget
 from repro.library.query import LibraryQuery
+from repro.library.resilience import DEGRADABLE_STAGES, ResilienceConfig, StageBreaker
 from repro.library.results import SceneResult
+from repro.library.stats import LatencyReservoir
 
 __all__ = [
+    "AdmissionController",
     "LibrarySearchService",
     "QueryStats",
     "QueryTrace",
@@ -47,7 +71,16 @@ __all__ = [
 ]
 
 #: Stage names in report order (a query touches a subset of these).
-STAGES = ("concept_filter", "text_topn", "scene_scan", "sequence_match", "rank_merge")
+#: ``cache`` is the synthetic stage recorded for cache-hit responses, so
+#: per-stage time sums to total serving time.
+STAGES = (
+    "cache",
+    "concept_filter",
+    "text_topn",
+    "scene_scan",
+    "sequence_match",
+    "rank_merge",
+)
 
 
 def canonical_query_key(query: LibraryQuery) -> str:
@@ -98,7 +131,18 @@ class ServedQuery:
         generation: the index generation the results are valid for.
         cache_hit: whether the cache answered.
         seconds: service-side wall time for this request.
-        trace: the evaluation trace (``None`` on cache hits).
+        trace: the evaluation trace (a synthetic ``cache`` stage on
+            cache hits).
+        stale: the results come from the *previous* generation's cache
+            (degradation-ladder rung 1); ``generation`` is the older
+            generation they are valid for.
+        degraded: the results come from a partial evaluation that
+            skipped :attr:`skipped_stages` (ladder rung 2).
+        skipped_stages: the degradable stages left out of a degraded
+            evaluation (always non-empty when ``degraded``).
+        rejection: set when the request was shed instead of served —
+            ``"queue_full"``, ``"queue_timeout"``, ``"lock_timeout"``,
+            ``"deadline"`` or ``"stage_error"``; ``results`` is empty.
     """
 
     results: list[SceneResult]
@@ -106,6 +150,25 @@ class ServedQuery:
     cache_hit: bool
     seconds: float
     trace: QueryTrace | None = None
+    stale: bool = False
+    degraded: bool = False
+    skipped_stages: tuple[str, ...] = ()
+    rejection: str | None = None
+
+    @property
+    def rejected(self) -> bool:
+        return self.rejection is not None
+
+    @property
+    def status(self) -> str:
+        """``hit`` / ``miss`` / ``stale`` / ``degraded`` / ``rejected:<reason>``."""
+        if self.rejection is not None:
+            return f"rejected:{self.rejection}"
+        if self.degraded:
+            return "degraded"
+        if self.stale:
+            return "stale"
+        return "hit" if self.cache_hit else "miss"
 
 
 @dataclass
@@ -113,13 +176,27 @@ class QueryStats:
     """Aggregated serving statistics since the last reset.
 
     Attributes:
-        queries: requests served (hits + misses).
+        queries: requests served (hits + misses; shed requests are
+            counted in :attr:`shed`, not here).
         cache_hits / cache_misses / cache_evictions: cache counters.
         cache_entries: entries currently cached.
         generation: the engine generation at report time.
         postings_processed: text-stage postings scored across misses.
-        stage_seconds: total per-stage evaluation time across misses.
+        stage_seconds: total per-stage evaluation time (the synthetic
+            ``cache`` stage carries cache-hit serving time, so the table
+            sums to total serving time).
         hit_seconds / miss_seconds: total request time by outcome.
+        hit_latency / miss_latency: ``{"p50": .., "p95": .., "p99": ..}``
+            in seconds over the bounded reservoirs (empty when no
+            samples).
+        shed: rejection reason -> count of shed requests.
+        stale_served: results served from the previous generation.
+        degraded_served: partial (stage-skipping) evaluations served.
+        deadline_exceeded: evaluations that blew their budget.
+        breaker_states / breaker_trips: per-stage circuit-breaker state
+            and lifetime trip count (resilient services only).
+        admission: :class:`AdmissionController` snapshot (resilient
+            services only).
     """
 
     queries: int = 0
@@ -132,6 +209,15 @@ class QueryStats:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     hit_seconds: float = 0.0
     miss_seconds: float = 0.0
+    hit_latency: dict[str, float] = field(default_factory=dict)
+    miss_latency: dict[str, float] = field(default_factory=dict)
+    shed: dict[str, int] = field(default_factory=dict)
+    stale_served: int = 0
+    degraded_served: int = 0
+    deadline_exceeded: int = 0
+    breaker_states: dict[str, str] = field(default_factory=dict)
+    breaker_trips: dict[str, int] = field(default_factory=dict)
+    admission: dict[str, object] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -142,6 +228,14 @@ class QueryStats:
     @property
     def total_seconds(self) -> float:
         return self.hit_seconds + self.miss_seconds
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+
+def _format_latency(summary: dict[str, float]) -> str:
+    return "  ".join(f"{name} {value * 1e3:.2f} ms" for name, value in summary.items())
 
 
 def format_query_stats(stats: QueryStats) -> str:
@@ -157,20 +251,42 @@ def format_query_stats(stats: QueryStats) -> str:
         f"hit time            {stats.hit_seconds * 1e3:.2f} ms total",
         f"miss time           {stats.miss_seconds * 1e3:.2f} ms total",
     ]
+    if stats.hit_latency:
+        lines.append(f"hit latency         {_format_latency(stats.hit_latency)}")
+    if stats.miss_latency:
+        lines.append(f"miss latency        {_format_latency(stats.miss_latency)}")
     if stats.stage_seconds:
         lines.append("per-stage evaluation time:")
         for name in STAGES:
             if name in stats.stage_seconds:
                 lines.append(f"  {name:<16}{stats.stage_seconds[name] * 1e3:.2f} ms")
+    if stats.shed or stats.stale_served or stats.degraded_served or stats.deadline_exceeded:
+        shed_detail = ""
+        if stats.shed:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(stats.shed.items()))
+            shed_detail = f" ({parts})"
+        lines.append("resilience:")
+        lines.append(f"  shed              {stats.shed_total}{shed_detail}")
+        lines.append(f"  stale served      {stats.stale_served}")
+        lines.append(f"  degraded served   {stats.degraded_served}")
+        lines.append(f"  deadline exceeded {stats.deadline_exceeded}")
+    if stats.breaker_states:
+        lines.append("breakers:")
+        for stage in sorted(stats.breaker_states):
+            trips = stats.breaker_trips.get(stage, 0)
+            lines.append(f"  {stage:<16}{stats.breaker_states[stage]} ({trips} trips)")
     return "\n".join(lines)
 
 
 class _ReadWriteLock:
-    """A writer-preferring readers-writer lock.
+    """A writer-preferring readers-writer lock with timed acquisition.
 
     Any number of readers may hold the lock together; a writer holds it
     alone.  Waiting writers block new readers, so a stream of queries
-    cannot starve the indexer.
+    cannot starve the indexer.  Both sides accept an optional timeout;
+    giving up raises :class:`~repro.budget.LockTimeout`, and an aborted
+    wait (timeout *or* an exception delivered inside ``wait``) never
+    leaks the ``_writers_waiting`` reader barrier.
     """
 
     def __init__(self) -> None:
@@ -180,10 +296,15 @@ class _ReadWriteLock:
         self._writers_waiting = 0
 
     @contextmanager
-    def read(self):
+    def read(self, timeout: float | None = None):
         with self._cond:
-            while self._writer_active or self._writers_waiting:
-                self._cond.wait()
+            acquired = self._cond.wait_for(
+                lambda: not (self._writer_active or self._writers_waiting), timeout
+            )
+            if not acquired:
+                raise LockTimeout(
+                    f"read lock not acquired within {timeout * 1e3:.0f} ms"
+                )
             self._readers += 1
         try:
             yield
@@ -194,12 +315,25 @@ class _ReadWriteLock:
                     self._cond.notify_all()
 
     @contextmanager
-    def write(self):
+    def write(self, timeout: float | None = None):
         with self._cond:
             self._writers_waiting += 1
-            while self._writer_active or self._readers:
-                self._cond.wait()
+            try:
+                acquired = self._cond.wait_for(
+                    lambda: not (self._writer_active or self._readers), timeout
+                )
+            except BaseException:
+                # The wait was interrupted: withdraw the writer claim and
+                # wake the readers it was blocking.
+                self._writers_waiting -= 1
+                self._cond.notify_all()
+                raise
             self._writers_waiting -= 1
+            if not acquired:
+                self._cond.notify_all()
+                raise LockTimeout(
+                    f"write lock not acquired within {timeout * 1e3:.0f} ms"
+                )
             self._writer_active = True
         try:
             yield
@@ -207,6 +341,111 @@ class _ReadWriteLock:
             with self._cond:
                 self._writer_active = False
                 self._cond.notify_all()
+
+
+class AdmissionController:
+    """Semaphore-style admission with a bounded FIFO wait queue.
+
+    At most *max_concurrent* requests hold a slot at once.  Beyond that,
+    up to *max_queue* requests wait in FIFO order for at most
+    *queue_timeout* seconds; anything more is shed immediately.  Both
+    shedding paths raise a typed
+    :class:`~repro.budget.OverloadedError` (``queue_full`` /
+    ``queue_timeout``) without touching any engine state, so rejection
+    under overload stays O(1).
+    """
+
+    def __init__(self, max_concurrent: int, max_queue: int, queue_timeout: float) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if queue_timeout < 0:
+            raise ValueError(f"queue_timeout must be >= 0, got {queue_timeout}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._cond = threading.Condition()
+        self._queue: deque[object] = deque()
+        self._active = 0
+        self.admitted = 0
+        self.rejected: dict[str, int] = {}
+        self.peak_active = 0
+        self.peak_queued = 0
+
+    @contextmanager
+    def admit(self):
+        """Hold an admission slot; raises ``OverloadedError`` when shed."""
+        self._acquire()
+        try:
+            yield
+        finally:
+            self._release()
+
+    def _grant(self) -> None:
+        self._active += 1
+        self.admitted += 1
+        self.peak_active = max(self.peak_active, self._active)
+
+    def _shed(self, reason: str, message: str) -> OverloadedError:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        return OverloadedError(message, reason=reason)
+
+    def _acquire(self) -> None:
+        with self._cond:
+            if self._active < self.max_concurrent and not self._queue:
+                self._grant()
+                return
+            if len(self._queue) >= self.max_queue:
+                raise self._shed(
+                    "queue_full",
+                    f"admission queue full ({len(self._queue)} waiting, "
+                    f"{self._active} active)",
+                )
+            ticket = object()
+            self._queue.append(ticket)
+            self.peak_queued = max(self.peak_queued, len(self._queue))
+            deadline = time.monotonic() + self.queue_timeout
+            try:
+                while not (self._queue[0] is ticket and self._active < self.max_concurrent):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._queue.remove(ticket)
+                        self._cond.notify_all()
+                        raise self._shed(
+                            "queue_timeout",
+                            f"queued longer than {self.queue_timeout * 1e3:.0f} ms",
+                        )
+                    self._cond.wait(remaining)
+            except OverloadedError:
+                raise
+            except BaseException:
+                # Interrupted while queued: leave no dead ticket at the
+                # head wedging everyone behind it.
+                if ticket in self._queue:
+                    self._queue.remove(ticket)
+                self._cond.notify_all()
+                raise
+            self._queue.popleft()
+            self._grant()
+            self._cond.notify_all()
+
+    def _release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify_all()
+
+    def snapshot(self) -> dict[str, object]:
+        """Current occupancy and lifetime admission counters."""
+        with self._cond:
+            return {
+                "active": self._active,
+                "queued": len(self._queue),
+                "admitted": self.admitted,
+                "rejected": dict(self.rejected),
+                "peak_active": self.peak_active,
+                "peak_queued": self.peak_queued,
+            }
 
 
 class _LRUCache:
@@ -246,11 +485,17 @@ class _LRUCache:
 
 
 class LibrarySearchService:
-    """Concurrent, cached query serving over a library engine.
+    """Concurrent, cached, overload-resilient query serving.
 
     Args:
         engine: the :class:`DigitalLibraryEngine` to serve from.
         cache_size: maximum cached result sets (LRU beyond that).
+        resilience: optional
+            :class:`~repro.library.resilience.ResilienceConfig` enabling
+            admission control, default budgets, circuit breakers and the
+            degradation ladder.  ``None`` keeps the plain path: no
+            admission, no shedding, results byte-identical to the
+            unresilient service.
 
     Readers call :meth:`search`; writers go through :meth:`index_plan`,
     :meth:`index_checkpointed`, :meth:`refresh_text_index` or
@@ -258,8 +503,14 @@ class LibrarySearchService:
     in-flight queries.
     """
 
-    def __init__(self, engine, cache_size: int = 256):
+    def __init__(
+        self,
+        engine,
+        cache_size: int = 256,
+        resilience: ResilienceConfig | None = None,
+    ):
         self.engine = engine
+        self.resilience = resilience
         self._cache = _LRUCache(cache_size)
         self._rw = _ReadWriteLock()
         self._stats_lock = threading.Lock()
@@ -270,6 +521,30 @@ class LibrarySearchService:
         self._stage_seconds: dict[str, float] = {}
         self._hit_seconds = 0.0
         self._miss_seconds = 0.0
+        self._hit_reservoir = LatencyReservoir()
+        self._miss_reservoir = LatencyReservoir()
+        self._shed: dict[str, int] = {}
+        self._stale_served = 0
+        self._degraded_served = 0
+        self._deadline_exceeded = 0
+        if resilience is not None:
+            self._admission: AdmissionController | None = AdmissionController(
+                resilience.max_concurrent,
+                resilience.max_queue,
+                resilience.queue_timeout,
+            )
+            self._breakers = {
+                stage: StageBreaker(
+                    failure_threshold=resilience.breaker_failure_threshold,
+                    latency_threshold=resilience.breaker_latency_threshold,
+                    cooldown=resilience.breaker_cooldown,
+                    alpha=resilience.breaker_alpha,
+                )
+                for stage in resilience.breaker_stages
+            }
+        else:
+            self._admission = None
+            self._breakers = {}
 
     # ------------------------------------------------------------------ #
     # Serving
@@ -280,7 +555,13 @@ class LibrarySearchService:
         """The engine's current index generation."""
         return self.engine.generation
 
-    def search(self, query: LibraryQuery, *, bypass_cache: bool = False) -> ServedQuery:
+    def search(
+        self,
+        query: LibraryQuery,
+        *,
+        bypass_cache: bool = False,
+        budget: QueryBudget | None = None,
+    ) -> ServedQuery:
         """Serve one combined query.
 
         The evaluation is pinned to the generation current at request
@@ -290,25 +571,47 @@ class LibrarySearchService:
         Args:
             query: the combined query.
             bypass_cache: evaluate without reading or writing the cache
-                (the cold path the E15 benchmark measures).
+                (the cold path the E15 benchmark measures); also
+                disables the stale-serving ladder rung.
+            budget: per-query :class:`~repro.budget.QueryBudget`.  On a
+                plain service (``resilience=None``) expiry propagates as
+                :class:`~repro.budget.DeadlineExceeded`; on a resilient
+                service it enters the degradation ladder instead.  When
+                omitted, a resilient service applies its configured
+                default budget.
         """
         started = time.perf_counter()
         key = canonical_query_key(query)
+        if self.resilience is None:
+            return self._serve_plain(query, key, started, bypass_cache, budget)
+        if budget is None:
+            budget = QueryBudget(
+                seconds=self.resilience.budget_seconds,
+                postings=self.resilience.budget_postings,
+            )
+        try:
+            with self._admission.admit():
+                return self._serve_admitted(query, key, started, bypass_cache, budget)
+        except OverloadedError as exc:
+            return self._serve_unadmitted(query, key, started, exc.reason, bypass_cache)
+
+    def _serve_plain(
+        self,
+        query: LibraryQuery,
+        key: str,
+        started: float,
+        bypass_cache: bool,
+        budget: QueryBudget | None,
+    ) -> ServedQuery:
+        """The original fast path: no admission, no ladder, no shedding."""
         with self._rw.read():
             generation = self.engine.generation
             if not bypass_cache:
                 cached = self._cache.get((generation, key))
                 if cached is not None:
-                    seconds = time.perf_counter() - started
-                    self._record(hit=True, seconds=seconds)
-                    return ServedQuery(
-                        results=list(cached),
-                        generation=generation,
-                        cache_hit=True,
-                        seconds=seconds,
-                    )
+                    return self._serve_hit(cached, generation, started)
             trace = QueryTrace()
-            results = self.engine.search(query, trace=trace)
+            results = self.engine.search(query, trace=trace, budget=budget)
             if not bypass_cache:
                 self._cache.put((generation, key), tuple(results))
         seconds = time.perf_counter() - started
@@ -320,6 +623,218 @@ class LibrarySearchService:
             seconds=seconds,
             trace=trace,
         )
+
+    def _serve_admitted(
+        self,
+        query: LibraryQuery,
+        key: str,
+        started: float,
+        bypass_cache: bool,
+        budget: QueryBudget,
+    ) -> ServedQuery:
+        """Serve while holding an admission slot; may degrade or shed."""
+        timeout = self.resilience.lock_timeout
+        remaining = budget.remaining()
+        if remaining is not None:
+            timeout = remaining if timeout is None else min(timeout, remaining)
+            timeout = max(0.0, timeout)
+        with self._rw.read(timeout=timeout):
+            generation = self.engine.generation
+            if not bypass_cache:
+                cached = self._cache.get((generation, key))
+                if cached is not None:
+                    return self._serve_hit(cached, generation, started)
+            skipped = self._breaker_skips(query)
+            trace = QueryTrace()
+            try:
+                results = self.engine.search(
+                    query, trace=trace, budget=budget, skip_stages=frozenset(skipped)
+                )
+            except DeadlineExceeded as exc:
+                with self._stats_lock:
+                    self._deadline_exceeded += 1
+                self._breaker_failure(exc.stage, trace)
+                return self._degrade(
+                    query, key, generation, started, exc.stage, "deadline", budget,
+                    bypass_cache,
+                )
+            except OverloadedError:
+                raise
+            except Exception as exc:
+                stage = getattr(exc, "stage", None)
+                self._breaker_failure(stage, trace)
+                return self._degrade(
+                    query, key, generation, started, stage, "stage_error", budget,
+                    bypass_cache,
+                )
+            self._record_stage_health(trace, skipped)
+            seconds = time.perf_counter() - started
+            if skipped:
+                # A breaker pre-emptively degraded this evaluation:
+                # label it, and never cache a partial result.
+                self._record(hit=False, seconds=seconds, trace=trace, degraded=True)
+                return ServedQuery(
+                    results=results,
+                    generation=generation,
+                    cache_hit=False,
+                    seconds=seconds,
+                    trace=trace,
+                    degraded=True,
+                    skipped_stages=tuple(sorted(skipped)),
+                )
+            if not bypass_cache:
+                self._cache.put((generation, key), tuple(results))
+        seconds = time.perf_counter() - started
+        self._record(hit=False, seconds=seconds, trace=trace)
+        return ServedQuery(
+            results=results,
+            generation=generation,
+            cache_hit=False,
+            seconds=seconds,
+            trace=trace,
+        )
+
+    def _degrade(
+        self,
+        query: LibraryQuery,
+        key: str,
+        generation: int,
+        started: float,
+        stage: str | None,
+        reason: str,
+        budget: QueryBudget,
+        bypass_cache: bool,
+    ) -> ServedQuery:
+        """Walk the degradation ladder: stale -> concept-only -> reject.
+
+        Called with the read lock held (so the concept-only retry sees
+        the same pinned generation); the retry runs on a *fresh* budget
+        of the same size, bounding total lock-hold time at two budgets.
+        """
+        cfg = self.resilience
+        if cfg.stale_serving and not bypass_cache and generation > 0:
+            cached = self._cache.get((generation - 1, key))
+            if cached is not None:
+                return self._serve_hit(cached, generation - 1, started, stale=True)
+        relevant = self._degradable_for(query)
+        if cfg.degraded_serving and relevant and stage != "concept_filter":
+            skip = set(DEGRADABLE_STAGES)
+            if stage is not None:
+                skip.add(stage)
+            retry_budget = QueryBudget(seconds=budget.seconds, clock=budget.clock)
+            trace = QueryTrace()
+            try:
+                results = self.engine.search(
+                    query, trace=trace, budget=retry_budget, skip_stages=frozenset(skip)
+                )
+            except Exception:
+                pass  # the ladder's last rung handles it
+            else:
+                seconds = time.perf_counter() - started
+                self._record(hit=False, seconds=seconds, trace=trace, degraded=True)
+                return ServedQuery(
+                    results=results,
+                    generation=generation,
+                    cache_hit=False,
+                    seconds=seconds,
+                    trace=trace,
+                    degraded=True,
+                    skipped_stages=tuple(sorted(relevant)),
+                )
+        return self._reject(generation, started, reason)
+
+    def _serve_unadmitted(
+        self,
+        query: LibraryQuery,
+        key: str,
+        started: float,
+        reason: str,
+        bypass_cache: bool,
+    ) -> ServedQuery:
+        """Shed path: answer from cache if possible, else reject fast.
+
+        Runs without the read lock — the cache is internally
+        thread-safe, and the generation counter is a monotone int, so
+        the worst case is answering for a generation one behind a
+        racing commit, which the ``stale`` label already covers.
+        """
+        generation = self.engine.generation
+        if not bypass_cache:
+            cached = self._cache.get((generation, key))
+            if cached is not None:
+                return self._serve_hit(cached, generation, started)
+            if self.resilience.stale_serving and generation > 0:
+                cached = self._cache.get((generation - 1, key))
+                if cached is not None:
+                    return self._serve_hit(cached, generation - 1, started, stale=True)
+        return self._reject(generation, started, reason)
+
+    def _serve_hit(
+        self,
+        cached: tuple[SceneResult, ...],
+        generation: int,
+        started: float,
+        stale: bool = False,
+    ) -> ServedQuery:
+        seconds = time.perf_counter() - started
+        trace = QueryTrace()
+        trace.stage_seconds["cache"] = seconds
+        self._record(hit=True, seconds=seconds, trace=trace, stale=stale)
+        return ServedQuery(
+            results=list(cached),
+            generation=generation,
+            cache_hit=True,
+            seconds=seconds,
+            trace=trace,
+            stale=stale,
+        )
+
+    def _reject(self, generation: int, started: float, reason: str) -> ServedQuery:
+        with self._stats_lock:
+            self._shed[reason] = self._shed.get(reason, 0) + 1
+        return ServedQuery(
+            results=[],
+            generation=generation,
+            cache_hit=False,
+            seconds=time.perf_counter() - started,
+            rejection=reason,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Circuit breakers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _degradable_for(query: LibraryQuery) -> list[str]:
+        """The degradable stages this query would actually run."""
+        relevant = []
+        if query.has_text_part:
+            relevant.append("text_topn")
+        if query.has_sequence_part:
+            relevant.append("sequence_match")
+        return relevant
+
+    def _breaker_skips(self, query: LibraryQuery) -> list[str]:
+        """Stages a tripped breaker proactively removes from this query."""
+        skipped = []
+        for stage in self._degradable_for(query):
+            breaker = self._breakers.get(stage)
+            if breaker is not None and not breaker.allow():
+                skipped.append(stage)
+        return skipped
+
+    def _record_stage_health(self, trace: QueryTrace, skipped: list[str]) -> None:
+        for stage, breaker in self._breakers.items():
+            if stage in skipped:
+                continue
+            seconds = trace.stage_seconds.get(stage)
+            if seconds is not None:
+                breaker.record_success(seconds)
+
+    def _breaker_failure(self, stage: str | None, trace: QueryTrace) -> None:
+        breaker = self._breakers.get(stage)
+        if breaker is not None:
+            breaker.record_failure(trace.stage_seconds.get(stage))
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -369,15 +884,29 @@ class LibrarySearchService:
     # Observability
     # ------------------------------------------------------------------ #
 
-    def _record(self, *, hit: bool, seconds: float, trace: QueryTrace | None = None) -> None:
+    def _record(
+        self,
+        *,
+        hit: bool,
+        seconds: float,
+        trace: QueryTrace | None = None,
+        stale: bool = False,
+        degraded: bool = False,
+    ) -> None:
         with self._stats_lock:
             self._queries += 1
             if hit:
                 self._hits += 1
                 self._hit_seconds += seconds
+                self._hit_reservoir.add(seconds)
             else:
                 self._misses += 1
                 self._miss_seconds += seconds
+                self._miss_reservoir.add(seconds)
+            if stale:
+                self._stale_served += 1
+            if degraded:
+                self._degraded_served += 1
             if trace is not None:
                 self._postings += trace.postings_processed
                 for name, value in trace.stage_seconds.items():
@@ -386,7 +915,7 @@ class LibrarySearchService:
     def stats(self) -> QueryStats:
         """A snapshot of the serving counters."""
         with self._stats_lock:
-            return QueryStats(
+            stats = QueryStats(
                 queries=self._queries,
                 cache_hits=self._hits,
                 cache_misses=self._misses,
@@ -397,15 +926,32 @@ class LibrarySearchService:
                 stage_seconds=dict(self._stage_seconds),
                 hit_seconds=self._hit_seconds,
                 miss_seconds=self._miss_seconds,
+                hit_latency=self._hit_reservoir.summary(),
+                miss_latency=self._miss_reservoir.summary(),
+                shed=dict(self._shed),
+                stale_served=self._stale_served,
+                degraded_served=self._degraded_served,
+                deadline_exceeded=self._deadline_exceeded,
             )
+        for stage, breaker in self._breakers.items():
+            stats.breaker_states[stage] = breaker.state
+            stats.breaker_trips[stage] = breaker.trips
+        if self._admission is not None:
+            stats.admission = self._admission.snapshot()
+        return stats
 
     def reset_stats(self) -> None:
-        """Zero the counters (the cache itself is kept)."""
+        """Zero the counters (the cache and breaker state are kept)."""
         with self._stats_lock:
             self._queries = self._hits = self._misses = 0
             self._postings = 0
             self._stage_seconds = {}
             self._hit_seconds = self._miss_seconds = 0.0
+            self._hit_reservoir.clear()
+            self._miss_reservoir.clear()
+            self._shed = {}
+            self._stale_served = self._degraded_served = 0
+            self._deadline_exceeded = 0
             self._cache.evictions = 0
 
     def clear_cache(self) -> None:

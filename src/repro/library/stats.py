@@ -1,13 +1,19 @@
-"""Library statistics: what's in the meta-index.
+"""Library statistics: what's in the meta-index, and how serving feels.
 
 A librarian's view of the indexed collection, computed relationally
 (group counts and joins over the column-store form): videos, shot-
 category distribution, event-label distribution, tracked-object
 coverage.  Used by the CLI's ``stats`` command and handy in notebooks.
+
+Also home of :class:`LatencyReservoir`, the bounded tail-latency sample
+the query-serving layer reports p50/p95/p99 from — aggregate seconds
+hide exactly the overload behaviour the resilience machinery exists to
+bound.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,7 +22,55 @@ from repro.core.model import CobraModel
 from repro.library.persistence import model_to_catalog
 from repro.storage.query import group_count
 
-__all__ = ["LibraryStats", "collect_stats", "format_stats"]
+__all__ = ["LatencyReservoir", "LibraryStats", "collect_stats", "format_stats"]
+
+#: The percentiles a reservoir summary reports.
+PERCENTILES = (50, 95, 99)
+
+
+class LatencyReservoir:
+    """A bounded ring of recent latency samples with percentile queries.
+
+    Keeps the last *capacity* samples (a sliding window, deterministic
+    — no sampling randomness), answering nearest-rank percentiles over
+    the window.  Memory is O(capacity) no matter how long the service
+    runs.  Not thread-safe on its own: the serving layer records and
+    reads under its stats lock.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self.recorded = 0  # lifetime count, beyond the window
+
+    def add(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self.recorded = 0
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile over the window (``None`` when empty)."""
+        if not self._samples:
+            return None
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        ordered = sorted(self._samples)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in seconds (empty dict when no samples)."""
+        if not self._samples:
+            return {}
+        return {f"p{p}": self.percentile(p) for p in PERCENTILES}
 
 
 @dataclass

@@ -1,0 +1,175 @@
+"""_ReadWriteLock tests: writer preference, timeouts, interrupted waits."""
+
+import threading
+import time
+
+import pytest
+
+from repro.budget import LockTimeout
+from repro.library.service import _ReadWriteLock
+
+
+def test_readers_share_writers_exclude():
+    lock = _ReadWriteLock()
+    entered = threading.Barrier(3, timeout=5)
+
+    def reader():
+        with lock.read():
+            entered.wait()  # all three readers inside together
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+    assert not any(t.is_alive() for t in threads)
+
+
+def test_writer_preference_blocks_new_readers():
+    """A waiting writer bars later readers until it has run."""
+    lock = _ReadWriteLock()
+    order: list[str] = []
+    reader_inside = threading.Event()
+    release_reader = threading.Event()
+
+    def first_reader():
+        with lock.read():
+            reader_inside.set()
+            release_reader.wait(timeout=5)
+        order.append("reader1-out")
+
+    def writer():
+        with lock.write():
+            order.append("writer")
+
+    def late_reader():
+        with lock.read():
+            order.append("reader2")
+
+    r1 = threading.Thread(target=first_reader)
+    r1.start()
+    assert reader_inside.wait(timeout=5)
+    w = threading.Thread(target=writer)
+    w.start()
+    while lock._writers_waiting == 0:  # writer is queued
+        time.sleep(0.001)
+    r2 = threading.Thread(target=late_reader)
+    r2.start()
+    time.sleep(0.05)
+    assert "reader2" not in order  # barred by the waiting writer
+    release_reader.set()
+    for t in (r1, w, r2):
+        t.join(timeout=5)
+    assert order.index("writer") < order.index("reader2")
+
+
+def test_read_timeout_raises_lock_timeout():
+    lock = _ReadWriteLock()
+    writer_in = threading.Event()
+    release = threading.Event()
+
+    def writer():
+        with lock.write():
+            writer_in.set()
+            release.wait(timeout=5)
+
+    t = threading.Thread(target=writer)
+    t.start()
+    assert writer_in.wait(timeout=5)
+    with pytest.raises(LockTimeout):
+        with lock.read(timeout=0.02):
+            pass  # pragma: no cover
+    release.set()
+    t.join(timeout=5)
+
+
+def test_write_timeout_raises_and_unblocks_readers():
+    lock = _ReadWriteLock()
+    reader_in = threading.Event()
+    release = threading.Event()
+
+    def reader():
+        with lock.read():
+            reader_in.set()
+            release.wait(timeout=5)
+
+    t = threading.Thread(target=reader)
+    t.start()
+    assert reader_in.wait(timeout=5)
+    with pytest.raises(LockTimeout):
+        with lock.write(timeout=0.02):
+            pass  # pragma: no cover
+    # The failed writer left no barrier: a new reader enters immediately.
+    assert lock._writers_waiting == 0
+    with lock.read(timeout=0.5):
+        pass
+    release.set()
+    t.join(timeout=5)
+
+
+def test_interrupted_writer_wait_does_not_leak_barrier():
+    """Regression: an exception inside Condition.wait() used to leave
+    ``_writers_waiting`` incremented forever, starving every future
+    reader even though no writer existed any more."""
+    lock = _ReadWriteLock()
+    reader_in = threading.Event()
+    release = threading.Event()
+
+    def reader():
+        with lock.read():
+            reader_in.set()
+            release.wait(timeout=5)
+
+    t = threading.Thread(target=reader)
+    t.start()
+    assert reader_in.wait(timeout=5)
+
+    original_wait = lock._cond.wait
+
+    def interrupted_wait(timeout=None):
+        raise KeyboardInterrupt("simulated signal during wait")
+
+    lock._cond.wait = interrupted_wait
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            with lock.write():
+                pass  # pragma: no cover
+    finally:
+        lock._cond.wait = original_wait
+
+    assert lock._writers_waiting == 0
+    release.set()
+    t.join(timeout=5)
+    # Future readers and writers proceed normally.
+    with lock.read(timeout=0.5):
+        pass
+    with lock.write(timeout=0.5):
+        pass
+
+
+def test_no_lost_wakeups_under_churn():
+    """Readers and writers hammer the lock; everyone finishes."""
+    lock = _ReadWriteLock()
+    counter = {"value": 0}
+
+    def reader():
+        for _ in range(50):
+            with lock.read():
+                _ = counter["value"]
+
+    def writer():
+        for _ in range(20):
+            with lock.write():
+                counter["value"] += 1
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    threads += [threading.Thread(target=writer) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not any(t.is_alive() for t in threads)
+    assert counter["value"] == 40
+    assert lock._writers_waiting == 0
+    assert not lock._writer_active
+    assert lock._readers == 0

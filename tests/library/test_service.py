@@ -167,6 +167,76 @@ class TestStats:
         assert "text_topn" in report
 
 
+class TestServedQueryDefaults:
+    def test_fresh_result_carries_no_resilience_flags(self, service):
+        served = service.search(LibraryQuery(event="rally"))
+        assert served.stale is False
+        assert served.degraded is False
+        assert served.skipped_stages == ()
+        assert served.rejection is None
+        assert not served.rejected
+        assert served.status == "miss"
+
+    def test_status_strings(self, service):
+        query = LibraryQuery(event="rally")
+        assert service.search(query).status == "miss"
+        assert service.search(query).status == "hit"
+
+
+class TestCacheStageAccounting:
+    def test_hit_records_cache_stage(self, service):
+        query = LibraryQuery(event="rally", text="approach the net")
+        service.search(query)
+        service.reset_stats()
+        served = service.search(query)
+        assert served.cache_hit
+        stats = service.stats()
+        assert "cache" in stats.stage_seconds
+        # The synthetic cache stage is the hit's whole cost, so the
+        # per-stage ledger still sums to the total serving time.
+        assert stats.stage_seconds["cache"] == pytest.approx(stats.hit_seconds)
+        assert sum(stats.stage_seconds.values()) == pytest.approx(
+            stats.total_seconds
+        )
+
+    def test_misses_never_record_cache_stage(self, service):
+        service.search(LibraryQuery(event="rally"))
+        assert "cache" not in service.stats().stage_seconds
+
+
+class TestLatencyPercentiles:
+    def test_hit_and_miss_percentiles_split(self, service):
+        query = LibraryQuery(event="rally")
+        service.search(query)  # miss
+        for _ in range(3):
+            service.search(query)  # hits
+        stats = service.stats()
+        for summary in (stats.hit_latency, stats.miss_latency):
+            assert set(summary) == {"p50", "p95", "p99"}
+            assert 0 <= summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_empty_reservoirs_report_empty(self, service):
+        stats = service.stats()
+        assert stats.hit_latency == {}
+        assert stats.miss_latency == {}
+
+    def test_report_includes_latency_lines(self, service):
+        query = LibraryQuery(event="rally")
+        service.search(query)
+        service.search(query)
+        report = format_query_stats(service.stats())
+        assert "hit latency" in report
+        assert "miss latency" in report
+        assert "p99" in report
+
+    def test_reset_clears_reservoirs(self, service):
+        service.search(LibraryQuery(event="rally"))
+        service.reset_stats()
+        stats = service.stats()
+        assert stats.hit_latency == {}
+        assert stats.miss_latency == {}
+
+
 class TestLRUCacheUnit:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.model import CobraModel
-from repro.library.stats import collect_stats, format_stats
+from repro.library.stats import LatencyReservoir, collect_stats, format_stats
 
 
 @pytest.fixture
@@ -62,6 +62,63 @@ class TestFormat:
         assert "net_play" in text
         assert "mean event confidence: 0.90" in text
         assert "event density: 2.0/min" in text
+
+
+class TestLatencyReservoir:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(0)
+
+    def test_empty_reservoir(self):
+        reservoir = LatencyReservoir()
+        assert len(reservoir) == 0
+        assert reservoir.percentile(99) is None
+        assert reservoir.summary() == {}
+
+    def test_nearest_rank_percentiles(self):
+        reservoir = LatencyReservoir()
+        for ms in range(1, 101):  # 1..100 ms
+            reservoir.add(ms / 1000)
+        assert reservoir.percentile(50) == pytest.approx(0.050)
+        assert reservoir.percentile(95) == pytest.approx(0.095)
+        assert reservoir.percentile(99) == pytest.approx(0.099)
+        assert reservoir.summary() == {
+            "p50": pytest.approx(0.050),
+            "p95": pytest.approx(0.095),
+            "p99": pytest.approx(0.099),
+        }
+
+    def test_single_sample_is_every_percentile(self):
+        reservoir = LatencyReservoir()
+        reservoir.add(0.007)
+        assert reservoir.percentile(50) == pytest.approx(0.007)
+        assert reservoir.percentile(99) == pytest.approx(0.007)
+
+    def test_window_is_bounded_and_slides(self):
+        reservoir = LatencyReservoir(capacity=10)
+        for _ in range(10):
+            reservoir.add(1.0)  # slow era
+        for _ in range(10):
+            reservoir.add(0.001)  # fast era pushes the slow one out
+        assert len(reservoir) == 10
+        assert reservoir.recorded == 20
+        assert reservoir.percentile(99) == pytest.approx(0.001)
+
+    def test_invalid_percentile_rejected(self):
+        reservoir = LatencyReservoir()
+        reservoir.add(0.001)
+        with pytest.raises(ValueError):
+            reservoir.percentile(0)
+        with pytest.raises(ValueError):
+            reservoir.percentile(101)
+
+    def test_clear(self):
+        reservoir = LatencyReservoir()
+        reservoir.add(0.5)
+        reservoir.clear()
+        assert len(reservoir) == 0
+        assert reservoir.recorded == 0
+        assert reservoir.summary() == {}
 
 
 class TestCliStats:
