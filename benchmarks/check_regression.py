@@ -30,6 +30,20 @@ uses it to bound overload behaviour::
         --candidate test_e16_overload_burst \\
         --max-extra shed_rate=0.60 --max-extra p99_ms=100 \\
         --zero-extra unlabeled
+
+The E17 entries gate the sharded scatter-gather layer the same way:
+``parallel_deficit`` bounds how far batch indexing falls short of the
+machine's ideal speedup (``min(shards, cores)``, so single-core runners
+are judged fairly), while the fan-out gate demands byte-identical
+merged results and labeled coverage on every answer::
+
+    python benchmarks/check_regression.py bench.json \\
+        --candidate test_e17_sharded_indexing \\
+        --max-extra parallel_deficit=2.0
+    python benchmarks/check_regression.py bench.json \\
+        --candidate test_e17_scatter_gather \\
+        --max-extra fanout_p99_ms=500 \\
+        --zero-extra mismatches --zero-extra unlabeled
 """
 
 from __future__ import annotations

@@ -156,6 +156,23 @@ class QueryBudget:
         remaining = self.remaining()
         return remaining is not None and remaining <= 0
 
+    def slice_seconds(self, fraction: float) -> float | None:
+        """Carve a sub-deadline from the remaining wall-clock budget.
+
+        The scatter-gather layer gives every shard of a fan-out
+        ``remaining() * fraction`` seconds, keeping the rest as gather
+        and merge margin.  Monotonic clocks do not travel across process
+        boundaries, so the slice is returned as a *duration* for the
+        remote side to start its own budget from.  Returns ``None`` for
+        an unbounded budget and clamps at zero for an expired one.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        remaining = self.remaining()
+        if remaining is None:
+            return None
+        return max(0.0, remaining * fraction)
+
     def check(self, stage: str) -> None:
         """Raise :class:`DeadlineExceeded` if the wall clock ran out."""
         self.checks += 1

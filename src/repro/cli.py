@@ -68,6 +68,19 @@ Subcommands::
         generation lag and a bounded served p99, exiting non-zero on
         any violation.
 
+    repro serve-sharded --shards N --videos V --requests R
+        Scatter-gather driver: partition V videos across N shard worker
+        processes, fan queries out with per-shard deadline slices,
+        merge the partial rankings and print the per-shard health
+        table (generation vector, quarantine state, hedge counts).
+
+    repro serve-sharded --soak --seconds S --fault-shard K --fault-mode M
+        Sharded chaos soak: concurrent clients against the coordinator
+        while shard K misbehaves (delay / error / kill /
+        stale_generation); asserts every answer carries a coverage
+        label, no unhandled exceptions, a bounded fan-out p99 and
+        post-fault recovery, exiting non-zero on any violation.
+
 All commands are deterministic in their seeds.
 """
 
@@ -145,7 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
         "query-stats", help="serve queries through the cache and report QueryStats"
     )
     stats_query_cmd.add_argument("--seed", type=int, default=7, help="dataset seed (must match index run)")
-    stats_query_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+    stats_query_cmd.add_argument(
+        "--metaindex", default=None, help="meta-index JSON path (required without --shards)"
+    )
+    stats_query_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through N shard worker processes instead of one service "
+        "(indexes --videos from the dataset; prints per-shard stats)",
+    )
+    stats_query_cmd.add_argument(
+        "--videos", type=int, default=4, help="videos to index when --shards is used"
+    )
     stats_query_cmd.add_argument(
         "--repeat", type=int, default=3, help="times each query is served"
     )
@@ -215,6 +240,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="served-p99 bound the soak asserts (default: 2x --budget-ms)",
     )
 
+    sharded_cmd = sub.add_parser(
+        "serve-sharded",
+        help="scatter-gather serving over shard worker processes",
+    )
+    sharded_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
+    sharded_cmd.add_argument("--shards", type=int, default=2, help="shard worker processes")
+    sharded_cmd.add_argument("--videos", type=int, default=4, help="videos to partition")
+    sharded_cmd.add_argument(
+        "--requests", type=int, default=30, help="requests per client thread"
+    )
+    sharded_cmd.add_argument("--threads", type=int, default=2, help="concurrent clients")
+    sharded_cmd.add_argument(
+        "--budget-ms", type=float, default=1000.0, help="per-request wall budget in ms"
+    )
+    sharded_cmd.add_argument(
+        "--worker-threads", type=int, default=2, help="evaluation threads per worker"
+    )
+    sharded_cmd.add_argument(
+        "--min-coverage", type=int, default=1, help="fewest shards a partial answer needs"
+    )
+    sharded_cmd.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the sharded chaos soak instead of the latency pass",
+    )
+    sharded_cmd.add_argument(
+        "--seconds", type=float, default=10.0, help="soak duration in seconds"
+    )
+    sharded_cmd.add_argument(
+        "--fault-shard", type=int, default=None, help="shard the soak sabotages"
+    )
+    sharded_cmd.add_argument(
+        "--fault-mode",
+        choices=("delay", "error", "kill", "stale_generation"),
+        default="delay",
+        help="what the sabotaged shard does",
+    )
+    sharded_cmd.add_argument(
+        "--fault-ms", type=float, default=200.0, help="delay per fault delivery in ms"
+    )
+    sharded_cmd.add_argument(
+        "--fault-after",
+        type=int,
+        default=3,
+        help="clean query deliveries before the fault starts landing",
+    )
+    sharded_cmd.add_argument(
+        "--p99-ms",
+        type=float,
+        default=None,
+        help="fan-out p99 bound the soak asserts (default: 2x --budget-ms)",
+    )
+
     def add_policy_options(cmd, default_policy: str) -> None:
         cmd.add_argument(
             "--policy",
@@ -244,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     health_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
     health_cmd.add_argument("--videos", type=int, default=2, help="how many videos to index")
+    health_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="report shard-level serving health instead: spawn N shard "
+        "workers, serve a probe mix, print the per-shard table",
+    )
     add_policy_options(health_cmd, default_policy="skip_subtree")
 
     faults_cmd = sub.add_parser(
@@ -514,6 +599,12 @@ def _cmd_query_stats(args) -> int:
     from repro.library.persistence import load_model
     from repro.library.service import format_query_stats
 
+    if args.shards is not None:
+        return _sharded_query_stats(args)
+    if args.metaindex is None:
+        print("query-stats: --metaindex is required without --shards")
+        return 2
+
     dataset = build_australian_open(seed=args.seed)
     engine = DigitalLibraryEngine(dataset)
     restored = engine.indexer.restore(load_model(args.metaindex))
@@ -531,6 +622,35 @@ def _cmd_query_stats(args) -> int:
         )
     print()
     print(format_query_stats(service.stats()))
+    return 0
+
+
+def _sharded_query_stats(args) -> int:
+    """``query-stats --shards N``: serve through shard workers, report."""
+    from repro.dataset.build import build_australian_open
+    from repro.library import parse_query
+    from repro.library.sharding import (
+        ShardedSearchService,
+        ShardingConfig,
+        format_sharded_stats,
+    )
+
+    dataset = build_australian_open(seed=args.seed)
+    names = [plan.name for plan in dataset.video_plans[: args.videos]]
+    config = ShardingConfig(n_shards=args.shards)
+    queries = [parse_query(text) for text in args.queries]
+    with ShardedSearchService(names, seed=args.seed, config=config) as service:
+        for text, query in zip(args.queries, queries):
+            for _ in range(max(args.repeat, 1)):
+                served = service.search(query)
+            origin = "cache" if served.cache_hit else "fan-out"
+            print(
+                f"{text!r}: {len(served.results)} scene(s), coverage "
+                f"{served.coverage.label}, last served from {origin} "
+                f"in {served.seconds * 1e3:.2f} ms"
+            )
+        print()
+        print(format_sharded_stats(service.stats()))
     return 0
 
 
@@ -609,6 +729,218 @@ def _cmd_serve_bench(args) -> int:
     )
     print()
     print(format_query_stats(service.stats()))
+    return 0
+
+
+def _query_mix():
+    """The fixed serving mix every driver reuses."""
+    from repro.library import LibraryQuery
+
+    return [
+        LibraryQuery(top_n=100),
+        LibraryQuery(event="rally"),
+        LibraryQuery(event="net_play", text="approach the net"),
+        LibraryQuery(player={"gender": "female"}, event="service"),
+        LibraryQuery(sequence=("service", "rally"), within=500),
+        LibraryQuery(text="champion wins in straight sets"),
+    ]
+
+
+def _cmd_serve_sharded(args) -> int:
+    import time
+
+    from repro.dataset.build import build_australian_open
+    from repro.faults import ShardFaultPlan, ShardFaultSpec
+    from repro.library.sharding import (
+        ShardedSearchService,
+        ShardingConfig,
+        format_sharded_stats,
+    )
+
+    dataset = build_australian_open(seed=args.seed)
+    names = [plan.name for plan in dataset.video_plans[: args.videos]]
+    config = ShardingConfig(
+        n_shards=args.shards,
+        worker_threads=args.worker_threads,
+        budget_seconds=args.budget_ms / 1e3,
+        min_coverage=min(args.min_coverage, args.shards),
+        quarantine_cooldown=0.3,
+        probe_interval=0.1,
+    )
+    fault_plan = None
+    if args.soak and args.fault_shard is not None:
+        fault_plan = ShardFaultPlan(
+            specs=(
+                ShardFaultSpec(
+                    shard=args.fault_shard,
+                    mode=args.fault_mode,
+                    after=args.fault_after,
+                    delay_seconds=args.fault_ms / 1e3,
+                    times=1 if args.fault_mode == "kill" else None,
+                ),
+            )
+        )
+        print(
+            f"injecting {args.fault_mode!r} into shard {args.fault_shard} "
+            f"after {args.fault_after} deliveries"
+        )
+
+    started = time.perf_counter()
+    with ShardedSearchService(
+        names, seed=args.seed, config=config, fault_plan=fault_plan
+    ) as service:
+        print(
+            f"{args.shards} shard(s) up in {time.perf_counter() - started:.1f}s; "
+            f"generation vector {list(service.generations)}"
+        )
+        if args.soak:
+            return _run_sharded_soak(args, service)
+
+        mix = _query_mix()
+        for query in mix:
+            service.search(query, bypass_cache=True)  # cold pass
+        cold = time.perf_counter()
+        for query in mix:
+            service.search(query)
+        print(f"cold pass done; warm pass {(time.perf_counter() - cold) * 1e3:.1f} ms")
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        def client(client_id: int) -> int:
+            for step in range(args.requests):
+                service.search(mix[(client_id + step) % len(mix)])
+            return args.requests
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=args.threads) as pool:
+            served = sum(pool.map(client, range(args.threads)))
+        elapsed = time.perf_counter() - started
+        print(
+            f"{args.threads} client(s) x {args.requests} request(s): "
+            f"{served / elapsed:.0f} queries/s over {elapsed:.2f}s"
+        )
+        print()
+        print(format_sharded_stats(service.stats()))
+    return 0
+
+
+def _run_sharded_soak(args, service) -> int:
+    """Sharded chaos soak: concurrent clients while a shard misbehaves.
+
+    Asserts the scatter-gather invariants for the whole run — every
+    answer carries a full coverage label (k/N with k+missing == N), no
+    unhandled exceptions, rejected answers are empty, partial answers
+    only under injected faults, a bounded fan-out p99, and (with a
+    recoverable fault) full coverage again by the end — and exits
+    non-zero listing every violation.
+    """
+    import threading
+    import time
+
+    from repro.library.sharding import format_sharded_stats
+
+    p99_bound_ms = args.p99_ms if args.p99_ms is not None else 2.0 * args.budget_ms
+    mix = _query_mix()
+    deadline_t = time.monotonic() + args.seconds
+    violations: list[str] = []
+    latencies: list[list[float]] = [[] for _ in range(args.threads)]
+    requests = [0] * args.threads
+    last_coverage = [None] * args.threads
+
+    def client(client_id: int) -> None:
+        step = 0
+        while time.monotonic() < deadline_t:
+            query = mix[(client_id + step) % len(mix)]
+            step += 1
+            try:
+                served = service.search(query, bypass_cache=(step % 3 == 0))
+            except Exception as exc:
+                violations.append(f"client {client_id}: unhandled {exc!r}")
+                continue
+            requests[client_id] += 1
+            coverage = served.coverage
+            if coverage is None or coverage.total != args.shards:
+                violations.append(
+                    f"client {client_id}: unlabeled partial result "
+                    f"(coverage {coverage!r})"
+                )
+            elif sorted(coverage.responded + coverage.missing) != list(
+                range(args.shards)
+            ):
+                violations.append(
+                    f"client {client_id}: coverage does not partition the "
+                    f"shards ({coverage!r})"
+                )
+            if served.rejected and served.results:
+                violations.append(f"client {client_id}: rejected result with scenes")
+            if not coverage.complete and args.fault_shard is None:
+                violations.append(
+                    f"client {client_id}: partial coverage {coverage.label} "
+                    "with no fault injected"
+                )
+            last_coverage[client_id] = coverage
+            if not served.rejected:
+                latencies[client_id].append(served.seconds)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"soak-client-{i}", daemon=True)
+        for i in range(args.threads)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=max(0.0, deadline_t - time.monotonic()) + 30.0)
+    stuck = [thread.name for thread in threads if thread.is_alive()]
+    if stuck:
+        violations.append(f"stuck threads after deadline: {', '.join(stuck)}")
+    elapsed = time.perf_counter() - started
+
+    # Recovery: after the soak, a fresh fan-out must see every shard
+    # (kill faults land once and the prober respawns; delay/error
+    # faults quarantine, and half-open probes re-admit the shard).
+    if args.fault_shard is not None and args.fault_mode in ("kill", "delay"):
+        recovered = False
+        recovery_deadline = time.monotonic() + 60.0
+        while time.monotonic() < recovery_deadline:
+            served = service.search(mix[0], bypass_cache=True)
+            if served.coverage.complete:
+                recovered = True
+                break
+            time.sleep(0.2)
+        if not recovered:
+            violations.append(
+                f"shard {args.fault_shard} never recovered after the soak"
+            )
+
+    merged = sorted(s for per_client in latencies for s in per_client)
+    total = sum(requests)
+    stats = service.stats()
+    print(
+        f"soak: {total} requests over {elapsed:.1f}s ({total / elapsed:.0f}/s), "
+        f"{stats.full_served} full, {stats.partial_served} partial, "
+        f"{stats.stale_served} stale, {stats.rejected} rejected, "
+        f"{stats.hedges} hedges, {stats.restarts} restarts"
+    )
+    if merged:
+        rank = max(1, -(-len(merged) * 99 // 100))
+        p99_ms = merged[rank - 1] * 1e3
+        print(f"fan-out p99 {p99_ms:.1f} ms (bound {p99_bound_ms:.1f} ms)")
+        if p99_ms > p99_bound_ms:
+            violations.append(f"fan-out p99 {p99_ms:.1f} ms exceeds {p99_bound_ms:.1f} ms")
+    print()
+    print(format_sharded_stats(stats))
+    if violations:
+        print()
+        print(f"{len(violations)} invariant violation(s):")
+        for violation in violations[:20]:
+            print(f"  {violation}")
+        return 1
+    print()
+    print(
+        "soak passed: every answer coverage-labeled, no unhandled exceptions, "
+        "p99 within bound"
+    )
     return 0
 
 
@@ -778,7 +1110,38 @@ def _index_with_policy(args, make_fault_plan=None) -> int:
 
 
 def _cmd_health(args) -> int:
+    if args.shards is not None:
+        return _sharded_health(args)
     return _index_with_policy(args)
+
+
+def _sharded_health(args) -> int:
+    """``health --shards N``: probe the shard fleet and print its table."""
+    from repro.dataset.build import build_australian_open
+    from repro.library.sharding import (
+        ShardedSearchService,
+        ShardingConfig,
+        format_sharded_stats,
+    )
+
+    dataset = build_australian_open(seed=args.seed)
+    names = [plan.name for plan in dataset.video_plans[: args.videos]]
+    config = ShardingConfig(n_shards=args.shards)
+    with ShardedSearchService(names, seed=args.seed, config=config) as service:
+        for query in _query_mix():
+            service.search(query)
+        stats = service.stats()
+        print(format_sharded_stats(stats))
+        sick = [
+            row.shard
+            for row in stats.shards
+            if not row.alive or row.breaker_state != "closed"
+        ]
+        if sick:
+            print(f"unhealthy shard(s): {sick}")
+            return 1
+        print("all shards healthy")
+    return 0
 
 
 def _cmd_faults(args) -> int:
@@ -818,6 +1181,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "query-stats": _cmd_query_stats,
     "serve-bench": _cmd_serve_bench,
+    "serve-sharded": _cmd_serve_sharded,
     "fsck": _cmd_fsck,
     "health": _cmd_health,
     "faults": _cmd_faults,

@@ -37,6 +37,16 @@ deterministic latency or exceptions at stage entry through the engine's
 ``stage_hook``, which is what the E16 resilience benchmark and the
 ``repro serve-bench --soak`` chaos harness use to provoke deadline
 expiry, circuit-breaker trips and the degradation ladder.
+
+Scatter-gather serving adds a fourth fault class: *whole shards* going
+slow, wrong, or away.  :class:`ShardFaultSpec` / :class:`ShardFaultPlan`
+describe per-shard faults — delay a shard's query handling, make it
+error, kill its worker process outright, or make it report a stale
+generation — as plain picklable data, so a plan crosses the process
+boundary into :mod:`repro.library.sharding` workers at spawn time.
+:class:`ShardFaultState` is the worker-side delivery counter.  The E17
+benchmark and the ``repro serve-sharded --soak`` harness use these to
+provoke partial coverage, hedged fan-out and quarantine/recovery.
 """
 
 from __future__ import annotations
@@ -64,6 +74,10 @@ __all__ = [
     "QueryFaultSpec",
     "QueryFaultPlan",
     "QueryFaultInjector",
+    "ShardFaultSpec",
+    "ShardFaultPlan",
+    "ShardFaultState",
+    "SHARD_FAULT_MODES",
     "CrashPoint",
     "SimulatedCrash",
     "SNAPSHOT_POINTS",
@@ -518,3 +532,175 @@ class QueryFaultInjector:
             with self._lock:
                 self.log.append(InjectionEvent(spec.stage, "<query>", "raise"))
             raise spec.make_error()
+
+
+# ---------------------------------------------------------------------- #
+# Shard-level chaos: slow, broken, dead or lying shard workers
+# ---------------------------------------------------------------------- #
+
+#: The shard fault modes :class:`ShardFaultSpec` accepts.
+SHARD_FAULT_MODES = ("delay", "error", "kill", "stale_generation")
+
+
+@dataclass(frozen=True)
+class ShardFaultSpec:
+    """One injected shard-level fault, delivered on query handling.
+
+    Plain picklable data — a plan is handed to a shard worker process at
+    spawn time and delivered *inside* the worker (so a ``delay`` really
+    stalls that shard's reply, a ``kill`` really takes the process down,
+    and the coordinator exercises its production gather/quarantine
+    paths, not a mock).
+
+    Attributes:
+        shard: the shard id the fault applies to (``None`` = every
+            shard — useful for uniform background latency).
+        mode: ``"delay"`` (sleep before evaluating), ``"error"`` (reply
+            with an injected error), ``"kill"`` (hard-exit the worker
+            process, no goodbye), or ``"stale_generation"`` (answer
+            normally but report ``generation - generation_lag``,
+            modelling a replica that missed commits).
+        after: skip the first *after* matching query deliveries (lets a
+            soak warm up healthy before the fault lands).
+        times: deliveries before the shard behaves again (``None`` =
+            every matching delivery, forever; ``kill`` is naturally
+            once per process lifetime).
+        delay_seconds: sleep duration for ``mode="delay"``.
+        generation_lag: how many generations ``stale_generation``
+            under-reports (>= 1).
+        message: override for the injected error's message.
+    """
+
+    shard: int | None
+    mode: str = "delay"
+    after: int = 0
+    times: int | None = None
+    delay_seconds: float = 0.0
+    generation_lag: int = 1
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.shard is not None and self.shard < 0:
+            raise ValueError(f"shard must be >= 0 or None, got {self.shard}")
+        if self.mode not in SHARD_FAULT_MODES:
+            raise ValueError(
+                f"mode must be one of {SHARD_FAULT_MODES}, got {self.mode!r}"
+            )
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        if self.generation_lag < 1:
+            raise ValueError(f"generation_lag must be >= 1, got {self.generation_lag}")
+
+    def matches(self, shard: int) -> bool:
+        return self.shard is None or self.shard == shard
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """An ordered, picklable set of :class:`ShardFaultSpec`.
+
+    Frozen (tuple-backed) because the whole plan is serialized into each
+    worker at spawn; build with the constructors below or pass specs
+    directly.
+    """
+
+    specs: tuple[ShardFaultSpec, ...] = ()
+
+    @classmethod
+    def straggler(
+        cls, shard: int, seconds: float, times: int | None = None, after: int = 0
+    ) -> "ShardFaultPlan":
+        """Make *shard* sleep *seconds* before answering each query."""
+        return cls(
+            specs=(
+                ShardFaultSpec(
+                    shard=shard,
+                    mode="delay",
+                    delay_seconds=seconds,
+                    times=times,
+                    after=after,
+                ),
+            )
+        )
+
+    @classmethod
+    def dead(cls, shard: int, after: int = 0) -> "ShardFaultPlan":
+        """Kill *shard*'s worker process on its next matching query."""
+        return cls(specs=(ShardFaultSpec(shard=shard, mode="kill", after=after),))
+
+    @classmethod
+    def failing(
+        cls, shard: int, times: int | None = 1, after: int = 0
+    ) -> "ShardFaultPlan":
+        """Make *shard* reply with an injected error."""
+        return cls(
+            specs=(
+                ShardFaultSpec(shard=shard, mode="error", times=times, after=after),
+            )
+        )
+
+    @classmethod
+    def stale(
+        cls, shard: int, lag: int = 1, times: int | None = None, after: int = 0
+    ) -> "ShardFaultPlan":
+        """Make *shard* under-report its generation by *lag*."""
+        return cls(
+            specs=(
+                ShardFaultSpec(
+                    shard=shard,
+                    mode="stale_generation",
+                    generation_lag=lag,
+                    times=times,
+                    after=after,
+                ),
+            )
+        )
+
+    def extend(self, other: "ShardFaultPlan") -> "ShardFaultPlan":
+        return ShardFaultPlan(specs=self.specs + other.specs)
+
+    def for_shard(self, shard: int) -> tuple[ShardFaultSpec, ...]:
+        """The specs that can ever fire on *shard* (what its worker gets)."""
+        return tuple(spec for spec in self.specs if spec.matches(shard))
+
+
+class ShardFaultState:
+    """Worker-side delivery counter for one shard's fault specs.
+
+    Lives inside the shard worker process; :meth:`next_fault` is called
+    once per *query* delivery (pings and index commands are exempt, so
+    the coordinator's half-open probes can observe genuine recovery).
+    Thread-safe because workers evaluate queries on a small thread pool.
+    """
+
+    def __init__(self, shard: int, specs: tuple[ShardFaultSpec, ...]) -> None:
+        self.shard = shard
+        self.specs = tuple(spec for spec in specs if spec.matches(shard))
+        self._seen: dict[int, int] = {}  # spec index -> matching deliveries
+        self._fired: dict[int, int] = {}  # spec index -> faults delivered
+        self._lock = threading.Lock()
+        self.delivered = 0
+
+    def next_fault(self) -> ShardFaultSpec | None:
+        """The spec to deliver on this query, advancing all counters."""
+        with self._lock:
+            chosen: ShardFaultSpec | None = None
+            for index, spec in enumerate(self.specs):
+                seen = self._seen.get(index, 0)
+                self._seen[index] = seen + 1
+                if chosen is not None:
+                    continue
+                if seen < spec.after:
+                    continue
+                fired = self._fired.get(index, 0)
+                if spec.times is not None and fired >= spec.times:
+                    continue
+                self._fired[index] = fired + 1
+                chosen = spec
+            if chosen is not None:
+                self.delivered += 1
+            return chosen

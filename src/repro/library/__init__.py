@@ -17,11 +17,14 @@ they approach the net".
   (generation-keyed result cache, snapshot-isolated reads, admission
   control, the graceful-degradation ladder, QueryStats),
 - :mod:`repro.library.resilience` — circuit breakers and the
-  :class:`ResilienceConfig` knobs of the overload story.
+  :class:`ResilienceConfig` knobs of the overload story,
+- :mod:`repro.library.sharding` — fault-tolerant scatter-gather serving
+  over per-shard worker processes (hedged fan-out, typed partial
+  results, generation vectors, quarantine + restart).
 """
 
 from repro.library.query import LibraryQuery
-from repro.library.results import SceneResult
+from repro.library.results import Coverage, SceneResult
 from repro.library.indexing import LibraryIndexer
 from repro.library.engine import DigitalLibraryEngine
 from repro.library.parser import parse_query, QuerySyntaxError
@@ -35,10 +38,18 @@ from repro.library.service import (
     ServedQuery,
     canonical_query_key,
 )
+from repro.library.sharding import (
+    ShardedSearchService,
+    ShardedServedQuery,
+    ShardingConfig,
+    assign_shards,
+    shard_of,
+)
 
 __all__ = [
     "LibraryQuery",
     "SceneResult",
+    "Coverage",
     "LibraryIndexer",
     "DigitalLibraryEngine",
     "LibrarySearchService",
@@ -48,6 +59,11 @@ __all__ = [
     "QueryStats",
     "QueryTrace",
     "ServedQuery",
+    "ShardedSearchService",
+    "ShardedServedQuery",
+    "ShardingConfig",
+    "assign_shards",
+    "shard_of",
     "canonical_query_key",
     "parse_query",
     "QuerySyntaxError",

@@ -75,6 +75,17 @@ class LibraryIndexer:
     def model(self) -> CobraModel:
         return self.fde.model
 
+    def plan_named(self, name: str) -> VideoPlan:
+        """The dataset's video plan called *name*.
+
+        Shard workers rebuild their catalog slice from (seed, name
+        list); this is the name -> plan resolution they route through.
+        """
+        for plan in self.dataset.video_plans:
+            if plan.name == name:
+                return plan
+        raise KeyError(f"no video plan named {name!r}")
+
     def index_plan(self, plan: VideoPlan) -> IndexedVideo:
         """Materialise one plan, run the FDE, link the webspace Video."""
         if plan.name in self.indexed:

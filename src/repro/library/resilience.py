@@ -142,6 +142,17 @@ class StageBreaker:
             if self._state is BreakerState.HALF_OPEN or self._failures >= self.failure_threshold:
                 self._trip()
 
+    def trip(self) -> None:
+        """Open the breaker immediately, bypassing the failure count.
+
+        For failures that need no corroboration: a shard whose worker
+        *process* died is known-bad on the first observation — the
+        sharded serving layer quarantines it at once and lets the
+        half-open probe (plus a restart) decide when it is back.
+        """
+        with self._lock:
+            self._trip()
+
     def _update_ewma(self, seconds: float) -> None:
         if self.ewma_seconds is None:
             self.ewma_seconds = seconds

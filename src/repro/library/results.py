@@ -1,10 +1,19 @@
-"""Scene results and score fusion."""
+"""Scene results, score fusion, coverage labels and the shard merge."""
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from itertools import islice
+from typing import Iterable, Sequence
 
-__all__ = ["SceneResult", "fuse_scores"]
+__all__ = [
+    "Coverage",
+    "SceneResult",
+    "fuse_scores",
+    "merge_scene_results",
+    "scene_order",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +50,75 @@ class SceneResult:
         evaluation's keys.  The property tests compare on this.
         """
         return (self.video_name, self.start, self.stop, self.event_label)
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """Which shards of a scatter-gather fan-out contributed to a result.
+
+    Partial results are a *typed* outcome, never a silent one: every
+    sharded answer carries the shards that responded and the shards
+    that did not (dead, quarantined, timed out, or over deadline), so a
+    caller can always tell "the library has no such scene" apart from
+    "two of four shards never answered".
+
+    Attributes:
+        responded: shard ids whose rankings are merged into the result.
+        missing: shard ids whose catalog slice is absent from it.
+    """
+
+    responded: tuple[int, ...]
+    missing: tuple[int, ...] = ()
+
+    @property
+    def total(self) -> int:
+        return len(self.responded) + len(self.missing)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    @property
+    def fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return len(self.responded) / self.total
+
+    @property
+    def label(self) -> str:
+        """``"k/N"`` — the coverage tag reports and logs print."""
+        return f"{len(self.responded)}/{self.total}"
+
+    @classmethod
+    def full(cls, n_shards: int) -> "Coverage":
+        return cls(responded=tuple(range(n_shards)))
+
+
+def scene_order(result: SceneResult) -> tuple[float, str, int]:
+    """The canonical total order on results (best first, stable ties).
+
+    The same key :meth:`DigitalLibraryEngine.search` ranks with; a
+    total order across shards because a video (hence a scene) lives on
+    exactly one shard.
+    """
+    return (-result.score, result.video_name, result.start)
+
+
+def merge_scene_results(
+    parts: Iterable[Sequence[SceneResult]], top_n: int
+) -> list[SceneResult]:
+    """Merge per-shard scene rankings into the global top-*top_n*.
+
+    The :func:`repro.ir.topn.merge_topn` discipline applied to scenes:
+    each part must be locally ranked under :func:`scene_order` (what
+    every shard returns).  Videos are partitioned across shards, so the
+    k-way merge is exact — byte-identical to ranking the unsharded
+    library — and with parts missing it degrades to the correctly
+    ranked subset the surviving shards cover.
+    """
+    if top_n < 1:
+        raise ValueError(f"top_n must be >= 1, got {top_n}")
+    return list(islice(heapq.merge(*parts, key=scene_order), top_n))
 
 
 def fuse_scores(content_confidence: float, text_score: float | None) -> float:

@@ -63,6 +63,7 @@ from repro.library.stats import LatencyReservoir
 
 __all__ = [
     "AdmissionController",
+    "LRUCache",
     "LibrarySearchService",
     "QueryStats",
     "QueryTrace",
@@ -448,25 +449,31 @@ class AdmissionController:
             }
 
 
-class _LRUCache:
-    """A thread-safe LRU map from cache key to result tuple."""
+class LRUCache:
+    """A thread-safe LRU map (keys hashable, values opaque).
+
+    The single-node service keys it by ``(generation, query key)`` with
+    result tuples as values; the sharded coordinator keys it by
+    ``(generation vector, query key)`` — same eviction discipline, so
+    both caches age out naturally as generations move.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple[int, str], tuple[SceneResult, ...]] = OrderedDict()
+        self._entries: OrderedDict = OrderedDict()
         self.evictions = 0
 
-    def get(self, key: tuple[int, str]) -> tuple[SceneResult, ...] | None:
+    def get(self, key):
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
             return entry
 
-    def put(self, key: tuple[int, str], value: tuple[SceneResult, ...]) -> None:
+    def put(self, key, value) -> None:
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -482,6 +489,10 @@ class _LRUCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+
+#: Back-compat alias (the cache predates its public promotion).
+_LRUCache = LRUCache
 
 
 class LibrarySearchService:
@@ -511,7 +522,7 @@ class LibrarySearchService:
     ):
         self.engine = engine
         self.resilience = resilience
-        self._cache = _LRUCache(cache_size)
+        self._cache = LRUCache(cache_size)
         self._rw = _ReadWriteLock()
         self._stats_lock = threading.Lock()
         self._queries = 0

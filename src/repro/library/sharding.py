@@ -1,0 +1,1151 @@
+"""Fault-tolerant sharded scatter-gather serving.
+
+One :class:`~repro.library.service.LibrarySearchService` scales reads
+with threads but stays one process: one GIL, one failure domain.  This
+module partitions the catalog across ``N`` independent shard *worker
+processes* — videos hash-assigned by name — and coordinates them from a
+:class:`ShardedSearchService` that scatters each query to every healthy
+shard, gathers the per-shard top-N rankings, and k-way merges them with
+the :func:`~repro.library.results.merge_scene_results` discipline.
+
+The replication scheme keeps the merge *exact*: every worker builds the
+full dataset from the seed (so concept graph, page collection and text
+statistics — hence scores — are global), but indexes only its assigned
+videos.  A scene belongs to exactly one video and a video to exactly
+one shard, so each shard's ranking is the global ranking restricted to
+its slice, and the merge under the engine's total order
+``(-score, video_name, start)`` is byte-identical to serving the
+unsharded library.
+
+Robustness, the point of the exercise:
+
+- **Deadline slices.**  Each fan-out carves a per-shard sub-deadline
+  from the request's :class:`~repro.budget.QueryBudget` via
+  :meth:`~repro.budget.QueryBudget.slice_seconds` (durations, not
+  deadlines, cross the process boundary — monotonic clocks do not);
+  workers enforce it with their own local budget.
+- **Health tracking + quarantine.**  Per-shard EWMA latency and
+  consecutive-failure counting reuse
+  :class:`~repro.library.resilience.StageBreaker`; a dead worker
+  process trips its breaker immediately (:meth:`StageBreaker.trip`).
+  Quarantined shards are skipped up front — their slice is *missing*,
+  never waited on — and a background prober half-open-pings them (and
+  respawns dead workers, which deterministically rebuild their slice
+  from the seed) until they recover.
+- **Hedged fan-out.**  A straggler shard past its own p95 latency
+  (reservoir-estimated, floored at ``hedge_min_seconds``) gets the
+  query re-issued; first response wins, duplicates are ignored.
+- **Typed partial results.**  Every answer carries a
+  :class:`~repro.library.results.Coverage` — which shards responded,
+  which are missing.  Partial coverage is a labeled outcome, never a
+  silent one.
+- **Cross-shard degradation ladder.**  full coverage → partial
+  coverage (>= ``min_coverage`` shards, labeled) → stale (the last
+  full-coverage answer for this query, labeled with its generation
+  vector) → typed rejection (``no_coverage``).
+- **Generation vectors.**  Results and cache entries are keyed by the
+  tuple of per-shard generations, the sharded analogue of the
+  single-service generation key: a commit on any shard moves the
+  vector, so stale cache hits are impossible by construction (chaos
+  aside — a ``stale_generation`` shard fault makes a worker *lie*,
+  which is exactly what the soak measures).
+
+Chaos comes from :class:`repro.faults.ShardFaultSpec` plans, delivered
+worker-side on query handling only (pings exempt, so probes observe
+genuine recovery).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.budget import DeadlineExceeded, QueryBudget
+from repro.faults import ShardFaultSpec, ShardFaultState
+from repro.library.query import LibraryQuery
+from repro.library.resilience import StageBreaker
+from repro.library.results import Coverage, SceneResult, merge_scene_results
+from repro.library.service import LRUCache, canonical_query_key
+from repro.library.stats import PERCENTILES, LatencyReservoir
+
+__all__ = [
+    "ShardHealth",
+    "ShardedSearchService",
+    "ShardedServedQuery",
+    "ShardedStats",
+    "ShardingConfig",
+    "assign_shards",
+    "format_sharded_stats",
+    "shard_of",
+]
+
+
+def shard_of(video_name: str, n_shards: int) -> int:
+    """The shard a video routes to — stable across processes and runs.
+
+    CRC32, not :func:`hash`: Python string hashing is salted per
+    process, and the coordinator and its workers must agree.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return zlib.crc32(video_name.encode("utf-8")) % n_shards
+
+
+def assign_shards(video_names: list[str], n_shards: int) -> list[list[str]]:
+    """Partition the *initial* catalog into balanced per-shard slices.
+
+    Pure ``crc32 % n`` is lumpy on small catalogs (a 2x load skew is
+    routine), which would sink near-linear indexing speedup.  Instead
+    the initial set is striped in hash order: sort by
+    ``(crc32(name), name)``, deal round-robin.  Deterministic in the
+    name set, balanced to within one video.  Videos indexed *later*
+    route by :func:`shard_of` — a single video's placement does not
+    need balance, only stability.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if len(set(video_names)) != len(video_names):
+        raise ValueError("duplicate video names in shard assignment")
+    ordered = sorted(video_names, key=lambda n: (zlib.crc32(n.encode("utf-8")), n))
+    slices: list[list[str]] = [[] for _ in range(n_shards)]
+    for position, name in enumerate(ordered):
+        slices[position % n_shards].append(name)
+    return slices
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Every knob of the sharded serving layer.
+
+    Attributes:
+        n_shards: worker processes / catalog partitions.
+        worker_threads: query-evaluation threads per worker (>= 2 lets
+            a hedged duplicate overtake a per-delivery hang fault).
+        cache_size: coordinator result-cache entries (keyed by
+            generation vector + canonical query).
+        recent_size: per-query-key stale store entries (ladder rung 3).
+        budget_seconds: default per-request wall budget when the caller
+            passes none (``None`` = unbounded — hedging and gather then
+            wait up to ``gather_floor_seconds``).
+        shard_slice: fraction of the remaining request budget each
+            shard gets as its local deadline.
+        gather_floor_seconds: gather/hedge horizon for unbudgeted
+            requests.
+        min_coverage: fewest responding shards a *partial* answer may
+            be built from (ladder rung 2); fewer falls through to
+            stale/reject.
+        hedge: enable hedged re-issue of stragglers.
+        hedge_min_seconds: hedge-trigger floor (and the trigger itself
+            until a shard has latency history).
+        hedge_percentile: reservoir percentile the trigger tracks.
+        failure_threshold / quarantine_cooldown / breaker_alpha:
+            per-shard :class:`StageBreaker` tuning (process death trips
+            immediately regardless).
+        probe_interval: seconds between background prober sweeps.
+        restart_dead: respawn dead workers (deterministic slice
+            rebuild) instead of leaving their coverage missing forever.
+        partial_serving: ladder rung 2 toggle.
+        stale_serving: ladder rung 3 toggle.
+        start_method: multiprocessing start method (``fork`` on Linux:
+            no re-import, worker inherits nothing mutable it uses).
+    """
+
+    n_shards: int = 4
+    worker_threads: int = 2
+    cache_size: int = 256
+    recent_size: int = 256
+    budget_seconds: float | None = 1.0
+    shard_slice: float = 0.8
+    gather_floor_seconds: float = 5.0
+    min_coverage: int = 1
+    hedge: bool = True
+    hedge_min_seconds: float = 0.05
+    hedge_percentile: float = 95.0
+    failure_threshold: int = 3
+    quarantine_cooldown: float = 1.0
+    breaker_alpha: float = 0.2
+    probe_interval: float = 0.25
+    restart_dead: bool = True
+    partial_serving: bool = True
+    stale_serving: bool = True
+    start_method: str = "fork"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.worker_threads < 1:
+            raise ValueError(f"worker_threads must be >= 1, got {self.worker_threads}")
+        if not 0.0 < self.shard_slice <= 1.0:
+            raise ValueError(f"shard_slice must be in (0, 1], got {self.shard_slice}")
+        if not 1 <= self.min_coverage <= self.n_shards:
+            raise ValueError(
+                f"min_coverage must be in [1, {self.n_shards}], got {self.min_coverage}"
+            )
+        if self.hedge_min_seconds < 0:
+            raise ValueError(
+                f"hedge_min_seconds must be >= 0, got {self.hedge_min_seconds}"
+            )
+        if self.probe_interval <= 0:
+            raise ValueError(f"probe_interval must be > 0, got {self.probe_interval}")
+
+
+@dataclass(frozen=True)
+class ShardedServedQuery:
+    """One answer from the sharded service, with fan-out provenance.
+
+    Attributes:
+        results: merged scenes, best first (a private copy per caller).
+        coverage: which shards contributed and which are missing —
+            present on *every* answer, partial or not.
+        generations: the per-shard generation vector the results are
+            valid for (stale answers carry the older vector they were
+            cached under).
+        cache_hit: the coordinator cache answered (full coverage by
+            construction).
+        seconds: coordinator-side wall time for this request.
+        hedged: hedge re-issues this request triggered.
+        stale: ladder rung 3 — the last full-coverage answer for this
+            query, served because live coverage fell below
+            ``min_coverage``.
+        rejection: set when no rung could answer (``"no_coverage"``);
+            ``results`` is empty and ``coverage`` records the failed
+            fan-out.
+    """
+
+    results: list[SceneResult]
+    coverage: Coverage
+    generations: tuple[int, ...]
+    cache_hit: bool
+    seconds: float
+    hedged: int = 0
+    stale: bool = False
+    rejection: str | None = None
+
+    @property
+    def rejected(self) -> bool:
+        return self.rejection is not None
+
+    @property
+    def status(self) -> str:
+        """``hit`` / ``miss`` / ``partial`` / ``stale`` / ``rejected:<reason>``."""
+        if self.rejection is not None:
+            return f"rejected:{self.rejection}"
+        if self.stale:
+            return "stale"
+        if not self.coverage.complete:
+            return "partial"
+        return "hit" if self.cache_hit else "miss"
+
+
+@dataclass
+class ShardHealth:
+    """One shard's health snapshot (a row of ``repro health --shards``)."""
+
+    shard: int
+    alive: bool
+    breaker_state: str
+    generation: int
+    videos: int
+    queries: int
+    failures: int
+    hedges: int
+    restarts: int
+    latency: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ShardedStats:
+    """Aggregated sharded-serving statistics.
+
+    Attributes:
+        queries: requests answered (all rungs; rejections included).
+        cache_hits / cache_misses: coordinator-cache counters.
+        full_served / partial_served / stale_served / rejected: answers
+            by ladder rung.
+        hedges: total hedge re-issues.
+        restarts: worker respawns.
+        generations: current known generation vector.
+        fanout: request-latency percentiles (seconds).
+        shards: per-shard health rows.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    full_served: int = 0
+    partial_served: int = 0
+    stale_served: int = 0
+    rejected: int = 0
+    hedges: int = 0
+    restarts: int = 0
+    generations: tuple[int, ...] = ()
+    fanout: dict[str, float] = field(default_factory=dict)
+    shards: list[ShardHealth] = field(default_factory=list)
+
+
+def format_sharded_stats(stats: ShardedStats) -> str:
+    """Render sharded stats as the text block the CLI prints."""
+    lines = [
+        f"queries: {stats.queries} "
+        f"(cache {stats.cache_hits} hit / {stats.cache_misses} miss)",
+        f"served: {stats.full_served} full, {stats.partial_served} partial, "
+        f"{stats.stale_served} stale, {stats.rejected} rejected",
+        f"hedges: {stats.hedges}, restarts: {stats.restarts}",
+        f"generation vector: {list(stats.generations)}",
+    ]
+    if stats.fanout:
+        rendered = ", ".join(
+            f"p{p} {stats.fanout[f'p{p}'] * 1e3:.2f} ms"
+            for p in PERCENTILES
+            if f"p{p}" in stats.fanout
+        )
+        lines.append(f"fan-out latency: {rendered}")
+    lines.append("shards:")
+    for row in stats.shards:
+        state = "alive" if row.alive else "DEAD"
+        latency = ""
+        if row.latency:
+            latency = f", p95 {row.latency.get('p95', 0.0) * 1e3:.2f} ms"
+        lines.append(
+            f"  [{row.shard}] {state}/{row.breaker_state} "
+            f"gen {row.generation}, {row.videos} video(s), "
+            f"{row.queries} queries, {row.failures} failures, "
+            f"{row.hedges} hedges, {row.restarts} restarts{latency}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Worker side
+# ---------------------------------------------------------------------- #
+
+
+def _shard_worker_main(
+    shard: int,
+    seed: int,
+    dataset_args: dict,
+    video_names: list[str],
+    worker_threads: int,
+    cache_size: int,
+    fault_specs: tuple[ShardFaultSpec, ...],
+    conn,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Builds the full dataset from *seed* (global concept graph, pages
+    and term statistics), indexes only *video_names* (the shard's
+    catalog slice), then serves the command loop: ``query`` deliveries
+    fan out to a small thread pool (so a hedged duplicate can overtake
+    a per-delivery hang fault), ``ping`` / ``index`` / ``shutdown`` are
+    handled inline.  Replies are sent under a lock — a Connection is
+    not write-atomic across threads.
+    """
+    import os
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.dataset.build import build_australian_open
+    from repro.library.engine import DigitalLibraryEngine
+    from repro.library.service import LibrarySearchService
+
+    dataset = build_australian_open(seed=seed, **dataset_args)
+    engine = DigitalLibraryEngine(dataset)
+    service = LibrarySearchService(engine, cache_size=cache_size)
+    for name in video_names:
+        service.index_plan(engine.indexer.plan_named(name))
+
+    faults = ShardFaultState(shard, fault_specs)
+    send_lock = threading.Lock()
+
+    def reply(payload: dict) -> None:
+        with send_lock:
+            conn.send(payload)
+
+    def handle_query(
+        req_id: int, query: LibraryQuery, slice_seconds, bypass_cache: bool
+    ) -> None:
+        started = time.perf_counter()
+        budget = (
+            QueryBudget(seconds=slice_seconds) if slice_seconds is not None else None
+        )
+        spec = faults.next_fault()
+        generation_lag = 0
+        if spec is not None:
+            if spec.mode == "kill":
+                os._exit(1)  # no goodbye: the coordinator sees EOF
+            if spec.mode == "delay":
+                time.sleep(spec.delay_seconds)
+            elif spec.mode == "error":
+                reply(
+                    {
+                        "kind": "result",
+                        "req_id": req_id,
+                        "status": "error",
+                        "message": spec.message or f"injected shard {shard} fault",
+                    }
+                )
+                return
+            elif spec.mode == "stale_generation":
+                generation_lag = spec.generation_lag
+        try:
+            served = service.search(query, bypass_cache=bypass_cache, budget=budget)
+        except DeadlineExceeded:
+            reply({"kind": "result", "req_id": req_id, "status": "deadline"})
+            return
+        except Exception as exc:  # noqa: BLE001 — typed error reply, never silence
+            reply(
+                {
+                    "kind": "result",
+                    "req_id": req_id,
+                    "status": "error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        reply(
+            {
+                "kind": "result",
+                "req_id": req_id,
+                "status": "ok",
+                "results": served.results,
+                "generation": max(0, service.generation - generation_lag),
+                "seconds": time.perf_counter() - started,
+            }
+        )
+
+    def handle_index(req_id: int, batch: list[str]) -> None:
+        """Index a batch of plans; one reply when the whole batch lands.
+
+        Runs on the pool (the receive loop stays responsive for
+        queries); commits serialize through the service's write lock.
+        """
+        try:
+            for name in batch:
+                service.index_plan(engine.indexer.plan_named(name))
+            reply(
+                {
+                    "kind": "result",
+                    "req_id": req_id,
+                    "status": "ok",
+                    "generation": service.generation,
+                }
+            )
+        except Exception as exc:  # noqa: BLE001
+            reply(
+                {
+                    "kind": "result",
+                    "req_id": req_id,
+                    "status": "error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            )
+
+    pool = ThreadPoolExecutor(
+        max_workers=worker_threads, thread_name_prefix=f"shard-{shard}"
+    )
+    reply({"kind": "ready", "shard": shard, "generation": service.generation})
+    try:
+        while True:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = command[0]
+            if kind == "query":
+                _, req_id, query, slice_seconds, bypass_cache = command
+                pool.submit(handle_query, req_id, query, slice_seconds, bypass_cache)
+            elif kind == "ping":
+                reply(
+                    {
+                        "kind": "result",
+                        "req_id": command[1],
+                        "status": "ok",
+                        "pong": True,
+                        "generation": service.generation,
+                    }
+                )
+            elif kind == "index_batch":
+                _, req_id, batch = command
+                pool.submit(handle_index, req_id, batch)
+            elif kind == "shutdown":
+                break
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# Coordinator side
+# ---------------------------------------------------------------------- #
+
+
+class _Gather:
+    """One fan-out's rendezvous: per-shard slots, first response wins."""
+
+    def __init__(self, shards: list[int]) -> None:
+        self.expected = set(shards)
+        self.responses: dict[int, dict] = {}
+        self.cond = threading.Condition()
+
+    def deliver(self, shard: int, payload: dict) -> None:
+        with self.cond:
+            if shard in self.expected and shard not in self.responses:
+                self.responses[shard] = payload
+                self.cond.notify_all()
+
+    def fail(self, shard: int, reason: str) -> None:
+        self.deliver(shard, {"status": reason})
+
+    def done(self) -> bool:
+        return len(self.responses) >= len(self.expected)
+
+
+class _Shard:
+    """Coordinator-side state for one shard worker."""
+
+    def __init__(self, shard_id: int, videos: list[str], breaker: StageBreaker):
+        self.id = shard_id
+        self.videos = videos
+        self.breaker = breaker
+        self.reservoir = LatencyReservoir(capacity=512)
+        self.generation = 0
+        self.ready = threading.Event()
+        self.queries = 0
+        self.failures = 0
+        self.hedges = 0
+        self.restarts = 0
+        self.process = None
+        self.conn = None
+        self.send_lock = threading.Lock()
+        self.receiver: threading.Thread | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def send(self, command: tuple) -> bool:
+        """Send one command; ``False`` (never an exception) on a dead pipe."""
+        with self.send_lock:
+            if self.conn is None:
+                return False
+            try:
+                self.conn.send(command)
+                return True
+            except (OSError, ValueError, BrokenPipeError):
+                return False
+
+
+class ShardedSearchService:
+    """Scatter-gather query serving over per-shard worker processes.
+
+    Args:
+        video_names: the initial catalog, balanced across shards with
+            :func:`assign_shards` and indexed by the workers at spawn.
+        seed: dataset seed every worker rebuilds from.
+        config: the :class:`ShardingConfig`.
+        fault_plan: optional :class:`~repro.faults.ShardFaultPlan`
+            shipped to the workers (chaos soaks and tests).
+        dataset_args: extra picklable keyword arguments for the
+            workers' ``build_australian_open(seed=seed, ...)`` call
+            (benchmarks shrink ``video_shots``); must match whatever
+            any unsharded comparison service was built from.
+
+    Use as a context manager, or call :meth:`close`; worker processes
+    are daemonic either way.
+    """
+
+    def __init__(
+        self,
+        video_names: list[str],
+        *,
+        seed: int = 0,
+        config: ShardingConfig | None = None,
+        fault_plan=None,
+        dataset_args: dict | None = None,
+    ) -> None:
+        self.config = config or ShardingConfig()
+        self.seed = seed
+        self.dataset_args = dict(dataset_args or {})
+        self._fault_plan = fault_plan
+        self._ctx = mp.get_context(self.config.start_method)
+        self._lock = threading.Lock()  # shard table + counters
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, tuple[_Gather, int]] = {}  # req_id -> (gather, shard)
+        self._req_counter = 0
+        self._cache: LRUCache = LRUCache(self.config.cache_size)
+        self._recent: LRUCache = LRUCache(self.config.recent_size)
+        self._write_lock = threading.Lock()  # serializes index_video
+        self._closed = False
+
+        self._queries = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._full_served = 0
+        self._partial_served = 0
+        self._stale_served = 0
+        self._rejected = 0
+        self._fanout_reservoir = LatencyReservoir(capacity=1024)
+
+        slices = assign_shards(list(video_names), self.config.n_shards)
+        self.shards = [
+            _Shard(
+                shard_id,
+                slices[shard_id],
+                StageBreaker(
+                    failure_threshold=self.config.failure_threshold,
+                    cooldown=self.config.quarantine_cooldown,
+                    alpha=self.config.breaker_alpha,
+                ),
+            )
+            for shard_id in range(self.config.n_shards)
+        ]
+        for shard in self.shards:
+            self._spawn(shard)
+        for shard in self.shards:
+            if not shard.ready.wait(timeout=120.0):
+                raise RuntimeError(f"shard {shard.id} failed to become ready")
+
+        self._prober_stop = threading.Event()
+        self._prober = threading.Thread(
+            target=self._probe_loop, name="shard-prober", daemon=True
+        )
+        self._prober.start()
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def _spawn(self, shard: _Shard, with_faults: bool = True) -> None:
+        """Start (or restart) *shard*'s worker and its receiver thread.
+
+        Fault specs ship only on the *initial* spawn: a respawned
+        worker is a fresh replacement, not a re-run of the failure —
+        ``ShardFaultPlan.dead`` means "this shard dies once", and
+        recovery is the part under test.
+        """
+        specs = ()
+        if with_faults and self._fault_plan is not None:
+            specs = self._fault_plan.for_shard(shard.id)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                shard.id,
+                self.seed,
+                self.dataset_args,
+                list(shard.videos),
+                self.config.worker_threads,
+                self.config.cache_size,
+                specs,
+                child_conn,
+            ),
+            name=f"shard-{shard.id}",
+            daemon=True,
+        )
+        shard.ready.clear()
+        shard.conn = parent_conn
+        shard.process = process
+        process.start()
+        child_conn.close()  # parent keeps only its end
+        receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(shard, parent_conn),
+            name=f"shard-recv-{shard.id}",
+            daemon=True,
+        )
+        shard.receiver = receiver
+        receiver.start()
+
+    def _receive_loop(self, shard: _Shard, conn) -> None:
+        """Drain one worker's replies; on EOF, quarantine and fail pending."""
+        while True:
+            try:
+                payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            if payload.get("kind") == "ready":
+                shard.generation = payload["generation"]
+                shard.ready.set()
+                continue
+            req_id = payload.get("req_id")
+            with self._pending_lock:
+                entry = self._pending.pop(req_id, None)
+            if entry is None:
+                continue  # late or hedged-duplicate response: first one won
+            gather, _ = entry
+            gather.deliver(shard.id, payload)
+        if shard.conn is conn:  # not an old pipe from before a restart
+            shard.breaker.trip()
+            self._fail_pending_for(shard.id, "dead")
+
+    def _fail_pending_for(self, shard_id: int, reason: str) -> None:
+        with self._pending_lock:
+            doomed = [
+                (req_id, gather)
+                for req_id, (gather, sid) in self._pending.items()
+                if sid == shard_id
+            ]
+            for req_id, _ in doomed:
+                self._pending.pop(req_id, None)
+        for _, gather in doomed:
+            gather.fail(shard_id, reason)
+
+    def close(self) -> None:
+        """Stop the prober, shut workers down, reap processes."""
+        if self._closed:
+            return
+        self._closed = True
+        self._prober_stop.set()
+        self._prober.join(timeout=5.0)
+        for shard in self.shards:
+            shard.send(("shutdown",))
+        for shard in self.shards:
+            if shard.process is not None:
+                shard.process.join(timeout=2.0)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=2.0)
+            if shard.conn is not None:
+                try:
+                    shard.conn.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ShardedSearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- background probing / restart ----------------------------------- #
+
+    def _probe_loop(self) -> None:
+        while not self._prober_stop.wait(self.config.probe_interval):
+            for shard in self.shards:
+                if self._closed:
+                    return
+                if not shard.alive:
+                    if self.config.restart_dead:
+                        self._restart(shard)
+                    continue
+                if shard.breaker.state == "closed":
+                    continue
+                # Quarantined but alive: half-open probe via a ping.
+                if shard.breaker.allow():
+                    self._ping(shard)
+
+    def _restart(self, shard: _Shard) -> None:
+        """Respawn a dead worker; its slice rebuild is deterministic."""
+        with self._lock:
+            if self._closed or shard.alive:
+                return
+            old = shard.process
+            if old is not None:
+                old.join(timeout=0)
+            shard.restarts += 1
+            self._spawn(shard, with_faults=False)
+        if shard.ready.wait(timeout=120.0):
+            # The rebuilt replica re-indexed the same videos from the
+            # same seed: same generation, consistent vector.  Confirm
+            # with a real ping before lifting quarantine.
+            if shard.breaker.allow():
+                self._ping(shard)
+
+    def _ping(self, shard: _Shard) -> bool:
+        gather = _Gather([shard.id])
+        req_id = self._register(gather, shard.id)
+        started = time.perf_counter()
+        if not shard.send(("ping", req_id)):
+            self._unregister(req_id)
+            shard.breaker.record_failure()
+            return False
+        deadline = started + max(self.config.quarantine_cooldown, 0.1)
+        try:
+            with gather.cond:
+                while not gather.done():
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    gather.cond.wait(timeout=remaining)
+        finally:
+            self._unregister(req_id)
+        payload = gather.responses.get(shard.id)
+        if payload is not None and payload.get("status") == "ok":
+            shard.generation = payload.get("generation", shard.generation)
+            shard.breaker.record_success(time.perf_counter() - started)
+            return True
+        shard.breaker.record_failure()
+        return False
+
+    # -- fan-out plumbing ----------------------------------------------- #
+
+    def _register(self, gather: _Gather, shard_id: int) -> int:
+        with self._pending_lock:
+            self._req_counter += 1
+            req_id = self._req_counter
+            self._pending[req_id] = (gather, shard_id)
+            return req_id
+
+    def _unregister(self, req_id: int) -> None:
+        with self._pending_lock:
+            self._pending.pop(req_id, None)
+
+    @property
+    def generations(self) -> tuple[int, ...]:
+        """The known per-shard generation vector."""
+        return tuple(shard.generation for shard in self.shards)
+
+    # -- serving --------------------------------------------------------- #
+
+    def search(
+        self,
+        query: LibraryQuery,
+        *,
+        budget: QueryBudget | None = None,
+        bypass_cache: bool = False,
+    ) -> ShardedServedQuery:
+        """Serve one query by scatter-gather over the healthy shards.
+
+        Never raises for shard-side trouble: missing coverage comes
+        back *typed* on :attr:`ShardedServedQuery.coverage`, and the
+        ladder (partial → stale → reject) decides what the answer is.
+        """
+        started = time.perf_counter()
+        if budget is None and self.config.budget_seconds is not None:
+            budget = QueryBudget(seconds=self.config.budget_seconds)
+        key = canonical_query_key(query)
+        vector = self.generations
+
+        if not bypass_cache:
+            cached = self._cache.get((vector, key))
+            if cached is not None:
+                results, coverage = cached
+                served = ShardedServedQuery(
+                    results=list(results),
+                    coverage=coverage,
+                    generations=vector,
+                    cache_hit=True,
+                    seconds=time.perf_counter() - started,
+                )
+                self._record(served)
+                return served
+
+        served = self._scatter_gather(query, key, vector, budget, bypass_cache, started)
+        self._record(served)
+        return served
+
+    def _scatter_gather(
+        self,
+        query: LibraryQuery,
+        key: str,
+        vector: tuple[int, ...],
+        budget: QueryBudget | None,
+        bypass_cache: bool,
+        started: float,
+    ) -> ShardedServedQuery:
+        slice_seconds = (
+            budget.slice_seconds(self.config.shard_slice) if budget is not None else None
+        )
+
+        # Scatter to every shard whose breaker admits it (a half-open
+        # breaker's True reserves the probe slot; this query is the
+        # probe).  Quarantined shards are missing up front.
+        eligible: list[_Shard] = []
+        for shard in self.shards:
+            if shard.alive and shard.breaker.allow():
+                eligible.append(shard)
+
+        gather = _Gather([s.id for s in eligible])
+        req_ids: list[int] = []
+        sent_at: dict[int, float] = {}
+        hedged: set[int] = set()
+        try:
+            for shard in eligible:
+                req_id = self._register(gather, shard.id)
+                req_ids.append(req_id)
+                sent_at[shard.id] = time.perf_counter()
+                shard.queries += 1
+                if not shard.send(("query", req_id, query, slice_seconds, bypass_cache)):
+                    self._unregister(req_id)
+                    gather.fail(shard.id, "dead")
+
+            if eligible:
+                req_ids.extend(
+                    self._gather(
+                        gather,
+                        eligible,
+                        budget,
+                        sent_at,
+                        hedged,
+                        query,
+                        slice_seconds,
+                        bypass_cache,
+                    )
+                )
+        finally:
+            # Interrupted or not, no pending entry may leak: late
+            # responses to a finished fan-out must hit nothing.
+            for req_id in req_ids:
+                self._unregister(req_id)
+
+        # Health accounting + response triage.
+        parts: dict[int, list[SceneResult]] = {}
+        responded: list[int] = []
+        for shard in eligible:
+            payload = gather.responses.get(shard.id)
+            elapsed = time.perf_counter() - sent_at[shard.id]
+            if payload is not None and payload.get("status") == "ok":
+                responded.append(shard.id)
+                parts[shard.id] = payload["results"]
+                shard.generation = payload.get("generation", shard.generation)
+                shard.reservoir.add(payload.get("seconds", elapsed))
+                shard.breaker.record_success(elapsed)
+            else:
+                shard.failures += 1
+                if payload is not None and payload.get("status") == "dead":
+                    pass  # breaker already tripped by the receiver
+                else:
+                    shard.breaker.record_failure(elapsed)
+
+        coverage = Coverage(
+            responded=tuple(sorted(responded)),
+            missing=tuple(
+                s.id for s in self.shards if s.id not in set(responded)
+            ),
+        )
+        hedge_count = len(hedged)
+        vector = self.generations  # refreshed by the responses
+
+        if coverage.complete:
+            results = merge_scene_results(
+                [parts[sid] for sid in coverage.responded], query.top_n
+            )
+            if not bypass_cache:
+                self._cache.put((vector, key), (list(results), coverage))
+                self._recent.put(key, (list(results), coverage, vector))
+            return ShardedServedQuery(
+                results=results,
+                coverage=coverage,
+                generations=vector,
+                cache_hit=False,
+                seconds=time.perf_counter() - started,
+                hedged=hedge_count,
+            )
+
+        if (
+            self.config.partial_serving
+            and len(coverage.responded) >= self.config.min_coverage
+        ):
+            results = merge_scene_results(
+                [parts[sid] for sid in coverage.responded], query.top_n
+            )
+            return ShardedServedQuery(
+                results=results,
+                coverage=coverage,
+                generations=vector,
+                cache_hit=False,
+                seconds=time.perf_counter() - started,
+                hedged=hedge_count,
+            )
+
+        if self.config.stale_serving and not bypass_cache:
+            stale = self._recent.get(key)
+            if stale is not None:
+                results, stale_coverage, stale_vector = stale
+                return ShardedServedQuery(
+                    results=list(results),
+                    coverage=stale_coverage,
+                    generations=stale_vector,
+                    cache_hit=False,
+                    seconds=time.perf_counter() - started,
+                    hedged=hedge_count,
+                    stale=True,
+                )
+
+        return ShardedServedQuery(
+            results=[],
+            coverage=coverage,
+            generations=vector,
+            cache_hit=False,
+            seconds=time.perf_counter() - started,
+            hedged=hedge_count,
+            rejection="no_coverage",
+        )
+
+    def _gather(
+        self,
+        gather: _Gather,
+        eligible: list[_Shard],
+        budget: QueryBudget | None,
+        sent_at: dict[int, float],
+        hedged: set[int],
+        query: LibraryQuery,
+        slice_seconds: float | None,
+        bypass_cache: bool,
+    ) -> list[int]:
+        """Wait for the fan-out, hedging stragglers; returns hedge req ids.
+
+        Every wait carries a timeout (the audit invariant: no
+        ``Condition.wait()`` in the serving path may block forever),
+        and the hedge check runs between waits.
+        """
+        if budget is not None:
+            remaining = budget.remaining()
+            horizon = remaining if remaining is not None else self.config.gather_floor_seconds
+        else:
+            horizon = self.config.gather_floor_seconds
+        deadline = time.perf_counter() + max(0.0, horizon)
+        poll = max(self.config.hedge_min_seconds / 4.0, 0.002)
+        hedge_req_ids: list[int] = []
+
+        while True:
+            with gather.cond:
+                if gather.done():
+                    return hedge_req_ids
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return hedge_req_ids
+                gather.cond.wait(timeout=min(remaining, poll))
+                if gather.done():
+                    return hedge_req_ids
+            if not self.config.hedge:
+                continue
+            now = time.perf_counter()
+            for shard in eligible:
+                if shard.id in hedged or shard.id in gather.responses:
+                    continue
+                trigger = shard.reservoir.percentile_or(
+                    self.config.hedge_percentile,
+                    self.config.hedge_min_seconds,
+                    min_samples=8,
+                )
+                trigger = max(trigger, self.config.hedge_min_seconds)
+                if now - sent_at[shard.id] < trigger:
+                    continue
+                hedged.add(shard.id)
+                shard.hedges += 1
+                req_id = self._register(gather, shard.id)
+                hedge_req_ids.append(req_id)
+                if not shard.send(
+                    ("query", req_id, query, slice_seconds, bypass_cache)
+                ):
+                    self._unregister(req_id)
+                    gather.fail(shard.id, "dead")
+
+    # -- indexing -------------------------------------------------------- #
+
+    def index_video(self, name: str) -> int:
+        """Index one more video on its home shard; returns the shard id."""
+        return self.index_videos([name])[0]
+
+    def index_videos(self, names: list[str], timeout: float = 600.0) -> list[int]:
+        """Index a batch, shards working their slices in parallel.
+
+        The batch is striped across shards with :func:`assign_shards`
+        (the initial-catalog discipline — balanced to within one video;
+        a lone video through :meth:`index_video` routes by pure
+        :func:`shard_of`); per-shard slices are scattered concurrently
+        (the near-linear indexing speedup E17 gates on), and the call
+        returns when every shard has committed its slice.  Writes are
+        serialized through the coordinator, so the known generation
+        vector tracks commits exactly (chaos aside).  Raises
+        ``RuntimeError`` when any home shard cannot take its slice — a
+        write is never silently lost to a random shard; callers retry
+        after recovery.
+
+        Returns each video's shard id, in input order.
+        """
+        if not names:
+            return []
+        if len(names) == 1:
+            slices: list[list[str]] = [[] for _ in range(self.config.n_shards)]
+            slices[shard_of(names[0], self.config.n_shards)].append(names[0])
+        else:
+            slices = assign_shards(names, self.config.n_shards)
+        home = {name: sid for sid, batch in enumerate(slices) for name in batch}
+        by_shard = {sid: batch for sid, batch in enumerate(slices) if batch}
+        with self._write_lock:
+            for shard_id in by_shard:
+                if not self.shards[shard_id].alive:
+                    raise RuntimeError(f"shard {shard_id} is down; cannot index batch")
+            gather = _Gather(list(by_shard))
+            req_ids: list[int] = []
+            try:
+                for shard_id, batch in by_shard.items():
+                    shard = self.shards[shard_id]
+                    req_id = self._register(gather, shard_id)
+                    req_ids.append(req_id)
+                    if not shard.send(("index_batch", req_id, list(batch))):
+                        raise RuntimeError(f"shard {shard_id} pipe is down")
+                deadline = time.perf_counter() + timeout
+                with gather.cond:
+                    while not gather.done():
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0:
+                            raise RuntimeError("index batch timed out")
+                        gather.cond.wait(timeout=min(remaining, 1.0))
+            finally:
+                for req_id in req_ids:
+                    self._unregister(req_id)
+            for shard_id, batch in by_shard.items():
+                payload = gather.responses.get(shard_id)
+                if payload is None or payload.get("status") != "ok":
+                    message = (payload or {}).get("message", "no response")
+                    raise RuntimeError(
+                        f"shard {shard_id} failed to index its slice: {message}"
+                    )
+                shard = self.shards[shard_id]
+                shard.generation = payload["generation"]
+                shard.videos.extend(batch)
+        return [home[name] for name in names]
+
+    # -- observability ---------------------------------------------------- #
+
+    def _record(self, served: ShardedServedQuery) -> None:
+        with self._lock:
+            self._queries += 1
+            self._fanout_reservoir.add(served.seconds)
+            if served.cache_hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+            if served.rejected:
+                self._rejected += 1
+            elif served.stale:
+                self._stale_served += 1
+            elif not served.coverage.complete:
+                self._partial_served += 1
+            else:
+                self._full_served += 1
+
+    def stats(self) -> ShardedStats:
+        with self._lock:
+            stats = ShardedStats(
+                queries=self._queries,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                full_served=self._full_served,
+                partial_served=self._partial_served,
+                stale_served=self._stale_served,
+                rejected=self._rejected,
+                hedges=sum(s.hedges for s in self.shards),
+                restarts=sum(s.restarts for s in self.shards),
+                generations=self.generations,
+                fanout=self._fanout_reservoir.summary(),
+            )
+        for shard in self.shards:
+            stats.shards.append(
+                ShardHealth(
+                    shard=shard.id,
+                    alive=shard.alive,
+                    breaker_state=shard.breaker.state,
+                    generation=shard.generation,
+                    videos=len(shard.videos),
+                    queries=shard.queries,
+                    failures=shard.failures,
+                    hedges=shard.hedges,
+                    restarts=shard.restarts,
+                    latency=shard.reservoir.summary(),
+                )
+            )
+        return stats

@@ -66,6 +66,22 @@ class LatencyReservoir:
         rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
         return ordered[int(rank) - 1]
 
+    def percentile_or(self, p: float, default: float, min_samples: int = 1) -> float:
+        """Nearest-rank percentile, or *default* on too few samples.
+
+        The sharded serving layer's hedge trigger wants "this shard's
+        p95 latency" but must behave sanely before a shard has history:
+        with fewer than *min_samples* recorded the *default* (the
+        configured hedge floor) is returned instead of a noisy estimate
+        over one or two points.
+        """
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if len(self._samples) < min_samples:
+            return default
+        value = self.percentile(p)
+        return default if value is None else value
+
     def summary(self) -> dict[str, float]:
         """``{"p50": ..., "p95": ..., "p99": ...}`` in seconds (empty dict when no samples)."""
         if not self._samples:

@@ -1,0 +1,229 @@
+"""End-to-end tests of the sharded scatter-gather service.
+
+Real worker processes, real pipes: the coordinator's production paths
+(scatter, gather, hedging, quarantine, restart, ladder) are exercised
+against live shards, with chaos delivered by picklable
+:class:`~repro.faults.ShardFaultPlan`s inside the workers.
+
+Kept deliberately small (4 videos, 2 shards) — each service spawn
+indexes its catalog slice from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.dataset.build import build_australian_open
+from repro.faults import ShardFaultPlan, ShardFaultSpec, ShardFaultState
+from repro.library.engine import DigitalLibraryEngine
+from repro.library.query import LibraryQuery
+from repro.library.service import LibrarySearchService
+from repro.library.sharding import (
+    ShardedSearchService,
+    ShardingConfig,
+    format_sharded_stats,
+)
+
+N_VIDEOS = 4
+
+MIX = [
+    LibraryQuery(top_n=100),
+    LibraryQuery(event="rally"),
+    LibraryQuery(event="net_play", text="approach the net"),
+    LibraryQuery(player={"gender": "female"}, event="service"),
+    LibraryQuery(sequence=("service", "rally"), within=500),
+    LibraryQuery(text="champion wins in straight sets"),
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_australian_open(seed=0)
+
+
+@pytest.fixture(scope="module")
+def names(dataset):
+    return [plan.name for plan in dataset.video_plans[:N_VIDEOS]]
+
+
+@pytest.fixture(scope="module")
+def reference(dataset, names):
+    """Unsharded results for the query mix — the byte-identity baseline."""
+    engine = DigitalLibraryEngine(dataset)
+    service = LibrarySearchService(engine)
+    for name in names:
+        service.index_plan(engine.indexer.plan_named(name))
+    return {id(query): service.search(query).results for query in MIX}
+
+
+@pytest.fixture(scope="module")
+def sharded(names):
+    config = ShardingConfig(n_shards=2, budget_seconds=30.0)
+    with ShardedSearchService(names, seed=0, config=config) as service:
+        yield service
+
+
+class TestHealthyServing:
+    def test_results_byte_identical_to_unsharded(self, sharded, reference):
+        for query in MIX:
+            served = sharded.search(query, bypass_cache=True)
+            assert served.coverage.complete, served.coverage
+            assert served.results == reference[id(query)]
+            assert not served.stale and not served.rejected
+
+    def test_cache_hit_on_stable_generation_vector(self, sharded):
+        first = sharded.search(MIX[1])
+        again = sharded.search(MIX[1])
+        assert again.cache_hit and not first.cache_hit or first.cache_hit
+        assert again.results == first.results
+        assert again.generations == first.generations
+
+    def test_every_answer_carries_coverage(self, sharded):
+        served = sharded.search(MIX[0])
+        assert served.coverage.total == 2
+        assert served.coverage.label == "2/2"
+        assert len(served.generations) == 2
+
+    def test_stats_shape(self, sharded):
+        stats = sharded.stats()
+        assert stats.queries > 0
+        assert len(stats.shards) == 2
+        assert stats.generations == sharded.generations
+        for row in stats.shards:
+            assert row.alive and row.breaker_state == "closed"
+            assert row.videos == N_VIDEOS // 2
+        rendered = format_sharded_stats(stats)
+        assert "generation vector" in rendered and "[0]" in rendered
+
+    def test_index_video_moves_the_vector(self, dataset, names):
+        extra = dataset.video_plans[N_VIDEOS].name
+        config = ShardingConfig(n_shards=2, budget_seconds=30.0)
+        with ShardedSearchService(names, seed=0, config=config) as service:
+            before = service.generations
+            shard_id = service.index_video(extra)
+            after = service.generations
+            assert sum(after) == sum(before) + 1
+            assert after[shard_id] == before[shard_id] + 1
+            served = service.search(MIX[0])
+            assert served.generations == after
+
+
+class TestShardLoss:
+    def test_kill_yields_labeled_partial_within_deadline_then_recovers(self, names):
+        plan = ShardFaultPlan.dead(shard=1, after=1)
+        config = ShardingConfig(
+            n_shards=2,
+            budget_seconds=5.0,
+            quarantine_cooldown=0.2,
+            probe_interval=0.05,
+        )
+        with ShardedSearchService(
+            names, seed=0, fault_plan=plan, config=config
+        ) as service:
+            warm = service.search(MIX[1], bypass_cache=True)  # clean delivery
+            assert warm.coverage.complete
+
+            killed = service.search(MIX[1], bypass_cache=True)  # delivers the kill
+            assert killed.coverage.label == "1/2"
+            assert killed.coverage.missing == (1,)
+            assert not killed.rejected  # partial is an answer, not an error
+            assert killed.seconds < 5.0  # within the request deadline
+
+            # While down, coverage stays honestly partial or stale-served;
+            # the prober respawns the worker (deterministic slice rebuild).
+            deadline = time.monotonic() + 120.0
+            recovered = killed
+            while time.monotonic() < deadline and not recovered.coverage.complete:
+                time.sleep(0.1)
+                recovered = service.search(MIX[1], bypass_cache=True)
+            assert recovered.coverage.complete
+            assert recovered.results == warm.results  # rebuilt replica, same slice
+            stats = service.stats()
+            assert stats.shards[1].restarts == 1
+            assert stats.rejected == 0
+
+    def test_all_shards_failing_serves_stale_then_rejects(self, dataset, names):
+        specs = tuple(
+            spec
+            for shard in range(2)
+            for spec in ShardFaultPlan.failing(shard, times=None, after=1).specs
+        )
+        plan = ShardFaultPlan(specs=specs)
+        extra = dataset.video_plans[N_VIDEOS].name
+        config = ShardingConfig(
+            n_shards=2,
+            budget_seconds=5.0,
+            min_coverage=2,
+            quarantine_cooldown=60.0,  # no recovery during the test
+        )
+        with ShardedSearchService(
+            names, seed=0, fault_plan=plan, config=config
+        ) as service:
+            warm = service.search(MIX[1])  # fills cache and the stale store
+            service.index_video(extra)  # vector moves; cache misses now
+            stale = service.search(MIX[1])
+            assert stale.stale
+            assert stale.results == warm.results
+            assert stale.generations == warm.generations  # the older vector
+            # bypass_cache disables the stale rung -> typed rejection
+            rejected = service.search(MIX[1], bypass_cache=True)
+            assert rejected.rejection == "no_coverage"
+            assert rejected.results == []
+            assert rejected.coverage.responded == ()
+
+
+class TestHedging:
+    def test_straggler_is_hedged_and_first_response_wins(self, names, reference):
+        # The delay fires once per delivery; the hedged duplicate runs
+        # clean on the worker's second pool thread and overtakes it.
+        plan = ShardFaultPlan.straggler(shard=0, seconds=3.0, times=1)
+        config = ShardingConfig(
+            n_shards=2, budget_seconds=10.0, hedge_min_seconds=0.05
+        )
+        with ShardedSearchService(
+            names, seed=0, fault_plan=plan, config=config
+        ) as service:
+            served = service.search(MIX[1], bypass_cache=True)
+            assert served.coverage.complete
+            assert served.hedged >= 1
+            assert served.seconds < 3.0  # did not wait out the straggler
+            assert served.results == reference[id(MIX[1])]
+            assert service.stats().hedges >= 1
+
+
+class TestShardFaultSpecs:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ShardFaultSpec(shard=0, mode="explode")
+        with pytest.raises(ValueError):
+            ShardFaultSpec(shard=-1)
+        with pytest.raises(ValueError):
+            ShardFaultSpec(shard=0, times=0)
+        with pytest.raises(ValueError):
+            ShardFaultSpec(shard=0, mode="stale_generation", generation_lag=0)
+        with pytest.raises(ValueError):
+            ShardFaultSpec(shard=0, after=-1)
+
+    def test_state_counts_after_and_times(self):
+        spec = ShardFaultSpec(shard=0, mode="delay", delay_seconds=0.1, after=2, times=2)
+        state = ShardFaultState(0, (spec,))
+        fired = [state.next_fault() is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+        assert state.delivered == 2
+
+    def test_state_ignores_other_shards(self):
+        spec = ShardFaultSpec(shard=3, mode="error")
+        state = ShardFaultState(0, (spec,))
+        assert state.next_fault() is None
+        wildcard = ShardFaultSpec(shard=None, mode="error", times=1)
+        state = ShardFaultState(0, (wildcard,))
+        assert state.next_fault() is wildcard
+        assert state.next_fault() is None
+
+    def test_plan_for_shard_filters(self):
+        plan = ShardFaultPlan.dead(1).extend(ShardFaultPlan.stale(2, lag=3))
+        assert [spec.mode for spec in plan.for_shard(1)] == ["kill"]
+        assert [spec.mode for spec in plan.for_shard(2)] == ["stale_generation"]
+        assert plan.for_shard(0) == ()

@@ -1,0 +1,164 @@
+"""Interrupted-wait regression tests (the ``_writers_waiting`` bug class).
+
+PR 5 shipped a fix for a writer counter leaked when an exception was
+delivered *inside* ``Condition.wait_for``: the aborted writer left its
+reader barrier up and every subsequent query timed out.  These tests
+pin the invariant for every blocking wait in the serving paths — a wait
+interrupted by an exception must restore all bookkeeping it installed
+(writer claims, queue tickets, pending fan-out entries), and every wait
+must carry a timeout so nothing can block forever.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.budget import OverloadedError
+from repro.library.service import AdmissionController
+from repro.library.service import _ReadWriteLock  # noqa: PLC2701 — under test
+from repro.library.sharding import _Gather
+
+
+class Interrupted(BaseException):
+    """Delivered mid-wait; BaseException so nothing downstream eats it."""
+
+
+class _InterruptingCondition:
+    """A Condition whose waits raise after arming — the interruption probe."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self.armed = False
+
+    def __enter__(self):
+        return self._cond.__enter__()
+
+    def __exit__(self, *exc_info):
+        return self._cond.__exit__(*exc_info)
+
+    def wait(self, timeout=None):
+        if self.armed:
+            raise Interrupted
+        return self._cond.wait(timeout)
+
+    def wait_for(self, predicate, timeout=None):
+        if self.armed and not predicate():
+            raise Interrupted
+        return self._cond.wait_for(predicate, timeout)
+
+    def notify_all(self):
+        self._cond.notify_all()
+
+
+class TestReadWriteLock:
+    def test_interrupted_writer_restores_the_reader_barrier(self):
+        lock = _ReadWriteLock()
+        probe = _InterruptingCondition()
+        lock._cond = probe
+        with lock.read():  # a reader in flight forces the writer to wait
+            probe.armed = True
+            with pytest.raises(Interrupted):
+                with lock.write(timeout=5.0):
+                    pass  # pragma: no cover — never acquired
+            probe.armed = False
+        assert lock._writers_waiting == 0
+        assert not lock._writer_active
+        # and the lock still works both ways
+        with lock.write(timeout=1.0):
+            pass
+        with lock.read(timeout=1.0):
+            pass
+
+    def test_interrupted_reader_leaves_no_count(self):
+        lock = _ReadWriteLock()
+        probe = _InterruptingCondition()
+        lock._cond = probe
+        with lock.write():
+            probe.armed = True
+            with pytest.raises(Interrupted):
+                with lock.read(timeout=5.0):
+                    pass  # pragma: no cover
+            probe.armed = False
+        assert lock._readers == 0
+        with lock.read(timeout=1.0):
+            pass
+
+
+class TestAdmissionController:
+    def test_interrupted_queued_request_removes_its_ticket(self):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, queue_timeout=5.0
+        )
+        probe = _InterruptingCondition()
+        controller._cond = probe
+        with controller.admit():  # occupy the only slot
+            probe.armed = True
+            with pytest.raises(Interrupted):
+                with controller.admit():
+                    pass  # pragma: no cover
+            probe.armed = False
+            assert len(controller._queue) == 0  # no dead ticket at the head
+        # the slot freed; a fresh request sails through
+        with controller.admit():
+            assert controller._active == 1
+        assert controller._active == 0
+
+    def test_queue_timeout_still_sheds_normally(self):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, queue_timeout=0.01
+        )
+        with controller.admit():
+            with pytest.raises(OverloadedError):
+                with controller.admit():
+                    pass  # pragma: no cover
+        assert len(controller._queue) == 0
+
+
+class TestGatherCleanup:
+    def test_interrupted_gather_leaks_no_pending_entries(self):
+        """The sharded fan-out's analogue: pending req-ids must not leak.
+
+        An exception delivered while the coordinator waits on the
+        gather condition unwinds through ``_scatter_gather``'s finally,
+        which unregisters every req-id — a late shard reply then finds
+        nothing and is dropped, instead of corrupting a finished
+        fan-out.  Simulated here at the same seam (the pending table)
+        without spawning processes.
+        """
+        pending: dict[int, tuple] = {}
+        gather = _Gather([0, 1])
+        probe = _InterruptingCondition()
+        gather.cond = probe
+        req_ids = [7, 8]
+        for req_id, shard in zip(req_ids, [0, 1]):
+            pending[req_id] = (gather, shard)
+        probe.armed = True
+        try:
+            with pytest.raises(Interrupted):
+                with gather.cond:
+                    while not gather.done():
+                        gather.cond.wait(timeout=0.5)
+        finally:
+            for req_id in req_ids:
+                pending.pop(req_id, None)
+        assert pending == {}
+        # a late delivery after cleanup is a no-op for the table
+        gather.deliver(0, {"status": "ok"})
+        assert pending == {}
+
+    def test_gather_first_response_wins(self):
+        gather = _Gather([0])
+        gather.deliver(0, {"status": "ok", "marker": "first"})
+        gather.deliver(0, {"status": "ok", "marker": "duplicate"})
+        assert gather.responses[0]["marker"] == "first"
+        assert gather.done()
+
+    def test_gather_ignores_unexpected_shards(self):
+        gather = _Gather([1])
+        gather.deliver(0, {"status": "ok"})
+        assert not gather.done()
+        gather.fail(1, "dead")
+        assert gather.done()
+        assert gather.responses[1]["status"] == "dead"
