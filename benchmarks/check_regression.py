@@ -44,6 +44,19 @@ merged results and labeled coverage on every answer::
         --candidate test_e17_scatter_gather \\
         --max-extra fanout_p99_ms=500 \\
         --zero-extra mismatches --zero-extra unlabeled
+
+The E18 entry gates replicated serving's availability claim: with one
+replica killed in every group mid-soak, callers must see **zero**
+rejected, unlabeled, coverage-losing or mismatching answers, and every
+killed replica must be rebuilt and back in rotation before the soak
+ends::
+
+    python benchmarks/check_regression.py bench.json \\
+        --candidate test_e18_replica_kill_soak \\
+        --max-extra fanout_p99_ms=2000 \\
+        --zero-extra rejected --zero-extra unlabeled \\
+        --zero-extra coverage_loss --zero-extra mismatches \\
+        --zero-extra not_rejoined
 """
 
 from __future__ import annotations

@@ -68,18 +68,23 @@ Subcommands::
         generation lag and a bounded served p99, exiting non-zero on
         any violation.
 
-    repro serve-sharded --shards N --videos V --requests R
-        Scatter-gather driver: partition V videos across N shard worker
-        processes, fan queries out with per-shard deadline slices,
-        merge the partial rankings and print the per-shard health
-        table (generation vector, quarantine state, hedge counts).
+    repro serve-sharded --shards N --replicas R --videos V --requests Q
+        Scatter-gather driver: partition V videos across N replica
+        groups of R worker processes each, fan queries out with
+        per-shard deadline slices to the healthiest replica of each
+        group (failing over to siblings), merge the partial rankings
+        and print the per-shard health table (generation vector,
+        quarantine state, hedge/failover counts, per-replica rows).
 
     repro serve-sharded --soak --seconds S --fault-shard K --fault-mode M
         Sharded chaos soak: concurrent clients against the coordinator
         while shard K misbehaves (delay / error / kill /
         stale_generation); asserts every answer carries a coverage
         label, no unhandled exceptions, a bounded fan-out p99 and
-        post-fault recovery, exiting non-zero on any violation.
+        post-fault recovery, exiting non-zero on any violation.  With
+        --replicas >= 2 and --fault-replica, a single-replica fault
+        must cost zero coverage and the killed replica must rejoin
+        rotation (per-replica health) before exit.
 
 All commands are deterministic in their seeds.
 """
@@ -172,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--videos", type=int, default=4, help="videos to index when --shards is used"
     )
     stats_query_cmd.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="worker processes per shard when --shards is used",
+    )
+    stats_query_cmd.add_argument(
         "--repeat", type=int, default=3, help="times each query is served"
     )
     stats_query_cmd.add_argument(
@@ -246,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sharded_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
     sharded_cmd.add_argument("--shards", type=int, default=2, help="shard worker processes")
+    sharded_cmd.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="worker processes per shard (replica group size; reads fail "
+        "over and hedge across siblings)",
+    )
     sharded_cmd.add_argument("--videos", type=int, default=4, help="videos to partition")
     sharded_cmd.add_argument(
         "--requests", type=int, default=30, help="requests per client thread"
@@ -270,6 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sharded_cmd.add_argument(
         "--fault-shard", type=int, default=None, help="shard the soak sabotages"
+    )
+    sharded_cmd.add_argument(
+        "--fault-replica",
+        type=int,
+        default=None,
+        help="replica index the fault is addressed to (default: the whole "
+        "group; with --replicas >= 2 a single-replica fault must cost "
+        "zero coverage)",
     )
     sharded_cmd.add_argument(
         "--fault-mode",
@@ -328,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="report shard-level serving health instead: spawn N shard "
         "workers, serve a probe mix, print the per-shard table",
+    )
+    health_cmd.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="worker processes per shard when --shards is used",
     )
     add_policy_options(health_cmd, default_policy="skip_subtree")
 
@@ -637,7 +669,7 @@ def _sharded_query_stats(args) -> int:
 
     dataset = build_australian_open(seed=args.seed)
     names = [plan.name for plan in dataset.video_plans[: args.videos]]
-    config = ShardingConfig(n_shards=args.shards)
+    config = ShardingConfig(n_shards=args.shards, replication=args.replicas)
     queries = [parse_query(text) for text in args.queries]
     with ShardedSearchService(names, seed=args.seed, config=config) as service:
         for text, query in zip(args.queries, queries):
@@ -761,6 +793,7 @@ def _cmd_serve_sharded(args) -> int:
     names = [plan.name for plan in dataset.video_plans[: args.videos]]
     config = ShardingConfig(
         n_shards=args.shards,
+        replication=args.replicas,
         worker_threads=args.worker_threads,
         budget_seconds=args.budget_ms / 1e3,
         min_coverage=min(args.min_coverage, args.shards),
@@ -777,11 +810,15 @@ def _cmd_serve_sharded(args) -> int:
                     after=args.fault_after,
                     delay_seconds=args.fault_ms / 1e3,
                     times=1 if args.fault_mode == "kill" else None,
+                    replica=args.fault_replica,
                 ),
             )
         )
+        target = f"shard {args.fault_shard}"
+        if args.fault_replica is not None:
+            target += f" replica {args.fault_replica}"
         print(
-            f"injecting {args.fault_mode!r} into shard {args.fault_shard} "
+            f"injecting {args.fault_mode!r} into {target} "
             f"after {args.fault_after} deliveries"
         )
 
@@ -790,7 +827,8 @@ def _cmd_serve_sharded(args) -> int:
         names, seed=args.seed, config=config, fault_plan=fault_plan
     ) as service:
         print(
-            f"{args.shards} shard(s) up in {time.perf_counter() - started:.1f}s; "
+            f"{args.shards} shard(s) x {args.replicas} replica(s) up in "
+            f"{time.perf_counter() - started:.1f}s; "
             f"generation vector {list(service.generations)}"
         )
         if args.soak:
@@ -833,6 +871,13 @@ def _run_sharded_soak(args, service) -> int:
     only under injected faults, a bounded fan-out p99, and (with a
     recoverable fault) full coverage again by the end — and exits
     non-zero listing every violation.
+
+    With ``--replicas >= 2`` and a replica-addressed fault
+    (``--fault-replica``), the availability bar rises: a single-replica
+    failure must cost *zero* coverage (any partial or rejected answer
+    is a violation — the E18 guarantee), and every replica must be back
+    in rotation (verified via per-replica health) before the harness
+    exits.
     """
     import threading
     import time
@@ -840,6 +885,11 @@ def _run_sharded_soak(args, service) -> int:
     from repro.library.sharding import format_sharded_stats
 
     p99_bound_ms = args.p99_ms if args.p99_ms is not None else 2.0 * args.budget_ms
+    single_replica_fault = (
+        args.fault_shard is not None
+        and getattr(args, "fault_replica", None) is not None
+        and args.replicas >= 2
+    )
     mix = _query_mix()
     deadline_t = time.monotonic() + args.seconds
     violations: list[str] = []
@@ -878,6 +928,12 @@ def _run_sharded_soak(args, service) -> int:
                     f"client {client_id}: partial coverage {coverage.label} "
                     "with no fault injected"
                 )
+            if single_replica_fault and (not coverage.complete or served.rejected):
+                violations.append(
+                    f"client {client_id}: coverage loss ({served.status}, "
+                    f"{coverage.label}) under a single-replica fault with "
+                    f"{args.replicas} replicas"
+                )
             last_coverage[client_id] = coverage
             if not served.rejected:
                 latencies[client_id].append(served.seconds)
@@ -913,6 +969,34 @@ def _run_sharded_soak(args, service) -> int:
                 f"shard {args.fault_shard} never recovered after the soak"
             )
 
+    # Rejoin: with replication, every replica — including the killed
+    # one — must be back in rotation, verified via per-replica health.
+    if args.replicas >= 2 and args.fault_shard is not None:
+        rejoined = False
+        rejoin_deadline = time.monotonic() + 60.0
+        while time.monotonic() < rejoin_deadline:
+            rows = service.stats().shards
+            if all(
+                rep.alive and rep.in_rotation
+                for row in rows
+                for rep in row.replicas
+            ):
+                rejoined = True
+                break
+            time.sleep(0.2)
+        if not rejoined:
+            out = [
+                f"{row.shard}.{rep.replica}"
+                for row in service.stats().shards
+                for rep in row.replicas
+                if not (rep.alive and rep.in_rotation)
+            ]
+            violations.append(
+                f"replica(s) never rejoined rotation after the soak: {out}"
+            )
+        if args.fault_mode == "kill" and service.stats().restarts < 1:
+            violations.append("kill fault landed but no replica restart was recorded")
+
     merged = sorted(s for per_client in latencies for s in per_client)
     total = sum(requests)
     stats = service.stats()
@@ -920,7 +1004,8 @@ def _run_sharded_soak(args, service) -> int:
         f"soak: {total} requests over {elapsed:.1f}s ({total / elapsed:.0f}/s), "
         f"{stats.full_served} full, {stats.partial_served} partial, "
         f"{stats.stale_served} stale, {stats.rejected} rejected, "
-        f"{stats.hedges} hedges, {stats.restarts} restarts"
+        f"{stats.hedges} hedges, {stats.failovers} failovers, "
+        f"{stats.restarts} restarts"
     )
     if merged:
         rank = max(1, -(-len(merged) * 99 // 100))
@@ -1126,7 +1211,7 @@ def _sharded_health(args) -> int:
 
     dataset = build_australian_open(seed=args.seed)
     names = [plan.name for plan in dataset.video_plans[: args.videos]]
-    config = ShardingConfig(n_shards=args.shards)
+    config = ShardingConfig(n_shards=args.shards, replication=args.replicas)
     with ShardedSearchService(names, seed=args.seed, config=config) as service:
         for query in _query_mix():
             service.search(query)
@@ -1137,8 +1222,17 @@ def _sharded_health(args) -> int:
             for row in stats.shards
             if not row.alive or row.breaker_state != "closed"
         ]
-        if sick:
-            print(f"unhealthy shard(s): {sick}")
+        sick_replicas = [
+            f"{row.shard}.{rep.replica}"
+            for row in stats.shards
+            for rep in row.replicas
+            if not (rep.alive and rep.in_rotation)
+        ]
+        if sick or sick_replicas:
+            if sick:
+                print(f"unhealthy shard(s): {sick}")
+            if sick_replicas:
+                print(f"out-of-rotation replica(s): {sick_replicas}")
             return 1
         print("all shards healthy")
     return 0

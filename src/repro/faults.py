@@ -555,6 +555,10 @@ class ShardFaultSpec:
     Attributes:
         shard: the shard id the fault applies to (``None`` = every
             shard — useful for uniform background latency).
+        replica: the replica index within the shard's group the fault
+            applies to (``None`` = every replica).  Replica-addressed
+            chaos is how the E18 availability soak kills exactly one
+            replica per group while its siblings keep serving.
         mode: ``"delay"`` (sleep before evaluating), ``"error"`` (reply
             with an injected error), ``"kill"`` (hard-exit the worker
             process, no goodbye), or ``"stale_generation"`` (answer
@@ -578,10 +582,13 @@ class ShardFaultSpec:
     delay_seconds: float = 0.0
     generation_lag: int = 1
     message: str = ""
+    replica: int | None = None
 
     def __post_init__(self) -> None:
         if self.shard is not None and self.shard < 0:
             raise ValueError(f"shard must be >= 0 or None, got {self.shard}")
+        if self.replica is not None and self.replica < 0:
+            raise ValueError(f"replica must be >= 0 or None, got {self.replica}")
         if self.mode not in SHARD_FAULT_MODES:
             raise ValueError(
                 f"mode must be one of {SHARD_FAULT_MODES}, got {self.mode!r}"
@@ -595,8 +602,19 @@ class ShardFaultSpec:
         if self.generation_lag < 1:
             raise ValueError(f"generation_lag must be >= 1, got {self.generation_lag}")
 
-    def matches(self, shard: int) -> bool:
-        return self.shard is None or self.shard == shard
+    def matches(self, shard: int, replica: int | None = None) -> bool:
+        """Does the spec apply to this worker?
+
+        With *replica* omitted the check is shard-only (a coarse "can
+        this spec ever fire somewhere in the group"); a worker passes
+        its replica index so replica-addressed specs land on exactly
+        one process.
+        """
+        if self.shard is not None and self.shard != shard:
+            return False
+        if replica is None or self.replica is None:
+            return True
+        return self.replica == replica
 
 
 @dataclass(frozen=True)
@@ -612,9 +630,14 @@ class ShardFaultPlan:
 
     @classmethod
     def straggler(
-        cls, shard: int, seconds: float, times: int | None = None, after: int = 0
+        cls,
+        shard: int,
+        seconds: float,
+        times: int | None = None,
+        after: int = 0,
+        replica: int | None = None,
     ) -> "ShardFaultPlan":
-        """Make *shard* sleep *seconds* before answering each query."""
+        """Make *shard* (or one replica of it) sleep before each query."""
         return cls(
             specs=(
                 ShardFaultSpec(
@@ -623,31 +646,49 @@ class ShardFaultPlan:
                     delay_seconds=seconds,
                     times=times,
                     after=after,
+                    replica=replica,
                 ),
             )
         )
 
     @classmethod
-    def dead(cls, shard: int, after: int = 0) -> "ShardFaultPlan":
-        """Kill *shard*'s worker process on its next matching query."""
-        return cls(specs=(ShardFaultSpec(shard=shard, mode="kill", after=after),))
+    def dead(
+        cls, shard: int, after: int = 0, replica: int | None = None
+    ) -> "ShardFaultPlan":
+        """Kill *shard*'s worker (or one replica) on its next matching query."""
+        return cls(
+            specs=(
+                ShardFaultSpec(shard=shard, mode="kill", after=after, replica=replica),
+            )
+        )
 
     @classmethod
     def failing(
-        cls, shard: int, times: int | None = 1, after: int = 0
+        cls,
+        shard: int,
+        times: int | None = 1,
+        after: int = 0,
+        replica: int | None = None,
     ) -> "ShardFaultPlan":
-        """Make *shard* reply with an injected error."""
+        """Make *shard* (or one replica of it) reply with an injected error."""
         return cls(
             specs=(
-                ShardFaultSpec(shard=shard, mode="error", times=times, after=after),
+                ShardFaultSpec(
+                    shard=shard, mode="error", times=times, after=after, replica=replica
+                ),
             )
         )
 
     @classmethod
     def stale(
-        cls, shard: int, lag: int = 1, times: int | None = None, after: int = 0
+        cls,
+        shard: int,
+        lag: int = 1,
+        times: int | None = None,
+        after: int = 0,
+        replica: int | None = None,
     ) -> "ShardFaultPlan":
-        """Make *shard* under-report its generation by *lag*."""
+        """Make *shard* (or one replica of it) under-report its generation."""
         return cls(
             specs=(
                 ShardFaultSpec(
@@ -656,6 +697,7 @@ class ShardFaultPlan:
                     generation_lag=lag,
                     times=times,
                     after=after,
+                    replica=replica,
                 ),
             )
         )
@@ -664,22 +706,34 @@ class ShardFaultPlan:
         return ShardFaultPlan(specs=self.specs + other.specs)
 
     def for_shard(self, shard: int) -> tuple[ShardFaultSpec, ...]:
-        """The specs that can ever fire on *shard* (what its worker gets)."""
+        """The specs that can ever fire somewhere in *shard*'s group."""
         return tuple(spec for spec in self.specs if spec.matches(shard))
+
+    def for_worker(self, shard: int, replica: int) -> tuple[ShardFaultSpec, ...]:
+        """The specs that can fire on the ``(shard, replica)`` worker."""
+        return tuple(spec for spec in self.specs if spec.matches(shard, replica))
 
 
 class ShardFaultState:
-    """Worker-side delivery counter for one shard's fault specs.
+    """Worker-side delivery counter for one worker's fault specs.
 
     Lives inside the shard worker process; :meth:`next_fault` is called
     once per *query* delivery (pings and index commands are exempt, so
     the coordinator's half-open probes can observe genuine recovery).
     Thread-safe because workers evaluate queries on a small thread pool.
+    The optional *replica* index narrows replica-addressed specs to
+    this worker (``None`` keeps the shard-wide pre-replication view).
     """
 
-    def __init__(self, shard: int, specs: tuple[ShardFaultSpec, ...]) -> None:
+    def __init__(
+        self,
+        shard: int,
+        specs: tuple[ShardFaultSpec, ...],
+        replica: int | None = None,
+    ) -> None:
         self.shard = shard
-        self.specs = tuple(spec for spec in specs if spec.matches(shard))
+        self.replica = replica
+        self.specs = tuple(spec for spec in specs if spec.matches(shard, replica))
         self._seen: dict[int, int] = {}  # spec index -> matching deliveries
         self._fired: dict[int, int] = {}  # spec index -> faults delivered
         self._lock = threading.Lock()

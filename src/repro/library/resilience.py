@@ -92,6 +92,17 @@ class StageBreaker:
         with self._lock:
             return self._state.value
 
+    @property
+    def healthy(self) -> bool:
+        """Closed and serving — the routing-preference check.
+
+        Unlike :meth:`allow`, reading this never reserves a half-open
+        probe slot, so the replica router can rank candidates without
+        consuming probes it does not use.
+        """
+        with self._lock:
+            return self._state is BreakerState.CLOSED
+
     def allow(self) -> bool:
         """May the stage run for this request?
 

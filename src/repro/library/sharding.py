@@ -1,21 +1,24 @@
-"""Fault-tolerant sharded scatter-gather serving.
+"""Fault-tolerant sharded scatter-gather serving with replica groups.
 
 One :class:`~repro.library.service.LibrarySearchService` scales reads
 with threads but stays one process: one GIL, one failure domain.  This
-module partitions the catalog across ``N`` independent shard *worker
-processes* — videos hash-assigned by name — and coordinates them from a
-:class:`ShardedSearchService` that scatters each query to every healthy
-shard, gathers the per-shard top-N rankings, and k-way merges them with
-the :func:`~repro.library.results.merge_scene_results` discipline.
+module partitions the catalog across ``N`` independent shard slices —
+videos hash-assigned by name — and runs each slice as a **replica
+group** of ``R`` worker processes (:attr:`ShardingConfig.replication`).
+A :class:`ShardedSearchService` coordinator scatters each query to one
+replica per healthy group, gathers the per-shard top-N rankings, and
+k-way merges them with the
+:func:`~repro.library.results.merge_scene_results` discipline.
 
 The replication scheme keeps the merge *exact*: every worker builds the
 full dataset from the seed (so concept graph, page collection and text
-statistics — hence scores — are global), but indexes only its assigned
-videos.  A scene belongs to exactly one video and a video to exactly
-one shard, so each shard's ranking is the global ranking restricted to
-its slice, and the merge under the engine's total order
+statistics — hence scores — are global), but indexes only its group's
+assigned videos.  A scene belongs to exactly one video and a video to
+exactly one shard, so each shard's ranking is the global ranking
+restricted to its slice, and the merge under the engine's total order
 ``(-score, video_name, start)`` is byte-identical to serving the
-unsharded library.
+unsharded library.  Replicas of a group index the *same* slice from the
+*same* seed, so they are interchangeable byte-identical servers of it.
 
 Robustness, the point of the exercise:
 
@@ -24,33 +27,51 @@ Robustness, the point of the exercise:
   :meth:`~repro.budget.QueryBudget.slice_seconds` (durations, not
   deadlines, cross the process boundary — monotonic clocks do not);
   workers enforce it with their own local budget.
-- **Health tracking + quarantine.**  Per-shard EWMA latency and
-  consecutive-failure counting reuse
-  :class:`~repro.library.resilience.StageBreaker`; a dead worker
-  process trips its breaker immediately (:meth:`StageBreaker.trip`).
-  Quarantined shards are skipped up front — their slice is *missing*,
-  never waited on — and a background prober half-open-pings them (and
-  respawns dead workers, which deterministically rebuild their slice
-  from the seed) until they recover.
-- **Hedged fan-out.**  A straggler shard past its own p95 latency
-  (reservoir-estimated, floored at ``hedge_min_seconds``) gets the
-  query re-issued; first response wins, duplicates are ignored.
+- **Healthiest-replica routing + read failover.**  Each replica keeps
+  its own :class:`~repro.library.resilience.StageBreaker` and latency
+  reservoir; the coordinator routes a sub-query to the healthiest
+  replica of each group (closed breaker, lowest EWMA, round-robin
+  among peers) and, when that replica times out, errors, or dies
+  mid-query, **fails over to a sibling within the same query's
+  remaining deadline slice** — a single replica failure never costs
+  coverage while a sibling lives.
+- **Hedged fan-out across replicas.**  A straggler past its replica's
+  p95 latency (reservoir-estimated, floored at ``hedge_min_seconds``)
+  gets the query re-issued to an *untried sibling replica* when one
+  exists (falling back to the same worker, whose second thread can
+  overtake a per-delivery hang); first ok response wins, duplicates
+  are discarded.
+- **Live replica recovery.**  A dead replica is respawned and rebuilt
+  *in the background* while its siblings keep serving full-coverage
+  answers.  Before rejoining rotation it catches up to the group's
+  authoritative video list and its generation is **verified against
+  the group's generation vector** — a replica that cannot align is
+  rebuilt again, never trusted.
+- **Aligned write fan-out.**  ``index_videos`` fans each shard's slice
+  out to *all* live replicas of the owning group behind a group commit
+  barrier; a replica that fails or times out a write is pulled from
+  rotation and rebuilt (its state is unknown), so in-rotation replicas
+  always agree on the generation vector.  The call returns **per-shard
+  typed outcomes** instead of raising away partial progress.
 - **Typed partial results.**  Every answer carries a
   :class:`~repro.library.results.Coverage` — which shards responded,
   which are missing.  Partial coverage is a labeled outcome, never a
-  silent one.
+  silent one, and with replication it is only reached when an *entire
+  replica group* is down.
 - **Cross-shard degradation ladder.**  full coverage → partial
   coverage (>= ``min_coverage`` shards, labeled) → stale (the last
   full-coverage answer for this query, labeled with its generation
   vector) → typed rejection (``no_coverage``).
 - **Generation vectors.**  Results and cache entries are keyed by the
-  tuple of per-shard generations, the sharded analogue of the
-  single-service generation key: a commit on any shard moves the
-  vector, so stale cache hits are impossible by construction (chaos
-  aside — a ``stale_generation`` shard fault makes a worker *lie*,
-  which is exactly what the soak measures).
+  tuple of per-shard generations (each the max over the group's
+  in-rotation replicas), the sharded analogue of the single-service
+  generation key: a commit on any shard moves the vector, so stale
+  cache hits are impossible by construction (chaos aside — a
+  ``stale_generation`` replica fault makes a worker *lie*, which is
+  exactly what the soak measures).
 
-Chaos comes from :class:`repro.faults.ShardFaultSpec` plans, delivered
+Chaos comes from :class:`repro.faults.ShardFaultSpec` plans — now
+addressable to a single ``(shard, replica)`` worker — delivered
 worker-side on query handling only (pings exempt, so probes observe
 genuine recovery).
 """
@@ -69,10 +90,13 @@ from repro.library.query import LibraryQuery
 from repro.library.resilience import StageBreaker
 from repro.library.results import Coverage, SceneResult, merge_scene_results
 from repro.library.service import LRUCache, canonical_query_key
-from repro.library.stats import PERCENTILES, LatencyReservoir
+from repro.library.stats import PERCENTILES, LatencyReservoir, merged_summary
 
 __all__ = [
+    "BatchIndexResult",
+    "ReplicaHealth",
     "ShardHealth",
+    "ShardWriteOutcome",
     "ShardedSearchService",
     "ShardedServedQuery",
     "ShardedStats",
@@ -121,7 +145,10 @@ class ShardingConfig:
     """Every knob of the sharded serving layer.
 
     Attributes:
-        n_shards: worker processes / catalog partitions.
+        n_shards: catalog partitions (replica groups).
+        replication: worker processes per shard — each serves the same
+            slice, so reads fail over and hedge across siblings and a
+            single replica death costs no coverage.
         worker_threads: query-evaluation threads per worker (>= 2 lets
             a hedged duplicate overtake a per-delivery hang fault).
         cache_size: coordinator result-cache entries (keyed by
@@ -131,7 +158,8 @@ class ShardingConfig:
             passes none (``None`` = unbounded — hedging and gather then
             wait up to ``gather_floor_seconds``).
         shard_slice: fraction of the remaining request budget each
-            shard gets as its local deadline.
+            shard (and each failover re-issue) gets as its local
+            deadline.
         gather_floor_seconds: gather/hedge horizon for unbudgeted
             requests.
         min_coverage: fewest responding shards a *partial* answer may
@@ -139,14 +167,15 @@ class ShardingConfig:
             stale/reject.
         hedge: enable hedged re-issue of stragglers.
         hedge_min_seconds: hedge-trigger floor (and the trigger itself
-            until a shard has latency history).
+            until a replica has latency history).
         hedge_percentile: reservoir percentile the trigger tracks.
         failure_threshold / quarantine_cooldown / breaker_alpha:
-            per-shard :class:`StageBreaker` tuning (process death trips
-            immediately regardless).
+            per-replica :class:`StageBreaker` tuning (process death
+            trips immediately regardless).
         probe_interval: seconds between background prober sweeps.
-        restart_dead: respawn dead workers (deterministic slice
-            rebuild) instead of leaving their coverage missing forever.
+        restart_dead: respawn dead replicas (deterministic slice
+            rebuild + generation-verified rejoin) instead of leaving
+            them out of rotation forever.
         partial_serving: ladder rung 2 toggle.
         stale_serving: ladder rung 3 toggle.
         start_method: multiprocessing start method (``fork`` on Linux:
@@ -154,6 +183,7 @@ class ShardingConfig:
     """
 
     n_shards: int = 4
+    replication: int = 1
     worker_threads: int = 2
     cache_size: int = 256
     recent_size: int = 256
@@ -176,6 +206,8 @@ class ShardingConfig:
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
         if self.worker_threads < 1:
             raise ValueError(f"worker_threads must be >= 1, got {self.worker_threads}")
         if not 0.0 < self.shard_slice <= 1.0:
@@ -207,6 +239,8 @@ class ShardedServedQuery:
             construction).
         seconds: coordinator-side wall time for this request.
         hedged: hedge re-issues this request triggered.
+        failovers: sibling-replica re-dispatches after a replica
+            failed, died, or ran out of healthy standing mid-query.
         stale: ladder rung 3 — the last full-coverage answer for this
             query, served because live coverage fell below
             ``min_coverage``.
@@ -221,6 +255,7 @@ class ShardedServedQuery:
     cache_hit: bool
     seconds: float
     hedged: int = 0
+    failovers: int = 0
     stale: bool = False
     rejection: str | None = None
 
@@ -241,8 +276,32 @@ class ShardedServedQuery:
 
 
 @dataclass
+class ReplicaHealth:
+    """One replica's health snapshot (a sub-row of ``repro health --shards``)."""
+
+    replica: int
+    alive: bool
+    in_rotation: bool
+    breaker_state: str
+    generation: int
+    queries: int
+    failures: int
+    hedges: int
+    failovers: int
+    restarts: int
+    latency: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
 class ShardHealth:
-    """One shard's health snapshot (a row of ``repro health --shards``)."""
+    """One replica group's health snapshot (a row of ``repro health --shards``).
+
+    Counters aggregate over the group's replicas; ``alive`` means *any*
+    replica lives, ``breaker_state`` is the healthiest replica's state
+    (``closed`` > ``half_open`` > ``open``), ``generation`` is the
+    group's (the max over in-rotation replicas), and :attr:`replicas`
+    carries the per-replica rows.
+    """
 
     shard: int
     alive: bool
@@ -253,7 +312,9 @@ class ShardHealth:
     failures: int
     hedges: int
     restarts: int
+    failovers: int = 0
     latency: dict[str, float] = field(default_factory=dict)
+    replicas: list[ReplicaHealth] = field(default_factory=list)
 
 
 @dataclass
@@ -266,10 +327,11 @@ class ShardedStats:
         full_served / partial_served / stale_served / rejected: answers
             by ladder rung.
         hedges: total hedge re-issues.
-        restarts: worker respawns.
+        failovers: total sibling-replica failover re-dispatches.
+        restarts: replica respawns.
         generations: current known generation vector.
         fanout: request-latency percentiles (seconds).
-        shards: per-shard health rows.
+        shards: per-group health rows (with per-replica sub-rows).
     """
 
     queries: int = 0
@@ -280,6 +342,7 @@ class ShardedStats:
     stale_served: int = 0
     rejected: int = 0
     hedges: int = 0
+    failovers: int = 0
     restarts: int = 0
     generations: tuple[int, ...] = ()
     fanout: dict[str, float] = field(default_factory=dict)
@@ -293,7 +356,8 @@ def format_sharded_stats(stats: ShardedStats) -> str:
         f"(cache {stats.cache_hits} hit / {stats.cache_misses} miss)",
         f"served: {stats.full_served} full, {stats.partial_served} partial, "
         f"{stats.stale_served} stale, {stats.rejected} rejected",
-        f"hedges: {stats.hedges}, restarts: {stats.restarts}",
+        f"hedges: {stats.hedges}, failovers: {stats.failovers}, "
+        f"restarts: {stats.restarts}",
         f"generation vector: {list(stats.generations)}",
     ]
     if stats.fanout:
@@ -313,9 +377,82 @@ def format_sharded_stats(stats: ShardedStats) -> str:
             f"  [{row.shard}] {state}/{row.breaker_state} "
             f"gen {row.generation}, {row.videos} video(s), "
             f"{row.queries} queries, {row.failures} failures, "
-            f"{row.hedges} hedges, {row.restarts} restarts{latency}"
+            f"{row.hedges} hedges, {row.failovers} failovers, "
+            f"{row.restarts} restarts{latency}"
         )
+        if len(row.replicas) > 1:
+            for rep in row.replicas:
+                rep_state = "alive" if rep.alive else "DEAD"
+                rotation = "in-rotation" if rep.in_rotation else "OUT"
+                rep_latency = ""
+                if rep.latency:
+                    rep_latency = f", p95 {rep.latency.get('p95', 0.0) * 1e3:.2f} ms"
+                lines.append(
+                    f"    [{row.shard}.{rep.replica}] {rep_state}/"
+                    f"{rep.breaker_state} {rotation} gen {rep.generation}, "
+                    f"{rep.queries} queries, {rep.failures} failures, "
+                    f"{rep.hedges} hedges, {rep.failovers} failovers, "
+                    f"{rep.restarts} restarts{rep_latency}"
+                )
     return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ShardWriteOutcome:
+    """One shard's typed outcome of a batch write.
+
+    Attributes:
+        shard: the replica group the slice routed to.
+        status: ``"committed"`` (>= 1 replica committed), ``"failed"``
+            (every targeted replica failed or timed out), or ``"down"``
+            (no live in-rotation replica to target).
+        generation: the group's post-commit generation (``None`` unless
+            committed).
+        error: worker-reported failure message, when one exists.
+        replicas_committed / replicas_failed: which replica indices
+            landed the slice and which were pulled from rotation for
+            rebuild (their state is unknown after a failed write).
+    """
+
+    shard: int
+    status: str
+    generation: int | None = None
+    error: str | None = None
+    replicas_committed: tuple[int, ...] = ()
+    replicas_failed: tuple[int, ...] = ()
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+
+@dataclass(frozen=True)
+class BatchIndexResult:
+    """Per-shard typed outcomes of one ``index_videos`` batch.
+
+    Partial progress is reported, never raised away: a timeout or a
+    down shard yields a non-committed outcome for *that* shard while
+    the others' commits stand.
+
+    Attributes:
+        assignments: video name -> home shard id, for every input name.
+        outcomes: shard id -> :class:`ShardWriteOutcome`, for every
+            shard that received a slice.
+    """
+
+    assignments: dict[str, int]
+    outcomes: dict[int, ShardWriteOutcome]
+
+    @property
+    def ok(self) -> bool:
+        """Every targeted shard committed its slice."""
+        return all(outcome.committed for outcome in self.outcomes.values())
+
+    @property
+    def failed_shards(self) -> tuple[int, ...]:
+        return tuple(
+            sorted(sid for sid, out in self.outcomes.items() if not out.committed)
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -325,6 +462,7 @@ def format_sharded_stats(stats: ShardedStats) -> str:
 
 def _shard_worker_main(
     shard: int,
+    replica: int,
     seed: int,
     dataset_args: dict,
     video_names: list[str],
@@ -333,10 +471,10 @@ def _shard_worker_main(
     fault_specs: tuple[ShardFaultSpec, ...],
     conn,
 ) -> None:
-    """Entry point of one shard worker process.
+    """Entry point of one replica worker process.
 
     Builds the full dataset from *seed* (global concept graph, pages
-    and term statistics), indexes only *video_names* (the shard's
+    and term statistics), indexes only *video_names* (the group's
     catalog slice), then serves the command loop: ``query`` deliveries
     fan out to a small thread pool (so a hedged duplicate can overtake
     a per-delivery hang fault), ``ping`` / ``index`` / ``shutdown`` are
@@ -356,7 +494,7 @@ def _shard_worker_main(
     for name in video_names:
         service.index_plan(engine.indexer.plan_named(name))
 
-    faults = ShardFaultState(shard, fault_specs)
+    faults = ShardFaultState(shard, fault_specs, replica)
     send_lock = threading.Lock()
 
     def reply(payload: dict) -> None:
@@ -383,7 +521,8 @@ def _shard_worker_main(
                         "kind": "result",
                         "req_id": req_id,
                         "status": "error",
-                        "message": spec.message or f"injected shard {shard} fault",
+                        "message": spec.message
+                        or f"injected shard {shard} replica {replica} fault",
                     }
                 )
                 return
@@ -443,9 +582,16 @@ def _shard_worker_main(
             )
 
     pool = ThreadPoolExecutor(
-        max_workers=worker_threads, thread_name_prefix=f"shard-{shard}"
+        max_workers=worker_threads, thread_name_prefix=f"shard-{shard}r{replica}"
     )
-    reply({"kind": "ready", "shard": shard, "generation": service.generation})
+    reply(
+        {
+            "kind": "ready",
+            "shard": shard,
+            "replica": replica,
+            "generation": service.generation,
+        }
+    )
     try:
         while True:
             try:
@@ -482,39 +628,69 @@ def _shard_worker_main(
 
 
 class _Gather:
-    """One fan-out's rendezvous: per-shard slots, first response wins."""
+    """One fan-out's rendezvous: per-key slots, first ok response wins.
 
-    def __init__(self, shards: list[int]) -> None:
-        self.expected = set(shards)
-        self.responses: dict[int, dict] = {}
+    Keys are shard ids for query fan-outs (any replica of the group may
+    fill the slot) and ``(shard, replica)`` pairs for write barriers
+    and pings (each worker owes exactly one reply).  Failures
+    accumulate per key without settling it — the failover loop decides
+    whether a sibling retry or :meth:`exhaust` resolves the key —
+    unless ``settle_on_failure`` is set (write barriers: one reply per
+    worker, a failure is final).
+    """
+
+    def __init__(self, keys, settle_on_failure: bool = False) -> None:
+        self.expected = set(keys)
+        self.settle_on_failure = settle_on_failure
+        self.responses: dict = {}  # key -> first ok payload
+        self.failures: dict = {}  # key -> [failure payloads]
+        self.exhausted: set = set()
         self.cond = threading.Condition()
 
-    def deliver(self, shard: int, payload: dict) -> None:
+    def deliver(self, key, payload: dict) -> None:
         with self.cond:
-            if shard in self.expected and shard not in self.responses:
-                self.responses[shard] = payload
+            if key not in self.expected or key in self.responses:
+                return
+            if payload.get("status") == "ok":
+                self.responses[key] = payload
+            else:
+                self.failures.setdefault(key, []).append(payload)
+                if self.settle_on_failure:
+                    self.exhausted.add(key)
+            self.cond.notify_all()
+
+    def fail(self, key, reason: str) -> None:
+        self.deliver(key, {"status": reason})
+
+    def exhaust(self, key) -> None:
+        """Give up on *key*: no retry target remains."""
+        with self.cond:
+            if key in self.expected:
+                self.exhausted.add(key)
                 self.cond.notify_all()
 
-    def fail(self, shard: int, reason: str) -> None:
-        self.deliver(shard, {"status": reason})
-
     def done(self) -> bool:
-        return len(self.responses) >= len(self.expected)
+        return all(
+            key in self.responses or key in self.exhausted for key in self.expected
+        )
 
 
-class _Shard:
-    """Coordinator-side state for one shard worker."""
+class _Replica:
+    """Coordinator-side state for one replica worker process."""
 
-    def __init__(self, shard_id: int, videos: list[str], breaker: StageBreaker):
-        self.id = shard_id
-        self.videos = videos
+    def __init__(self, shard_id: int, index: int, breaker: StageBreaker):
+        self.shard_id = shard_id
+        self.index = index
         self.breaker = breaker
         self.reservoir = LatencyReservoir(capacity=512)
         self.generation = 0
         self.ready = threading.Event()
+        self.in_rotation = False
+        self.needs_rebuild = False
         self.queries = 0
         self.failures = 0
         self.hedges = 0
+        self.failovers = 0
         self.restarts = 0
         self.process = None
         self.conn = None
@@ -537,16 +713,106 @@ class _Shard:
                 return False
 
 
+class _ShardGroup:
+    """One shard's replica group and its authoritative catalog slice.
+
+    ``videos`` is *replaced* on commit (never mutated in place), so a
+    concurrent reader of the list always sees a consistent prefix — the
+    rejoin catch-up depends on every replica holding a prefix of it.
+    """
+
+    def __init__(self, shard_id: int, videos: list[str], replicas: list[_Replica]):
+        self.id = shard_id
+        self.videos = videos
+        self.replicas = replicas
+        self._rr = 0
+        self._rr_lock = threading.Lock()
+
+    @property
+    def generation(self) -> int:
+        """The group's generation: max over in-rotation replicas.
+
+        The max guards the vector against a lagging rebuild and against
+        a ``stale_generation`` liar while an honest sibling serves.
+        Falls back to the max over all replicas when the whole group is
+        out of rotation (nothing is serving; the last-known value is
+        still the best estimate).
+        """
+        in_rotation = [r.generation for r in self.replicas if r.in_rotation]
+        if in_rotation:
+            return max(in_rotation)
+        return max((r.generation for r in self.replicas), default=0)
+
+    def pick(self, exclude: set[int] | frozenset[int] = frozenset()) -> _Replica | None:
+        """The healthiest routable replica, or ``None``.
+
+        Closed-breaker replicas within latency slack of the best are
+        round-robined (spreading load keeps every reservoir warm);
+        otherwise the first quarantined replica whose breaker grants a
+        half-open probe slot carries the query as its probe.
+        """
+        candidates = [
+            r
+            for r in self.replicas
+            if r.alive and r.in_rotation and r.index not in exclude
+        ]
+        if not candidates:
+            return None
+        healthy = [r for r in candidates if r.breaker.healthy]
+        if healthy:
+            ewma = {r.index: r.breaker.ewma_seconds or 0.0 for r in healthy}
+            best = min(ewma.values())
+            slack = max(3.0 * best, best + 0.005)
+            pool = [r for r in healthy if ewma[r.index] <= slack]
+            with self._rr_lock:
+                choice = pool[self._rr % len(pool)]
+                self._rr += 1
+            return choice
+        for candidate in candidates:
+            if candidate.breaker.allow():
+                return candidate
+        return None
+
+
+class _FanoutState:
+    """Mutable bookkeeping for one query's scatter/failover/hedge run."""
+
+    __slots__ = (
+        "attempted",
+        "current",
+        "failovers",
+        "handled_failures",
+        "hedged",
+        "hedges",
+        "inflight",
+        "req_ids",
+        "sent_at",
+    )
+
+    def __init__(self) -> None:
+        self.attempted: dict[int, set[int]] = {}  # shard -> replica indices tried
+        self.inflight: dict[int, int] = {}  # shard -> outstanding requests
+        self.handled_failures: dict[int, int] = {}  # shard -> failures accounted
+        self.current: dict[int, _Replica] = {}  # shard -> latest primary target
+        self.sent_at: dict[int, float] = {}  # shard -> latest primary send time
+        self.hedged: set[int] = set()
+        self.req_ids: list[int] = []
+        self.failovers = 0
+        self.hedges = 0
+
+
 class ShardedSearchService:
-    """Scatter-gather query serving over per-shard worker processes.
+    """Scatter-gather query serving over replicated shard worker processes.
 
     Args:
         video_names: the initial catalog, balanced across shards with
-            :func:`assign_shards` and indexed by the workers at spawn.
+            :func:`assign_shards` and indexed by every replica of the
+            owning group at spawn.
         seed: dataset seed every worker rebuilds from.
         config: the :class:`ShardingConfig`.
         fault_plan: optional :class:`~repro.faults.ShardFaultPlan`
-            shipped to the workers (chaos soaks and tests).
+            shipped to the workers (chaos soaks and tests); specs may
+            target a whole shard or one ``(shard, replica)`` worker.
         dataset_args: extra picklable keyword arguments for the
             workers' ``build_australian_open(seed=seed, ...)`` call
             (benchmarks shrink ``video_shots``); must match whatever
@@ -570,13 +836,14 @@ class ShardedSearchService:
         self.dataset_args = dict(dataset_args or {})
         self._fault_plan = fault_plan
         self._ctx = mp.get_context(self.config.start_method)
-        self._lock = threading.Lock()  # shard table + counters
+        self._lock = threading.Lock()  # replica table + counters + close/restart
         self._pending_lock = threading.Lock()
-        self._pending: dict[int, tuple[_Gather, int]] = {}  # req_id -> (gather, shard)
+        # req_id -> (gather, gather key, target replica)
+        self._pending: dict[int, tuple[_Gather, object, _Replica]] = {}
         self._req_counter = 0
         self._cache: LRUCache = LRUCache(self.config.cache_size)
         self._recent: LRUCache = LRUCache(self.config.recent_size)
-        self._write_lock = threading.Lock()  # serializes index_video
+        self._write_lock = threading.Lock()  # serializes writes and rejoin catch-up
         self._closed = False
 
         self._queries = 0
@@ -589,23 +856,36 @@ class ShardedSearchService:
         self._fanout_reservoir = LatencyReservoir(capacity=1024)
 
         slices = assign_shards(list(video_names), self.config.n_shards)
-        self.shards = [
-            _Shard(
+        self.groups = [
+            _ShardGroup(
                 shard_id,
                 slices[shard_id],
-                StageBreaker(
-                    failure_threshold=self.config.failure_threshold,
-                    cooldown=self.config.quarantine_cooldown,
-                    alpha=self.config.breaker_alpha,
-                ),
+                [
+                    _Replica(
+                        shard_id,
+                        index,
+                        StageBreaker(
+                            failure_threshold=self.config.failure_threshold,
+                            cooldown=self.config.quarantine_cooldown,
+                            alpha=self.config.breaker_alpha,
+                        ),
+                    )
+                    for index in range(self.config.replication)
+                ],
             )
             for shard_id in range(self.config.n_shards)
         ]
-        for shard in self.shards:
-            self._spawn(shard)
-        for shard in self.shards:
-            if not shard.ready.wait(timeout=120.0):
-                raise RuntimeError(f"shard {shard.id} failed to become ready")
+        for group in self.groups:
+            for replica in group.replicas:
+                self._spawn(group, replica)
+        for group in self.groups:
+            for replica in group.replicas:
+                if not replica.ready.wait(timeout=120.0):
+                    raise RuntimeError(
+                        f"shard {group.id} replica {replica.index} "
+                        "failed to become ready"
+                    )
+                replica.in_rotation = True
 
         self._prober_stop = threading.Event()
         self._prober = threading.Thread(
@@ -615,48 +895,55 @@ class ShardedSearchService:
 
     # -- lifecycle ------------------------------------------------------ #
 
-    def _spawn(self, shard: _Shard, with_faults: bool = True) -> None:
-        """Start (or restart) *shard*'s worker and its receiver thread.
+    def _spawn(
+        self,
+        group: _ShardGroup,
+        replica: _Replica,
+        with_faults: bool = True,
+        videos: list[str] | None = None,
+    ) -> None:
+        """Start (or restart) one replica worker and its receiver thread.
 
         Fault specs ship only on the *initial* spawn: a respawned
         worker is a fresh replacement, not a re-run of the failure —
-        ``ShardFaultPlan.dead`` means "this shard dies once", and
+        ``ShardFaultPlan.dead`` means "this worker dies once", and
         recovery is the part under test.
         """
         specs = ()
         if with_faults and self._fault_plan is not None:
-            specs = self._fault_plan.for_shard(shard.id)
+            specs = self._fault_plan.for_worker(group.id, replica.index)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_shard_worker_main,
             args=(
-                shard.id,
+                group.id,
+                replica.index,
                 self.seed,
                 self.dataset_args,
-                list(shard.videos),
+                list(videos if videos is not None else group.videos),
                 self.config.worker_threads,
                 self.config.cache_size,
                 specs,
                 child_conn,
             ),
-            name=f"shard-{shard.id}",
+            name=f"shard-{group.id}r{replica.index}",
             daemon=True,
         )
-        shard.ready.clear()
-        shard.conn = parent_conn
-        shard.process = process
+        replica.ready.clear()
+        replica.conn = parent_conn
+        replica.process = process
         process.start()
         child_conn.close()  # parent keeps only its end
         receiver = threading.Thread(
             target=self._receive_loop,
-            args=(shard, parent_conn),
-            name=f"shard-recv-{shard.id}",
+            args=(replica, parent_conn),
+            name=f"shard-recv-{group.id}r{replica.index}",
             daemon=True,
         )
-        shard.receiver = receiver
+        replica.receiver = receiver
         receiver.start()
 
-    def _receive_loop(self, shard: _Shard, conn) -> None:
+    def _receive_loop(self, replica: _Replica, conn) -> None:
         """Drain one worker's replies; on EOF, quarantine and fail pending."""
         while True:
             try:
@@ -664,52 +951,67 @@ class ShardedSearchService:
             except (EOFError, OSError):
                 break
             if payload.get("kind") == "ready":
-                shard.generation = payload["generation"]
-                shard.ready.set()
+                replica.generation = payload["generation"]
+                replica.ready.set()
                 continue
+            payload.setdefault("replica", replica.index)
             req_id = payload.get("req_id")
             with self._pending_lock:
                 entry = self._pending.pop(req_id, None)
             if entry is None:
                 continue  # late or hedged-duplicate response: first one won
-            gather, _ = entry
-            gather.deliver(shard.id, payload)
-        if shard.conn is conn:  # not an old pipe from before a restart
-            shard.breaker.trip()
-            self._fail_pending_for(shard.id, "dead")
+            gather, key, _ = entry
+            gather.deliver(key, payload)
+        if replica.conn is conn:  # not an old pipe from before a restart
+            replica.breaker.trip()
+            self._fail_pending_for(replica)
 
-    def _fail_pending_for(self, shard_id: int, reason: str) -> None:
+    def _fail_pending_for(self, replica: _Replica) -> None:
         with self._pending_lock:
             doomed = [
-                (req_id, gather)
-                for req_id, (gather, sid) in self._pending.items()
-                if sid == shard_id
+                (req_id, gather, key)
+                for req_id, (gather, key, target) in self._pending.items()
+                if target is replica
             ]
-            for req_id, _ in doomed:
+            for req_id, _, _ in doomed:
                 self._pending.pop(req_id, None)
-        for _, gather in doomed:
-            gather.fail(shard_id, reason)
+        for _, gather, key in doomed:
+            gather.deliver(key, {"status": "dead", "replica": replica.index})
 
     def close(self) -> None:
-        """Stop the prober, shut workers down, reap processes."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop the prober, shut workers down, reap processes.
+
+        Idempotent and race-free against the background prober:
+        ``_closed`` flips under the same lock :meth:`_restart` spawns
+        under, so once this method returns no respawn can begin, and a
+        respawn already in flight is reaped by the sweep below (which
+        waits on that lock).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._prober_stop.set()
-        self._prober.join(timeout=5.0)
-        for shard in self.shards:
-            shard.send(("shutdown",))
-        for shard in self.shards:
-            if shard.process is not None:
-                shard.process.join(timeout=2.0)
-                if shard.process.is_alive():
-                    shard.process.terminate()
-                    shard.process.join(timeout=2.0)
-            if shard.conn is not None:
-                try:
-                    shard.conn.close()
-                except OSError:
-                    pass
+        prober = getattr(self, "_prober", None)
+        if prober is not None and prober.is_alive():
+            prober.join(timeout=10.0)
+        with self._lock:
+            for group in self.groups:
+                for replica in group.replicas:
+                    replica.in_rotation = False
+                    replica.send(("shutdown",))
+            for group in self.groups:
+                for replica in group.replicas:
+                    if replica.process is not None:
+                        replica.process.join(timeout=2.0)
+                        if replica.process.is_alive():
+                            replica.process.terminate()
+                            replica.process.join(timeout=2.0)
+                    if replica.conn is not None:
+                        try:
+                            replica.conn.close()
+                        except OSError:
+                            pass
 
     def __enter__(self) -> "ShardedSearchService":
         return self
@@ -717,47 +1019,137 @@ class ShardedSearchService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- background probing / restart ----------------------------------- #
+    # -- background probing / restart / rejoin -------------------------- #
 
     def _probe_loop(self) -> None:
         while not self._prober_stop.wait(self.config.probe_interval):
-            for shard in self.shards:
-                if self._closed:
-                    return
-                if not shard.alive:
-                    if self.config.restart_dead:
-                        self._restart(shard)
-                    continue
-                if shard.breaker.state == "closed":
-                    continue
-                # Quarantined but alive: half-open probe via a ping.
-                if shard.breaker.allow():
-                    self._ping(shard)
+            for group in self.groups:
+                for replica in group.replicas:
+                    if self._closed or self._prober_stop.is_set():
+                        return
+                    if not replica.alive or replica.needs_rebuild:
+                        if self.config.restart_dead:
+                            self._restart(group, replica)
+                        continue
+                    if not replica.in_rotation:
+                        self._rejoin(group, replica)
+                        continue
+                    if replica.breaker.state == "closed":
+                        continue
+                    # Quarantined but alive: half-open probe via a ping.
+                    if replica.breaker.allow():
+                        self._ping(replica)
 
-    def _restart(self, shard: _Shard) -> None:
-        """Respawn a dead worker; its slice rebuild is deterministic."""
+    def _restart(self, group: _ShardGroup, replica: _Replica) -> None:
+        """Respawn a dead (or unknown-state) replica, then rebuild + rejoin.
+
+        The rebuild is deterministic — same seed, same slice — and the
+        worker runs it in the background while siblings keep serving;
+        :meth:`_rejoin` verifies generation alignment before the
+        replica re-enters rotation.
+        """
         with self._lock:
-            if self._closed or shard.alive:
+            if self._closed:
                 return
-            old = shard.process
-            if old is not None:
-                old.join(timeout=0)
-            shard.restarts += 1
-            self._spawn(shard, with_faults=False)
-        if shard.ready.wait(timeout=120.0):
-            # The rebuilt replica re-indexed the same videos from the
-            # same seed: same generation, consistent vector.  Confirm
-            # with a real ping before lifting quarantine.
-            if shard.breaker.allow():
-                self._ping(shard)
+            if replica.alive and not replica.needs_rebuild:
+                return
+            old_process = replica.process
+            old_conn = replica.conn
+            if old_process is not None:
+                if old_process.is_alive():
+                    old_process.terminate()
+                old_process.join(timeout=5.0)
+            replica.restarts += 1
+            replica.needs_rebuild = False
+            replica.in_rotation = False
+            self._spawn(group, replica, with_faults=False)
+            # Close the superseded pipe only after the replica points at
+            # the new one: the old receiver's EOF check (`conn is
+            # replica.conn`) must not trip the fresh breaker.
+            if old_conn is not None:
+                try:
+                    old_conn.close()
+                except OSError:
+                    pass
+        if self._await_ready(replica, timeout=120.0):
+            self._rejoin(group, replica)
 
-    def _ping(self, shard: _Shard) -> bool:
-        gather = _Gather([shard.id])
-        req_id = self._register(gather, shard.id)
-        started = time.perf_counter()
-        if not shard.send(("ping", req_id)):
+    def _await_ready(self, replica: _Replica, timeout: float) -> bool:
+        """Wait for a respawned worker's ready message, abortable on close."""
+        deadline = time.monotonic() + timeout
+        while not replica.ready.wait(timeout=0.1):
+            if self._closed or self._prober_stop.is_set():
+                return False
+            if not replica.alive:
+                return False
+            if time.monotonic() >= deadline:
+                return False
+        return True
+
+    def _rejoin(self, group: _ShardGroup, replica: _Replica) -> bool:
+        """Catch a rebuilt replica up and verify alignment before rotation.
+
+        Under the write lock (no commit may interleave with catch-up):
+        index the suffix of the group's authoritative video list the
+        replica has not seen, then require its generation to *equal*
+        the group's expected value.  A replica that cannot align is
+        marked for rebuild — an out-of-step generation vector never
+        serves.
+        """
+        if self._closed or not replica.ready.is_set() or not replica.alive:
+            return False
+        with self._write_lock:
+            if self._closed or replica.needs_rebuild or not replica.alive:
+                return False
+            expected = len(group.videos)
+            if replica.generation < expected:
+                missing = group.videos[replica.generation :]
+                if not self._index_on_replica(replica, missing):
+                    replica.needs_rebuild = True
+                    replica.in_rotation = False
+                    return False
+            if replica.generation != expected:
+                replica.needs_rebuild = True
+                replica.in_rotation = False
+                return False
+            replica.in_rotation = True
+        if replica.breaker.state != "closed" and replica.breaker.allow():
+            self._ping(replica)
+        return True
+
+    def _index_on_replica(
+        self, replica: _Replica, names: list[str], timeout: float = 600.0
+    ) -> bool:
+        """Single-replica write barrier (rejoin catch-up); updates generation."""
+        key = (replica.shard_id, replica.index)
+        gather = _Gather([key], settle_on_failure=True)
+        req_id = self._register(gather, key, replica)
+        try:
+            if not replica.send(("index_batch", req_id, list(names))):
+                return False
+            deadline = time.perf_counter() + timeout
+            with gather.cond:
+                while not gather.done():
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return False
+                    gather.cond.wait(timeout=min(remaining, 1.0))
+        finally:
             self._unregister(req_id)
-            shard.breaker.record_failure()
+        payload = gather.responses.get(key)
+        if payload is not None and payload.get("status") == "ok":
+            replica.generation = payload["generation"]
+            return True
+        return False
+
+    def _ping(self, replica: _Replica) -> bool:
+        key = (replica.shard_id, replica.index)
+        gather = _Gather([key], settle_on_failure=True)
+        req_id = self._register(gather, key, replica)
+        started = time.perf_counter()
+        if not replica.send(("ping", req_id)):
+            self._unregister(req_id)
+            replica.breaker.record_failure()
             return False
         deadline = started + max(self.config.quarantine_cooldown, 0.1)
         try:
@@ -769,21 +1161,21 @@ class ShardedSearchService:
                     gather.cond.wait(timeout=remaining)
         finally:
             self._unregister(req_id)
-        payload = gather.responses.get(shard.id)
+        payload = gather.responses.get(key)
         if payload is not None and payload.get("status") == "ok":
-            shard.generation = payload.get("generation", shard.generation)
-            shard.breaker.record_success(time.perf_counter() - started)
+            replica.generation = payload.get("generation", replica.generation)
+            replica.breaker.record_success(time.perf_counter() - started)
             return True
-        shard.breaker.record_failure()
+        replica.breaker.record_failure()
         return False
 
     # -- fan-out plumbing ----------------------------------------------- #
 
-    def _register(self, gather: _Gather, shard_id: int) -> int:
+    def _register(self, gather: _Gather, key, replica: _Replica) -> int:
         with self._pending_lock:
             self._req_counter += 1
             req_id = self._req_counter
-            self._pending[req_id] = (gather, shard_id)
+            self._pending[req_id] = (gather, key, replica)
             return req_id
 
     def _unregister(self, req_id: int) -> None:
@@ -792,8 +1184,8 @@ class ShardedSearchService:
 
     @property
     def generations(self) -> tuple[int, ...]:
-        """The known per-shard generation vector."""
-        return tuple(shard.generation for shard in self.shards)
+        """The known per-shard generation vector (group generations)."""
+        return tuple(group.generation for group in self.groups)
 
     # -- serving --------------------------------------------------------- #
 
@@ -804,9 +1196,10 @@ class ShardedSearchService:
         budget: QueryBudget | None = None,
         bypass_cache: bool = False,
     ) -> ShardedServedQuery:
-        """Serve one query by scatter-gather over the healthy shards.
+        """Serve one query by scatter-gather over the healthy replicas.
 
-        Never raises for shard-side trouble: missing coverage comes
+        Never raises for shard-side trouble: a failing replica fails
+        over to a sibling inside the deadline, missing coverage comes
         back *typed* on :attr:`ShardedServedQuery.coverage`, and the
         ladder (partial → stale → reject) decides what the answer is.
         """
@@ -830,15 +1223,55 @@ class ShardedSearchService:
                 self._record(served)
                 return served
 
-        served = self._scatter_gather(query, key, vector, budget, bypass_cache, started)
+        served = self._scatter_gather(query, key, budget, bypass_cache, started)
         self._record(served)
         return served
+
+    def _dispatch(
+        self,
+        gather: _Gather,
+        group: _ShardGroup,
+        replica: _Replica | None,
+        query: LibraryQuery,
+        slice_seconds: float | None,
+        bypass_cache: bool,
+        state: _FanoutState,
+        failover: bool = False,
+    ) -> bool:
+        """Send one sub-query, walking siblings past dead pipes.
+
+        Updates the fan-out state (attempted set, in-flight count,
+        current target) and exhausts the shard's gather key only when
+        no request is left in flight and no sibling remains.
+        """
+        target = replica
+        while target is not None:
+            state.attempted.setdefault(group.id, set()).add(target.index)
+            req_id = self._register(gather, group.id, target)
+            state.req_ids.append(req_id)
+            target.queries += 1
+            if failover:
+                target.failovers += 1
+                state.failovers += 1
+            if target.send(("query", req_id, query, slice_seconds, bypass_cache)):
+                state.current[group.id] = target
+                state.sent_at[group.id] = time.perf_counter()
+                state.inflight[group.id] = state.inflight.get(group.id, 0) + 1
+                return True
+            # Dead pipe: charge this replica, try the next sibling.
+            self._unregister(req_id)
+            target.failures += 1
+            target.breaker.trip()
+            target = group.pick(exclude=state.attempted[group.id])
+            failover = True
+        if state.inflight.get(group.id, 0) <= 0:
+            gather.exhaust(group.id)
+        return False
 
     def _scatter_gather(
         self,
         query: LibraryQuery,
         key: str,
-        vector: tuple[int, ...],
         budget: QueryBudget | None,
         bypass_cache: bool,
         started: float,
@@ -847,73 +1280,74 @@ class ShardedSearchService:
             budget.slice_seconds(self.config.shard_slice) if budget is not None else None
         )
 
-        # Scatter to every shard whose breaker admits it (a half-open
-        # breaker's True reserves the probe slot; this query is the
-        # probe).  Quarantined shards are missing up front.
-        eligible: list[_Shard] = []
-        for shard in self.shards:
-            if shard.alive and shard.breaker.allow():
-                eligible.append(shard)
+        # Scatter: one healthiest replica per routable group.  Groups
+        # with no routable replica are missing up front.
+        plan: list[tuple[_ShardGroup, _Replica]] = []
+        for group in self.groups:
+            replica = group.pick()
+            if replica is not None:
+                plan.append((group, replica))
 
-        gather = _Gather([s.id for s in eligible])
-        req_ids: list[int] = []
-        sent_at: dict[int, float] = {}
-        hedged: set[int] = set()
+        gather = _Gather([group.id for group, _ in plan])
+        state = _FanoutState()
         try:
-            for shard in eligible:
-                req_id = self._register(gather, shard.id)
-                req_ids.append(req_id)
-                sent_at[shard.id] = time.perf_counter()
-                shard.queries += 1
-                if not shard.send(("query", req_id, query, slice_seconds, bypass_cache)):
-                    self._unregister(req_id)
-                    gather.fail(shard.id, "dead")
-
-            if eligible:
-                req_ids.extend(
-                    self._gather(
-                        gather,
-                        eligible,
-                        budget,
-                        sent_at,
-                        hedged,
-                        query,
-                        slice_seconds,
-                        bypass_cache,
-                    )
+            for group, replica in plan:
+                self._dispatch(
+                    gather, group, replica, query, slice_seconds, bypass_cache, state
+                )
+            if plan:
+                self._gather_wait(
+                    gather, plan, budget, query, slice_seconds, bypass_cache, state
                 )
         finally:
             # Interrupted or not, no pending entry may leak: late
             # responses to a finished fan-out must hit nothing.
-            for req_id in req_ids:
+            for req_id in state.req_ids:
                 self._unregister(req_id)
 
-        # Health accounting + response triage.
+        # Health accounting + response triage, credited per replica.
         parts: dict[int, list[SceneResult]] = {}
         responded: list[int] = []
-        for shard in eligible:
-            payload = gather.responses.get(shard.id)
-            elapsed = time.perf_counter() - sent_at[shard.id]
-            if payload is not None and payload.get("status") == "ok":
-                responded.append(shard.id)
-                parts[shard.id] = payload["results"]
-                shard.generation = payload.get("generation", shard.generation)
-                shard.reservoir.add(payload.get("seconds", elapsed))
-                shard.breaker.record_success(elapsed)
+        now = time.perf_counter()
+        for group, _ in plan:
+            sid = group.id
+            payload = gather.responses.get(sid)
+            failures = gather.failures.get(sid, [])
+            for failure in failures:
+                culprit = group.replicas[failure.get("replica", 0)]
+                culprit.failures += 1
+                if failure.get("status") != "dead":
+                    culprit.breaker.record_failure()
+                # a dead replica's breaker was tripped by its receiver
+            if payload is not None:
+                winner = group.replicas[payload.get("replica", 0)]
+                responded.append(sid)
+                parts[sid] = payload["results"]
+                winner.generation = payload.get("generation", winner.generation)
+                elapsed = now - state.sent_at.get(sid, started)
+                winner.reservoir.add(payload.get("seconds", elapsed))
+                winner.breaker.record_success(elapsed)
             else:
-                shard.failures += 1
-                if payload is not None and payload.get("status") == "dead":
-                    pass  # breaker already tripped by the receiver
-                else:
-                    shard.breaker.record_failure(elapsed)
+                outstanding = state.inflight.get(sid, 0) - (
+                    len(failures) - state.handled_failures.get(sid, 0)
+                )
+                if outstanding > 0:
+                    # Deadline expired with a request still in flight:
+                    # the straggler is the latest target.
+                    straggler = state.current.get(sid)
+                    if straggler is not None:
+                        straggler.failures += 1
+                        straggler.breaker.record_failure(
+                            now - state.sent_at.get(sid, started)
+                        )
 
+        responded_set = set(responded)
         coverage = Coverage(
             responded=tuple(sorted(responded)),
             missing=tuple(
-                s.id for s in self.shards if s.id not in set(responded)
+                group.id for group in self.groups if group.id not in responded_set
             ),
         )
-        hedge_count = len(hedged)
         vector = self.generations  # refreshed by the responses
 
         if coverage.complete:
@@ -929,7 +1363,8 @@ class ShardedSearchService:
                 generations=vector,
                 cache_hit=False,
                 seconds=time.perf_counter() - started,
-                hedged=hedge_count,
+                hedged=state.hedges,
+                failovers=state.failovers,
             )
 
         if (
@@ -945,7 +1380,8 @@ class ShardedSearchService:
                 generations=vector,
                 cache_hit=False,
                 seconds=time.perf_counter() - started,
-                hedged=hedge_count,
+                hedged=state.hedges,
+                failovers=state.failovers,
             )
 
         if self.config.stale_serving and not bypass_cache:
@@ -958,7 +1394,8 @@ class ShardedSearchService:
                     generations=stale_vector,
                     cache_hit=False,
                     seconds=time.perf_counter() - started,
-                    hedged=hedge_count,
+                    hedged=state.hedges,
+                    failovers=state.failovers,
                     stale=True,
                 )
 
@@ -968,136 +1405,258 @@ class ShardedSearchService:
             generations=vector,
             cache_hit=False,
             seconds=time.perf_counter() - started,
-            hedged=hedge_count,
+            hedged=state.hedges,
+            failovers=state.failovers,
             rejection="no_coverage",
         )
 
-    def _gather(
+    def _gather_wait(
         self,
         gather: _Gather,
-        eligible: list[_Shard],
+        plan: list[tuple[_ShardGroup, _Replica]],
         budget: QueryBudget | None,
-        sent_at: dict[int, float],
-        hedged: set[int],
         query: LibraryQuery,
         slice_seconds: float | None,
         bypass_cache: bool,
-    ) -> list[int]:
-        """Wait for the fan-out, hedging stragglers; returns hedge req ids.
+        state: _FanoutState,
+    ) -> None:
+        """Wait for the fan-out, failing over and hedging between waits.
 
         Every wait carries a timeout (the audit invariant: no
-        ``Condition.wait()`` in the serving path may block forever),
-        and the hedge check runs between waits.
+        ``Condition.wait()`` in the serving path may block forever).
+        Each wake-up first re-dispatches shards whose every in-flight
+        request has failed (sibling failover within the remaining
+        budget), then hedges stragglers past their replica's percentile
+        trigger — to an untried sibling when one exists, else to the
+        same worker.
         """
+        groups = {group.id: group for group, _ in plan}
         if budget is not None:
             remaining = budget.remaining()
-            horizon = remaining if remaining is not None else self.config.gather_floor_seconds
+            horizon = (
+                remaining if remaining is not None else self.config.gather_floor_seconds
+            )
         else:
             horizon = self.config.gather_floor_seconds
         deadline = time.perf_counter() + max(0.0, horizon)
         poll = max(self.config.hedge_min_seconds / 4.0, 0.002)
-        hedge_req_ids: list[int] = []
 
         while True:
             with gather.cond:
                 if gather.done():
-                    return hedge_req_ids
+                    return
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
-                    return hedge_req_ids
+                    return
                 gather.cond.wait(timeout=min(remaining, poll))
                 if gather.done():
-                    return hedge_req_ids
+                    return
+                failure_counts = {
+                    sid: len(failures) for sid, failures in gather.failures.items()
+                }
+                settled = set(gather.responses) | set(gather.exhausted)
+
+            # Failover pass: a shard with no live request left gets
+            # re-dispatched to an untried sibling (fresh budget slice)
+            # or exhausted when none remains.
+            for sid, group in groups.items():
+                if sid in settled:
+                    continue
+                new_failures = failure_counts.get(sid, 0) - state.handled_failures.get(
+                    sid, 0
+                )
+                if new_failures > 0:
+                    state.handled_failures[sid] = failure_counts[sid]
+                    state.inflight[sid] = state.inflight.get(sid, 0) - new_failures
+                if state.inflight.get(sid, 0) > 0:
+                    continue
+                target = group.pick(exclude=state.attempted.get(sid, set()))
+                if target is None:
+                    gather.exhaust(sid)
+                    continue
+                failover_slice = (
+                    budget.slice_seconds(self.config.shard_slice)
+                    if budget is not None
+                    else None
+                )
+                self._dispatch(
+                    gather,
+                    group,
+                    target,
+                    query,
+                    failover_slice,
+                    bypass_cache,
+                    state,
+                    failover=True,
+                )
+
             if not self.config.hedge:
                 continue
             now = time.perf_counter()
-            for shard in eligible:
-                if shard.id in hedged or shard.id in gather.responses:
+            for sid, group in groups.items():
+                if sid in settled or sid in state.hedged:
                     continue
-                trigger = shard.reservoir.percentile_or(
-                    self.config.hedge_percentile,
+                current = state.current.get(sid)
+                if current is None or sid not in state.sent_at:
+                    continue
+                trigger = max(
+                    current.reservoir.percentile_or(
+                        self.config.hedge_percentile,
+                        self.config.hedge_min_seconds,
+                        min_samples=8,
+                    ),
                     self.config.hedge_min_seconds,
-                    min_samples=8,
                 )
-                trigger = max(trigger, self.config.hedge_min_seconds)
-                if now - sent_at[shard.id] < trigger:
+                if now - state.sent_at[sid] < trigger:
                     continue
-                hedged.add(shard.id)
-                shard.hedges += 1
-                req_id = self._register(gather, shard.id)
-                hedge_req_ids.append(req_id)
-                if not shard.send(
-                    ("query", req_id, query, slice_seconds, bypass_cache)
-                ):
+                # Hedge to an untried sibling replica when one exists;
+                # otherwise re-issue to the same worker, whose second
+                # evaluation thread can overtake a hung delivery.
+                target = group.pick(exclude=state.attempted.get(sid, set())) or current
+                state.hedged.add(sid)
+                state.hedges += 1
+                target.hedges += 1
+                state.attempted.setdefault(sid, set()).add(target.index)
+                req_id = self._register(gather, sid, target)
+                state.req_ids.append(req_id)
+                if target.send(("query", req_id, query, slice_seconds, bypass_cache)):
+                    state.inflight[sid] = state.inflight.get(sid, 0) + 1
+                else:
                     self._unregister(req_id)
-                    gather.fail(shard.id, "dead")
 
     # -- indexing -------------------------------------------------------- #
 
     def index_video(self, name: str) -> int:
-        """Index one more video on its home shard; returns the shard id."""
-        return self.index_videos([name])[0]
+        """Index one more video on its home shard; returns the shard id.
 
-    def index_videos(self, names: list[str], timeout: float = 600.0) -> list[int]:
-        """Index a batch, shards working their slices in parallel.
+        The strict single-video contract: raises ``RuntimeError`` when
+        the home shard did not commit (batch callers wanting partial
+        progress use :meth:`index_videos` and read the typed outcomes).
+        """
+        result = self.index_videos([name])
+        shard_id = result.assignments[name]
+        outcome = result.outcomes[shard_id]
+        if not outcome.committed:
+            raise RuntimeError(
+                f"shard {shard_id} failed to index {name!r}: "
+                f"{outcome.error or outcome.status}"
+            )
+        return shard_id
+
+    def index_videos(self, names: list[str], timeout: float = 600.0) -> BatchIndexResult:
+        """Index a batch; every live replica of each home shard commits it.
 
         The batch is striped across shards with :func:`assign_shards`
         (the initial-catalog discipline — balanced to within one video;
-        a lone video through :meth:`index_video` routes by pure
-        :func:`shard_of`); per-shard slices are scattered concurrently
-        (the near-linear indexing speedup E17 gates on), and the call
-        returns when every shard has committed its slice.  Writes are
-        serialized through the coordinator, so the known generation
-        vector tracks commits exactly (chaos aside).  Raises
-        ``RuntimeError`` when any home shard cannot take its slice — a
-        write is never silently lost to a random shard; callers retry
-        after recovery.
+        a lone video routes by pure :func:`shard_of`); per-shard slices
+        scatter to *all* in-rotation replicas of the owning group
+        concurrently behind a group commit barrier, keeping the
+        generation vectors of serving replicas aligned.  A replica that
+        fails or times out its commit is in an unknown state: it is
+        pulled from rotation and rebuilt in the background, while the
+        slice counts as committed if *any* replica landed it.
 
-        Returns each video's shard id, in input order.
+        Never raises for shard-side trouble: the returned
+        :class:`BatchIndexResult` carries a typed per-shard outcome
+        (``committed`` with the new generation, ``failed``, or
+        ``down``), so a timeout cannot raise away the shards that did
+        commit.  Callers needing all-or-nothing check ``result.ok``.
         """
         if not names:
-            return []
+            return BatchIndexResult(assignments={}, outcomes={})
         if len(names) == 1:
             slices: list[list[str]] = [[] for _ in range(self.config.n_shards)]
             slices[shard_of(names[0], self.config.n_shards)].append(names[0])
         else:
             slices = assign_shards(names, self.config.n_shards)
-        home = {name: sid for sid, batch in enumerate(slices) for name in batch}
+        assignments = {name: sid for sid, batch in enumerate(slices) for name in batch}
         by_shard = {sid: batch for sid, batch in enumerate(slices) if batch}
+        outcomes: dict[int, ShardWriteOutcome] = {}
+
         with self._write_lock:
-            for shard_id in by_shard:
-                if not self.shards[shard_id].alive:
-                    raise RuntimeError(f"shard {shard_id} is down; cannot index batch")
-            gather = _Gather(list(by_shard))
+            targets: dict[int, list[_Replica]] = {}
+            for sid in by_shard:
+                group = self.groups[sid]
+                live = [r for r in group.replicas if r.alive and r.in_rotation]
+                if not live:
+                    outcomes[sid] = ShardWriteOutcome(
+                        shard=sid,
+                        status="down",
+                        error="no live replica in rotation",
+                    )
+                    continue
+                targets[sid] = live
+
+            keys = [(sid, r.index) for sid, live in targets.items() for r in live]
+            gather = _Gather(keys, settle_on_failure=True)
             req_ids: list[int] = []
             try:
-                for shard_id, batch in by_shard.items():
-                    shard = self.shards[shard_id]
-                    req_id = self._register(gather, shard_id)
-                    req_ids.append(req_id)
-                    if not shard.send(("index_batch", req_id, list(batch))):
-                        raise RuntimeError(f"shard {shard_id} pipe is down")
+                for sid, live in targets.items():
+                    batch = by_shard[sid]
+                    for replica in live:
+                        req_id = self._register(gather, (sid, replica.index), replica)
+                        req_ids.append(req_id)
+                        if not replica.send(("index_batch", req_id, list(batch))):
+                            self._unregister(req_id)
+                            gather.deliver(
+                                (sid, replica.index),
+                                {"status": "dead", "replica": replica.index},
+                            )
                 deadline = time.perf_counter() + timeout
                 with gather.cond:
                     while not gather.done():
                         remaining = deadline - time.perf_counter()
                         if remaining <= 0:
-                            raise RuntimeError("index batch timed out")
+                            break  # timeout is a per-replica outcome, not a raise
                         gather.cond.wait(timeout=min(remaining, 1.0))
             finally:
                 for req_id in req_ids:
                     self._unregister(req_id)
-            for shard_id, batch in by_shard.items():
-                payload = gather.responses.get(shard_id)
-                if payload is None or payload.get("status") != "ok":
-                    message = (payload or {}).get("message", "no response")
-                    raise RuntimeError(
-                        f"shard {shard_id} failed to index its slice: {message}"
+
+            for sid, live in targets.items():
+                batch = by_shard[sid]
+                group = self.groups[sid]
+                committed: list[int] = []
+                failed: list[int] = []
+                error: str | None = None
+                for replica in live:
+                    payload = gather.responses.get((sid, replica.index))
+                    if payload is not None and payload.get("status") == "ok":
+                        replica.generation = payload["generation"]
+                        committed.append(replica.index)
+                        continue
+                    failures = gather.failures.get((sid, replica.index), [])
+                    message = failures[0].get("message") if failures else None
+                    if message is None and failures:
+                        message = failures[0].get("status")
+                    error = message or error or "commit timed out"
+                    failed.append(replica.index)
+                    replica.failures += 1
+                    # Unknown state after a failed/timed-out commit:
+                    # out of rotation until rebuilt and re-verified.
+                    replica.in_rotation = False
+                    replica.needs_rebuild = True
+                    replica.breaker.trip()
+                if committed:
+                    group.videos = group.videos + list(batch)
+                    outcomes[sid] = ShardWriteOutcome(
+                        shard=sid,
+                        status="committed",
+                        generation=max(
+                            group.replicas[index].generation for index in committed
+                        ),
+                        error=error,
+                        replicas_committed=tuple(committed),
+                        replicas_failed=tuple(failed),
                     )
-                shard = self.shards[shard_id]
-                shard.generation = payload["generation"]
-                shard.videos.extend(batch)
-        return [home[name] for name in names]
+                else:
+                    outcomes[sid] = ShardWriteOutcome(
+                        shard=sid,
+                        status="failed",
+                        error=error or "no replica committed",
+                        replicas_failed=tuple(failed),
+                    )
+        return BatchIndexResult(assignments=assignments, outcomes=outcomes)
 
     # -- observability ---------------------------------------------------- #
 
@@ -1119,6 +1678,7 @@ class ShardedSearchService:
                 self._full_served += 1
 
     def stats(self) -> ShardedStats:
+        replicas = [r for group in self.groups for r in group.replicas]
         with self._lock:
             stats = ShardedStats(
                 queries=self._queries,
@@ -1128,24 +1688,47 @@ class ShardedSearchService:
                 partial_served=self._partial_served,
                 stale_served=self._stale_served,
                 rejected=self._rejected,
-                hedges=sum(s.hedges for s in self.shards),
-                restarts=sum(s.restarts for s in self.shards),
+                hedges=sum(r.hedges for r in replicas),
+                failovers=sum(r.failovers for r in replicas),
+                restarts=sum(r.restarts for r in replicas),
                 generations=self.generations,
                 fanout=self._fanout_reservoir.summary(),
             )
-        for shard in self.shards:
+        order = {"closed": 0, "half_open": 1, "open": 2}
+        for group in self.groups:
+            rows = [
+                ReplicaHealth(
+                    replica=r.index,
+                    alive=r.alive,
+                    in_rotation=r.in_rotation,
+                    breaker_state=r.breaker.state,
+                    generation=r.generation,
+                    queries=r.queries,
+                    failures=r.failures,
+                    hedges=r.hedges,
+                    failovers=r.failovers,
+                    restarts=r.restarts,
+                    latency=r.reservoir.summary(),
+                )
+                for r in group.replicas
+            ]
             stats.shards.append(
                 ShardHealth(
-                    shard=shard.id,
-                    alive=shard.alive,
-                    breaker_state=shard.breaker.state,
-                    generation=shard.generation,
-                    videos=len(shard.videos),
-                    queries=shard.queries,
-                    failures=shard.failures,
-                    hedges=shard.hedges,
-                    restarts=shard.restarts,
-                    latency=shard.reservoir.summary(),
+                    shard=group.id,
+                    alive=any(row.alive for row in rows),
+                    breaker_state=min(
+                        (row.breaker_state for row in rows),
+                        key=lambda s: order.get(s, 3),
+                    ),
+                    generation=group.generation,
+                    videos=len(group.videos),
+                    queries=sum(row.queries for row in rows),
+                    failures=sum(row.failures for row in rows),
+                    hedges=sum(row.hedges for row in rows),
+                    failovers=sum(row.failovers for row in rows),
+                    restarts=sum(row.restarts for row in rows),
+                    latency=merged_summary([r.reservoir for r in group.replicas]),
+                    replicas=rows,
                 )
             )
         return stats

@@ -22,7 +22,13 @@ from repro.core.model import CobraModel
 from repro.library.persistence import model_to_catalog
 from repro.storage.query import group_count
 
-__all__ = ["LatencyReservoir", "LibraryStats", "collect_stats", "format_stats"]
+__all__ = [
+    "LatencyReservoir",
+    "LibraryStats",
+    "collect_stats",
+    "format_stats",
+    "merged_summary",
+]
 
 #: The percentiles a reservoir summary reports.
 PERCENTILES = (50, 95, 99)
@@ -87,6 +93,29 @@ class LatencyReservoir:
         if not self._samples:
             return {}
         return {f"p{p}": self.percentile(p) for p in PERCENTILES}
+
+
+def merged_summary(reservoirs: list[LatencyReservoir]) -> dict[str, float]:
+    """Percentile summary over the union of several reservoirs' windows.
+
+    The replicated serving layer keeps one latency reservoir per
+    replica (the hedge trigger is per replica), but health rows report
+    *shard-level* latency — the distribution a caller of the group
+    actually experiences — so the group row merges its replicas'
+    windows before taking percentiles.  Empty dict when no reservoir
+    holds a sample.
+    """
+    merged: list[float] = []
+    for reservoir in reservoirs:
+        merged.extend(reservoir._samples)  # noqa: SLF001 — same-module accessor
+    if not merged:
+        return {}
+    ordered = sorted(merged)
+    out: dict[str, float] = {}
+    for p in PERCENTILES:
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        out[f"p{p}"] = ordered[int(rank) - 1]
+    return out
 
 
 @dataclass

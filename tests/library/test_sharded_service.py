@@ -227,3 +227,32 @@ class TestShardFaultSpecs:
         assert [spec.mode for spec in plan.for_shard(1)] == ["kill"]
         assert [spec.mode for spec in plan.for_shard(2)] == ["stale_generation"]
         assert plan.for_shard(0) == ()
+
+    def test_replica_validation_and_matching(self):
+        with pytest.raises(ValueError):
+            ShardFaultSpec(shard=0, replica=-1)
+        spec = ShardFaultSpec(shard=0, mode="kill", replica=1)
+        assert spec.matches(0)  # shard-only check: could fire in the group
+        assert spec.matches(0, replica=1)
+        assert not spec.matches(0, replica=0)
+        assert not spec.matches(1, replica=1)
+        wildcard = ShardFaultSpec(shard=0, mode="kill")
+        assert wildcard.matches(0, replica=0) and wildcard.matches(0, replica=7)
+
+    def test_plan_for_worker_filters_by_replica(self):
+        plan = ShardFaultPlan.dead(0, replica=1).extend(
+            ShardFaultPlan.straggler(0, seconds=0.1)  # whole group
+        )
+        assert [spec.mode for spec in plan.for_worker(0, 1)] == ["kill", "delay"]
+        assert [spec.mode for spec in plan.for_worker(0, 0)] == ["delay"]
+        assert plan.for_worker(1, 1) == ()
+
+    def test_state_narrows_to_its_replica(self):
+        addressed = ShardFaultSpec(shard=0, mode="error", times=1, replica=1)
+        state = ShardFaultState(0, (addressed,), replica=0)
+        assert state.next_fault() is None
+        state = ShardFaultState(0, (addressed,), replica=1)
+        assert state.next_fault() is addressed
+        # pre-replication construction (no replica) keeps the shard view
+        state = ShardFaultState(0, (ShardFaultSpec(shard=0, mode="error", times=1),))
+        assert state.next_fault() is not None

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.model import CobraModel
-from repro.library.stats import LatencyReservoir, collect_stats, format_stats
+from repro.library.stats import (
+    LatencyReservoir,
+    collect_stats,
+    format_stats,
+    merged_summary,
+)
 
 
 @pytest.fixture
@@ -119,6 +124,43 @@ class TestLatencyReservoir:
         assert len(reservoir) == 0
         assert reservoir.recorded == 0
         assert reservoir.summary() == {}
+
+    def test_percentile_or_falls_back_below_min_samples(self):
+        reservoir = LatencyReservoir()
+        assert reservoir.percentile_or(95, 0.25) == pytest.approx(0.25)
+        for _ in range(7):
+            reservoir.add(0.001)
+        # 7 samples < min_samples=8: still the default, not a noisy p95
+        assert reservoir.percentile_or(95, 0.25, min_samples=8) == pytest.approx(0.25)
+        reservoir.add(0.001)
+        assert reservoir.percentile_or(95, 0.25, min_samples=8) == pytest.approx(0.001)
+        with pytest.raises(ValueError):
+            reservoir.percentile_or(95, 0.25, min_samples=0)
+
+
+class TestMergedSummary:
+    def test_empty_union(self):
+        assert merged_summary([]) == {}
+        assert merged_summary([LatencyReservoir(), LatencyReservoir()]) == {}
+
+    def test_union_percentiles_across_replicas(self):
+        fast, slow = LatencyReservoir(), LatencyReservoir()
+        for ms in range(1, 51):
+            fast.add(ms / 1000)  # 1..50 ms
+        for ms in range(51, 101):
+            slow.add(ms / 1000)  # 51..100 ms
+        merged = merged_summary([fast, slow])
+        # identical to one reservoir holding 1..100 ms
+        assert merged == {
+            "p50": pytest.approx(0.050),
+            "p95": pytest.approx(0.095),
+            "p99": pytest.approx(0.099),
+        }
+
+    def test_one_sided_union_matches_single_summary(self):
+        only = LatencyReservoir()
+        only.add(0.007)
+        assert merged_summary([only, LatencyReservoir()]) == only.summary()
 
 
 class TestCliStats:

@@ -159,6 +159,34 @@ class TestGatherCleanup:
         gather = _Gather([1])
         gather.deliver(0, {"status": "ok"})
         assert not gather.done()
-        gather.fail(1, "dead")
+        gather.deliver(1, {"status": "ok"})
         assert gather.done()
-        assert gather.responses[1]["status"] == "dead"
+        assert 0 not in gather.responses
+
+    def test_gather_failures_do_not_settle_a_query_key(self):
+        """A failed replica leaves the shard open for sibling failover:
+        only an ok response or an explicit ``exhaust`` settles the key."""
+        gather = _Gather([0])
+        gather.fail(0, "dead")
+        assert not gather.done()
+        assert gather.failures[0][0]["status"] == "dead"
+        gather.exhaust(0)
+        assert gather.done()
+        assert 0 not in gather.responses
+
+    def test_gather_settles_on_failure_for_write_barriers(self):
+        """Write barriers key by (shard, replica): one reply per worker,
+        so a failure is final and must release the barrier."""
+        gather = _Gather([(0, 0), (0, 1)], settle_on_failure=True)
+        gather.deliver((0, 0), {"status": "ok"})
+        gather.deliver((0, 1), {"status": "error", "message": "boom"})
+        assert gather.done()
+        assert (0, 1) not in gather.responses
+        assert gather.failures[(0, 1)][0]["message"] == "boom"
+
+    def test_gather_failure_after_ok_is_discarded(self):
+        gather = _Gather([0])
+        gather.deliver(0, {"status": "ok", "marker": "winner"})
+        gather.fail(0, "dead")
+        assert gather.responses[0]["marker"] == "winner"
+        assert 0 not in gather.failures
