@@ -1,0 +1,22 @@
+"""Profile the E6/E9 hot paths and emit flamegraph + stats artifacts.
+
+Thin driver over ``repro profile``: profiles packed top-N retrieval on
+the replicated tournament corpus (E6) and the tennis FDE pipeline on
+the reference broadcast (E9), writing ``<target>.svg`` flamegraphs and
+``<target>.json`` stats bundles.  The CI benchmark gate runs this after
+the benchmarks and uploads the output directory as an artifact, so
+every gate run keeps a picture of where the time went.
+
+Usage::
+
+    python benchmarks/profile_hotpaths.py [--target e6|e9|all] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["profile", *sys.argv[1:]]))

@@ -188,6 +188,21 @@ class QueryBudget:
         if self._ticks % self.tick_stride == 0:
             self.check(stage)
 
+    def tick_batch(self, n: int, stage: str) -> None:
+        """Batch form of :meth:`tick` for vectorized loops.
+
+        A whole-array kernel processes *n* postings in one call instead
+        of *n* loop iterations; this advances the tick counter by *n*
+        and samples the clock if the batch crossed a stride boundary, so
+        check density per posting matches the scalar loop's.
+        """
+        if n <= 0:
+            return
+        before = self._ticks
+        self._ticks += n
+        if self._ticks // self.tick_stride > before // self.tick_stride:
+            self.check(stage)
+
     def charge_postings(self, n: int, stage: str = "text_topn") -> None:
         """Charge *n* postings; raise when the work budget is exhausted.
 

@@ -11,10 +11,15 @@ fragmentation:
 - :mod:`repro.ir.tokenizer` / :mod:`repro.ir.stopwords` /
   :mod:`repro.ir.stemmer` — text normalisation (Porter stemmer),
 - :mod:`repro.ir.collection` — the document collection,
-- :mod:`repro.ir.inverted_index` — the inverted index,
-- :mod:`repro.ir.ranking` — tf-idf and BM25 scoring,
+- :mod:`repro.ir.inverted_index` — the inverted index over packed
+  postings arrays,
+- :mod:`repro.ir.packed` — the packed storage substrate: delta+varint
+  codecs, roaring-style bitmaps, pooled scoring buffers,
+- :mod:`repro.ir.ranking` — tf-idf and BM25 scoring (vectorized),
 - :mod:`repro.ir.topn` — horizontally fragmented index with
-  early-terminating top-N evaluation (the Blok et al. optimization).
+  early-terminating top-N evaluation (the Blok et al. optimization),
+- :mod:`repro.ir.reference` — the seed's per-posting loops, kept as the
+  byte-identical semantic anchor of the packed engine.
 """
 
 from repro.ir.tokenizer import tokenize, normalize_terms
@@ -22,10 +27,14 @@ from repro.ir.stopwords import STOPWORDS
 from repro.ir.stemmer import porter_stem
 from repro.ir.collection import Document, DocumentCollection
 from repro.ir.inverted_index import InvertedIndex, Posting
+from repro.ir.packed import Bitmap, PackedPostings, ScorePool
 from repro.ir.ranking import tf_idf_score, bm25_score, RankedHit
 from repro.ir.topn import FragmentedIndex, TopNResult
 
 __all__ = [
+    "Bitmap",
+    "PackedPostings",
+    "ScorePool",
     "tokenize",
     "normalize_terms",
     "STOPWORDS",

@@ -1,9 +1,12 @@
-"""Ranking functions: tf-idf and BM25.
+"""Ranking functions: tf-idf and BM25, scored over packed arrays.
 
-Both operate on the statistics of an :class:`~repro.ir.inverted_index.InvertedIndex`
-and return per-document accumulator scores; the retrieval drivers (full
-scan in :meth:`InvertedIndex`-based search, fragment-at-a-time in
-:mod:`repro.ir.topn`) share them.
+The scalar weight functions (:func:`tf_idf_score`, :func:`bm25_score`)
+define the semantics; :func:`rank_full_scan` evaluates them over whole
+packed postings arrays at a time — one NumPy pass per query term into a
+pooled dense accumulator — and produces rankings byte-identical to the
+per-posting loop preserved in :mod:`repro.ir.reference` (same IEEE-754
+operations in the same order per posting; the differential suite pins
+it).
 """
 
 from __future__ import annotations
@@ -11,9 +14,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.ir.inverted_index import InvertedIndex
+import numpy as np
 
-__all__ = ["RankedHit", "tf_idf_score", "bm25_score", "rank_full_scan"]
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.packed import DEFAULT_SCORE_POOL, ScorePool
+
+__all__ = ["RankedHit", "tf_idf_score", "bm25_score", "rank_full_scan", "top_hits"]
 
 
 @dataclass(frozen=True, order=True)
@@ -48,42 +54,59 @@ def bm25_score(
     return idf * tf * (k1 + 1.0) / denom
 
 
+def top_hits(doc_ids: np.ndarray, scores: np.ndarray, n: int) -> list[RankedHit]:
+    """The best *n* hits under the engine's total order ``(-score, doc_id)``.
+
+    ``np.lexsort`` with ``-scores`` primary and ``doc_ids`` secondary is
+    exactly the reference ``sorted(key=(-score, doc_id))``: float
+    negation is sign-flip-exact and equal scores (including ±0.0) fall
+    through to the ascending doc id.
+    """
+    if doc_ids.size == 0:
+        return []
+    order = np.lexsort((doc_ids, -scores))[:n]
+    ids = doc_ids[order].tolist()
+    top = scores[order].tolist()
+    return [RankedHit(score=s, doc_id=d) for d, s in zip(ids, top)]
+
+
 def rank_full_scan(
     index: InvertedIndex,
     query_terms: list[str],
     n: int,
     scheme: str = "tfidf",
+    pool: ScorePool | None = None,
 ) -> list[RankedHit]:
-    """Exact top-*n* by scanning every posting of every query term.
+    """Exact top-*n* scoring every posting of every query term, vectorized.
 
-    This is the unoptimised baseline the fragmented engine is compared
-    against in E6.
+    One whole-array pass per query term: the term's packed tf vector is
+    weighted by the scheme kernel and scattered into a pooled dense
+    accumulator (`acc[doc_ids] += weights`), replicating the reference
+    loop's per-document addition order term by term.
 
     Args:
         index: the inverted index.
         query_terms: normalised query terms.
         n: result count.
         scheme: ``"tfidf"`` or ``"bm25"``.
+        pool: scoring-buffer pool override (tests; defaults to the
+            process-wide pool).
     """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
     if scheme not in ("tfidf", "bm25"):
         raise ValueError(f"unknown ranking scheme {scheme!r}")
-    accumulators: dict[int, float] = {}
     n_docs = max(index.n_documents, 1)
-    avg_len = index.average_doc_length
-    for term in query_terms:
-        df = index.document_frequency(term)
-        if df == 0:
-            continue
-        for posting in index.postings(term):
-            if scheme == "tfidf":
-                weight = tf_idf_score(posting.tf, df, n_docs)
-            else:
-                weight = bm25_score(
-                    posting.tf, df, n_docs, index.doc_length(posting.doc_id), avg_len
-                )
-            accumulators[posting.doc_id] = accumulators.get(posting.doc_id, 0.0) + weight
-    hits = [RankedHit(score=s, doc_id=d) for d, s in accumulators.items()]
-    hits.sort(key=lambda h: (-h.score, h.doc_id))
-    return hits[:n]
+    pool = pool or DEFAULT_SCORE_POOL
+    buffer = pool.acquire(n_docs)
+    try:
+        for term in query_terms:
+            packed = index.packed(term)
+            if packed is None or packed.df == 0:
+                continue
+            weights = index.term_weights(term, scheme)
+            buffer.accumulate(packed.doc_ids, weights)
+        candidates, scores = buffer.candidates(n_docs)
+        return top_hits(candidates, scores, n)
+    finally:
+        pool.release(buffer)

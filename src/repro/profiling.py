@@ -1,0 +1,290 @@
+"""Profiling harness for the indexing and retrieval hot paths.
+
+The vectorised kernels in :mod:`repro.ir` and :mod:`repro.vision` were
+written profile-first; this module is the harness that produced (and
+keeps reproducing) those profiles.  It offers two complementary views:
+
+- a **sampling profiler** (:class:`SamplingProfiler`) that snapshots the
+  target thread's stack on a timer and aggregates *folded stacks* — the
+  input format of flamegraphs — with near-zero overhead on the profiled
+  code, and
+- a **deterministic profiler** (:func:`profile_call`) built on
+  :mod:`cProfile` for exact call counts and per-function timings.
+
+Both feed :func:`write_artifacts`, which emits a self-contained
+``flamegraph.svg`` plus a machine-readable ``profile.json`` so CI can
+upload the hot-path picture of every gate run next to the benchmark
+report.  No third-party tooling is required; the SVG renderer is local.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import io
+import json
+import pstats
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from html import escape
+from pathlib import Path
+
+__all__ = [
+    "SamplingProfiler",
+    "ProfileReport",
+    "profile_call",
+    "render_flamegraph_svg",
+    "write_artifacts",
+]
+
+
+class SamplingProfiler:
+    """Wall-clock stack sampler producing folded stacks.
+
+    A daemon thread wakes every *interval* seconds, grabs the profiled
+    thread's frame via ``sys._current_frames()`` and appends one count
+    to the ``caller;...;callee`` folded-stack key.  Sampling observes
+    the program from outside, so the measured code runs at full speed —
+    the right tool for kernels whose cost is a handful of long NumPy
+    calls rather than many short Python calls.
+
+    Use as a context manager::
+
+        with SamplingProfiler(interval=0.002) as prof:
+            run_hot_path()
+        svg = render_flamegraph_svg(prof.folded(), title="hot path")
+    """
+
+    def __init__(self, interval: float = 0.002, max_depth: int = 64):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.max_depth = max_depth
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._target_id: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        """Begin sampling the calling thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._target_id = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="sampling-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling; safe to call more than once."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def samples(self) -> int:
+        """Number of stack samples collected."""
+        return self._samples
+
+    def folded(self) -> dict[str, int]:
+        """Folded stacks: ``"main;f;g" -> sample count`` (root first)."""
+        return dict(self._counts)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target_id)
+            if frame is None:
+                continue
+            stack: list[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                stack.append(f"{code.co_name} ({Path(code.co_filename).name})")
+                frame = frame.f_back
+                depth += 1
+            key = ";".join(reversed(stack))
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._samples += 1
+
+
+@dataclass
+class ProfileReport:
+    """Deterministic (cProfile) profile of one call.
+
+    Attributes:
+        seconds: wall-clock duration of the profiled call.
+        top: hottest rows sorted by cumulative time; each row is a dict
+            with ``function``, ``calls``, ``tottime`` and ``cumtime``.
+        text: classic ``pstats`` table for humans.
+    """
+
+    seconds: float
+    top: list[dict] = field(default_factory=list)
+    text: str = ""
+
+    def to_json(self) -> dict:
+        """JSON-ready view of the report."""
+        return {"seconds": self.seconds, "top": self.top}
+
+
+def profile_call(fn, *args, top: int = 25, **kwargs):
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns:
+        ``(result, report)`` where *report* is a :class:`ProfileReport`
+        of the hottest *top* functions by cumulative time.
+    """
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    seconds = time.perf_counter() - started
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+
+    rows: list[dict] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{Path(filename).name}:{lineno}({name})",
+                "calls": nc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda row: -row["cumtime"])
+    return result, ProfileReport(seconds=seconds, top=rows[:top], text=stream.getvalue())
+
+
+# ---------------------------------------------------------------------------
+# Flamegraph rendering (self-contained SVG, no external tooling)
+# ---------------------------------------------------------------------------
+
+_ROW_HEIGHT = 17
+_MIN_WIDTH_PX = 0.5
+
+
+def _frame_color(name: str) -> str:
+    """Deterministic warm colour per frame name."""
+    digest = hashlib.sha1(name.encode()).digest()
+    red = 205 + digest[0] % 50
+    green = 80 + digest[1] % 110
+    blue = digest[2] % 55
+    return f"rgb({red},{green},{blue})"
+
+
+def _build_tree(folded: dict[str, int]):
+    """Nested dict tree ``{child_name: (count, children)}`` from folded stacks."""
+    root: dict = {}
+    for stack, count in folded.items():
+        node = root
+        for part in stack.split(";"):
+            entry = node.setdefault(part, [0, {}])
+            entry[0] += count
+            node = entry[1]
+    return root
+
+
+def render_flamegraph_svg(folded: dict[str, int], title: str = "flamegraph") -> str:
+    """Render folded stacks as a standalone flamegraph SVG string.
+
+    Standard flamegraph semantics: x-extent is the share of samples in
+    which a frame (with its whole ancestry) was on the stack, rows grow
+    downward from the root, and every rect carries a ``<title>`` tooltip
+    with its exact sample count.  Colours are a deterministic hash of
+    the frame name so two renders of the same profile diff cleanly.
+    """
+    total = sum(folded.values())
+    width = 1200.0
+    if total == 0:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" height="40">'
+            f"<text x=\"10\" y=\"25\">{escape(title)}: no samples</text></svg>"
+        )
+
+    tree = _build_tree(folded)
+    rects: list[str] = []
+    max_depth = [0]
+
+    def layout(node: dict, x: float, depth: int) -> None:
+        max_depth[0] = max(max_depth[0], depth)
+        for name, (count, children) in sorted(node.items(), key=lambda kv: -kv[1][0]):
+            w = width * count / total
+            if w < _MIN_WIDTH_PX:
+                x += w
+                continue
+            y = (depth + 1) * _ROW_HEIGHT
+            pct = 100.0 * count / total
+            label = escape(name) if w > 60 else ""
+            rects.append(
+                f'<g><title>{escape(name)} — {count} samples ({pct:.1f}%)</title>'
+                f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{_ROW_HEIGHT - 1}" '
+                f'fill="{_frame_color(name)}" rx="1"/>'
+                f'<text x="{x + 3:.2f}" y="{y + 12}" font-size="11" '
+                f'font-family="monospace" clip-path="inset(0)">{label}</text></g>'
+            )
+            layout(children, x, depth + 1)
+            x += w
+
+    layout(tree, 0.0, 0)
+    height = (max_depth[0] + 3) * _ROW_HEIGHT
+    header = (
+        f'<text x="10" y="{_ROW_HEIGHT - 4}" font-size="13" font-family="monospace">'
+        f"{escape(title)} — {total} samples</text>"
+    )
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height}" style="background:#fff">{header}{"".join(rects)}</svg>'
+    )
+
+
+def write_artifacts(
+    out_dir: str | Path,
+    folded: dict[str, int],
+    report: ProfileReport | None = None,
+    name: str = "profile",
+    meta: dict | None = None,
+) -> list[Path]:
+    """Write ``<name>.svg`` + ``<name>.json`` under *out_dir*.
+
+    The JSON artifact bundles the folded stacks, the optional cProfile
+    report and caller-provided metadata (frame counts, speedups, ...)
+    so the CI gate can archive one self-describing file per hot path.
+
+    Returns:
+        The written paths (SVG first).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    svg_path = out / f"{name}.svg"
+    svg_path.write_text(render_flamegraph_svg(folded, title=name))
+    payload = {
+        "name": name,
+        "samples": sum(folded.values()),
+        "folded": folded,
+        "meta": meta or {},
+    }
+    if report is not None:
+        payload["cprofile"] = report.to_json()
+    json_path = out / f"{name}.json"
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return [svg_path, json_path]

@@ -21,6 +21,7 @@ audience, and other."
 from repro.shots.boundary import (
     Boundary,
     frame_distances,
+    frame_distances_reference,
     ThresholdCutDetector,
     AdaptiveCutDetector,
     TwinComparisonDetector,
@@ -39,6 +40,7 @@ from repro.shots.calibrate import estimate_court_color, calibrated_extractor
 __all__ = [
     "Boundary",
     "frame_distances",
+    "frame_distances_reference",
     "ThresholdCutDetector",
     "AdaptiveCutDetector",
     "TwinComparisonDetector",

@@ -20,11 +20,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.video.frames import VideoClip
-from repro.vision.histogram import color_histogram, histogram_difference, hsv_histogram
+from repro.vision.histogram import (
+    color_histogram,
+    color_histograms,
+    histogram_difference,
+    hsv_histogram,
+    hsv_histograms,
+)
 
 __all__ = [
     "Boundary",
     "frame_distances",
+    "frame_distances_reference",
     "ThresholdCutDetector",
     "AdaptiveCutDetector",
     "TwinComparisonDetector",
@@ -75,6 +82,27 @@ def frame_distances(
 
     Returns:
         float64 array of length ``len(clip)``.
+    """
+    if color_space not in ("rgb", "hsv"):
+        raise ValueError(f"color_space must be rgb/hsv, got {color_space!r}")
+    histograms = color_histograms if color_space == "rgb" else hsv_histograms
+    if len(clip) == 0:
+        return np.zeros(0)
+    hists = histograms(clip, bins=bins)
+    distances = np.zeros(hists.shape[0])
+    if hists.shape[0] > 1:
+        distances[1:] = np.abs(np.diff(hists, axis=0)).sum(axis=1) / 2.0
+    return distances
+
+
+def frame_distances_reference(
+    clip: VideoClip | Sequence[np.ndarray], bins: int = 8, color_space: str = "rgb"
+) -> np.ndarray:
+    """Per-frame loop form of :func:`frame_distances` (the seed's code).
+
+    Kept as the semantic anchor of the batched pass — the differential
+    suite pins the two equal and the E9 vision gate measures the batched
+    kernels' speedup against this loop.
     """
     if color_space not in ("rgb", "hsv"):
         raise ValueError(f"color_space must be rgb/hsv, got {color_space!r}")

@@ -21,9 +21,9 @@ import numpy as np
 
 from repro.video.frames import VideoClip
 from repro.video.shots import ShotCategory
-from repro.vision.dominant import color_coverage, dominant_color
+from repro.vision.dominant import color_coverage, color_coverages, dominant_color, dominant_colors
 from repro.vision.skin import DEFAULT_SKIN_MODEL, SkinColorModel
-from repro.vision.stats import frame_statistics
+from repro.vision.stats import frame_statistics, frame_statistics_batch
 
 __all__ = [
     "ShotFeatures",
@@ -89,6 +89,9 @@ class ShotFeatureExtractor:
         court_tolerance: Euclidean RGB distance counted as "court".
         skin_model: skin classifier shared with the close-up rule.
         samples: number of frames sampled per shot.
+        batched: run the vision kernels once over the stacked sampled
+            frames (the default) instead of per frame; the two paths
+            produce identical features.
     """
 
     def __init__(
@@ -97,6 +100,7 @@ class ShotFeatureExtractor:
         court_tolerance: float = 40.0,
         skin_model: SkinColorModel | None = None,
         samples: int = 3,
+        batched: bool = True,
     ):
         if samples < 1:
             raise ValueError(f"samples must be >= 1, got {samples}")
@@ -108,6 +112,7 @@ class ShotFeatureExtractor:
         self.court_tolerance = court_tolerance
         self.skin_model = skin_model or DEFAULT_SKIN_MODEL
         self.samples = samples
+        self.batched = batched
 
     def sample_indices(self, n_frames: int) -> list[int]:
         """Indices of the frames sampled from a shot of *n_frames* frames."""
@@ -118,7 +123,34 @@ class ShotFeatureExtractor:
         return [int((2 * k + 1) * n_frames / (2 * count)) for k in range(count)]
 
     def extract(self, frames: list[np.ndarray]) -> ShotFeatures:
-        """Features of a shot given as its list of frames."""
+        """Features of a shot given as its list of frames.
+
+        With :attr:`batched` set (the default) the sampled frames are
+        stacked and each vision kernel makes one pass over the stack;
+        the per-frame values, and therefore the averaged features, are
+        identical to :meth:`extract_reference`.
+        """
+        if not self.batched:
+            return self.extract_reference(frames)
+        picks = [frames[i] for i in self.sample_indices(len(frames))]
+        stack = np.stack(picks)
+        court = np.mean(list(color_coverages(stack, self.court_color, self.court_tolerance)))
+        skin = np.mean(list(self.skin_model.ratios(stack)))
+        stats = frame_statistics_batch(stack)
+        dom_colors, dom_covers = zip(*dominant_colors(stack))
+        dominant = np.mean(np.stack(dom_colors), axis=0)
+        return ShotFeatures(
+            court_coverage=float(court),
+            skin_ratio=float(skin),
+            entropy=float(np.mean([s["entropy"] for s in stats])),
+            mean=float(np.mean([s["mean"] for s in stats])),
+            variance=float(np.mean([s["variance"] for s in stats])),
+            dominant=(float(dominant[0]), float(dominant[1]), float(dominant[2])),
+            dominant_coverage=float(np.mean(dom_covers)),
+        )
+
+    def extract_reference(self, frames: list[np.ndarray]) -> ShotFeatures:
+        """Per-frame-loop form of :meth:`extract` (the seed's code path)."""
         picks = [frames[i] for i in self.sample_indices(len(frames))]
         court = np.mean([color_coverage(f, self.court_color, self.court_tolerance) for f in picks])
         skin = np.mean([self.skin_model.ratio(f) for f in picks])

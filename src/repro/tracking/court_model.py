@@ -69,10 +69,16 @@ class CourtColorModel:
 
         Each channel difference is scaled by that channel's std, so the
         result is a Mahalanobis-style distance (diagonal covariance).
+        The squared distance is expanded per channel — the same
+        left-to-right sum as a reduction over the 3-wide channel axis,
+        which NumPy evaluates far slower; this runs per tracked frame,
+        so it is on the tennis detector's hot path.
         """
         rgb = ensure_rgb(frame).astype(np.float64)
-        scaled = (rgb - self.mean.reshape(1, 1, 3)) / self.std.reshape(1, 1, 3)
-        return np.sqrt((scaled**2).sum(axis=-1))
+        s0 = (rgb[..., 0] - self.mean[0]) / self.std[0]
+        s1 = (rgb[..., 1] - self.mean[1]) / self.std[1]
+        s2 = (rgb[..., 2] - self.mean[2]) / self.std[2]
+        return np.sqrt(s0 * s0 + s1 * s1 + s2 * s2)
 
     def is_court(self, frame: np.ndarray, k: float = 4.0) -> np.ndarray:
         """Boolean mask of pixels within *k* scaled stds of the court colour."""

@@ -49,6 +49,7 @@ class VideoClip:
         self._frames = materialised
         self.fps = float(fps)
         self.name = name
+        self._stacked: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -58,6 +59,17 @@ class VideoClip:
 
     def __iter__(self) -> Iterator[np.ndarray]:
         return iter(self._frames)
+
+    def as_array(self) -> np.ndarray:
+        """The clip as one ``(N, H, W, 3)`` uint8 array, stacked once.
+
+        The batched vision kernels take this array and make a single
+        vectorised pass instead of per-frame calls; the stack is cached
+        on the clip (frames are treated as immutable).
+        """
+        if self._stacked is None:
+            self._stacked = np.stack(self._frames)
+        return self._stacked
 
     @property
     def shape(self) -> tuple[int, int]:

@@ -15,40 +15,73 @@ pipeline needs is implemented here on ``numpy.ndarray`` images:
 
 Images are ``uint8`` arrays of shape ``(H, W, 3)`` (RGB) or ``(H, W)``
 (greyscale / binary masks).  All operators are vectorised and allocate
-rather than mutate their inputs.
+rather than mutate their inputs.  Every per-frame operator on the
+pipeline's hot path also has a *batched* form (``color_histograms``,
+``frame_statistics_batch``, ``SkinColorModel.masks`` …) that makes one
+pass over a stacked ``(N, H, W, 3)`` clip and produces exactly the
+per-frame values.
 """
 
-from repro.vision.color import rgb_to_grey, rgb_to_hsv, hsv_to_rgb
+from repro.vision.color import (
+    rgb_to_grey,
+    rgb_to_grey_frames,
+    rgb_to_hsv,
+    rgb_to_hsv_frames,
+    hsv_to_rgb,
+    ensure_frames,
+)
 from repro.vision.histogram import (
     color_histogram,
+    color_histograms,
     grey_histogram,
+    grey_histograms,
+    hsv_histograms,
     histogram_difference,
     histogram_intersection,
     chi_square_distance,
 )
-from repro.vision.stats import frame_entropy, frame_mean, frame_variance
+from repro.vision.stats import (
+    frame_entropy,
+    frame_mean,
+    frame_variance,
+    frame_statistics_batch,
+)
 from repro.vision.skin import SkinColorModel, skin_ratio
-from repro.vision.dominant import dominant_color, color_coverage
+from repro.vision.dominant import (
+    dominant_color,
+    dominant_colors,
+    color_coverage,
+    color_coverages,
+)
 from repro.vision.regions import label_regions, region_slices, largest_region
 from repro.vision.morphology import erode, dilate, opening, closing
-from repro.vision.moments import ShapeFeatures, shape_features
+from repro.vision.moments import ShapeFeatures, shape_features, shape_features_batch
 
 __all__ = [
     "rgb_to_grey",
+    "rgb_to_grey_frames",
     "rgb_to_hsv",
+    "rgb_to_hsv_frames",
     "hsv_to_rgb",
+    "ensure_frames",
     "color_histogram",
+    "color_histograms",
     "grey_histogram",
+    "grey_histograms",
+    "hsv_histograms",
     "histogram_difference",
     "histogram_intersection",
     "chi_square_distance",
     "frame_entropy",
     "frame_mean",
     "frame_variance",
+    "frame_statistics_batch",
     "SkinColorModel",
     "skin_ratio",
     "dominant_color",
+    "dominant_colors",
     "color_coverage",
+    "color_coverages",
     "label_regions",
     "region_slices",
     "largest_region",
@@ -58,4 +91,5 @@ __all__ = [
     "closing",
     "ShapeFeatures",
     "shape_features",
+    "shape_features_batch",
 ]

@@ -16,7 +16,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ShapeFeatures", "raw_moment", "central_moments", "shape_features"]
+__all__ = [
+    "ShapeFeatures",
+    "raw_moment",
+    "central_moments",
+    "shape_features",
+    "shape_features_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -81,28 +87,26 @@ def central_moments(mask: np.ndarray) -> dict[str, float]:
     }
 
 
-def shape_features(mask: np.ndarray) -> ShapeFeatures | None:
-    """Extract :class:`ShapeFeatures` from a binary mask.
+def _features_from_points(rows: np.ndarray, cols: np.ndarray) -> ShapeFeatures:
+    """Shape descriptors from the true-pixel coordinates of one region.
 
-    Returns ``None`` for an empty mask (no region to describe).
+    The coordinate arrays must come from ``np.nonzero`` on a 2-D mask
+    (row-major order) — both the single-mask and batched entry points
+    funnel through here, so their outputs are identical by construction.
     """
-    arr = np.asarray(mask, dtype=bool)
-    if arr.ndim != 2:
-        raise ValueError(f"expected a 2-D mask, got shape {arr.shape}")
-    rows, cols = np.nonzero(arr)
-    if rows.size == 0:
-        return None
-
     area = int(rows.size)
     r_mean = float(rows.mean())
     c_mean = float(cols.mean())
     bbox = (int(rows.min()), int(cols.min()), int(rows.max()) + 1, int(cols.max()) + 1)
 
-    mu = central_moments(arr)
+    r = rows.astype(np.float64)
+    c = cols.astype(np.float64)
+    dr = r - r.mean()
+    dc = c - c.mean()
     # Normalised second central moments (per-pixel).
-    u20 = mu["mu20"] / area
-    u02 = mu["mu02"] / area
-    u11 = mu["mu11"] / area
+    u20 = float(np.sum(dr * dr)) / area
+    u02 = float(np.sum(dc * dc)) / area
+    u11 = float(np.sum(dr * dc)) / area
 
     # Orientation of the major axis relative to the column (x) axis.  The
     # covariance matrix here is over (row, col); converting to (x, y) with
@@ -134,3 +138,40 @@ def shape_features(mask: np.ndarray) -> ShapeFeatures | None:
         eccentricity=eccentricity,
         aspect_ratio=aspect,
     )
+
+
+def shape_features(mask: np.ndarray) -> ShapeFeatures | None:
+    """Extract :class:`ShapeFeatures` from a binary mask.
+
+    Returns ``None`` for an empty mask (no region to describe).
+    """
+    arr = np.asarray(mask, dtype=bool)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D mask, got shape {arr.shape}")
+    rows, cols = np.nonzero(arr)
+    if rows.size == 0:
+        return None
+    return _features_from_points(rows, cols)
+
+
+def shape_features_batch(masks: np.ndarray) -> list[ShapeFeatures | None]:
+    """:func:`shape_features` for a stack of masks, one ``nonzero`` pass.
+
+    A single ``np.nonzero`` over the ``(N, H, W)`` stack yields every
+    region's coordinates in frame order; frame boundaries are recovered
+    with ``searchsorted`` and each slice feeds the same descriptor code
+    as the single-mask function.  Entries are ``None`` for empty masks.
+    """
+    arr = np.asarray(masks, dtype=bool)
+    if arr.ndim != 3:
+        raise ValueError(f"expected an (N, H, W) mask stack, got shape {arr.shape}")
+    frame_idx, rows, cols = np.nonzero(arr)
+    bounds = np.searchsorted(frame_idx, np.arange(arr.shape[0] + 1))
+    out: list[ShapeFeatures | None] = []
+    for i in range(arr.shape[0]):
+        start, stop = int(bounds[i]), int(bounds[i + 1])
+        if start == stop:
+            out.append(None)
+        else:
+            out.append(_features_from_points(rows[start:stop], cols[start:stop]))
+    return out
