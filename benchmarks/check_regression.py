@@ -57,6 +57,19 @@ ends::
         --zero-extra rejected --zero-extra unlabeled \\
         --zero-extra coverage_loss --zero-extra mismatches \\
         --zero-extra not_rejoined
+
+``--min-extra KEY=VALUE`` is the floor-shaped sibling of ``--max-extra``
+for metrics where bigger is better.  The E19 entries use it to hold
+approximate shot retrieval to its quality bar — recall at the serving
+``nprobe`` — while the speedup and byte-identity gates run alongside::
+
+    python benchmarks/check_regression.py bench.json \\
+        --baseline test_e19_brute_force \\
+        --candidate test_e19_ann_search \\
+        --min-speedup 5
+    python benchmarks/check_regression.py bench.json \\
+        --candidate test_e19_ann_search \\
+        --min-extra recall_at_10=0.9 --zero-extra fused_mismatches
 """
 
 from __future__ import annotations
@@ -97,6 +110,15 @@ def check_extras(report: dict, args) -> int:
         verdict = "OK" if value <= limit else "FAIL"
         print(f"{verdict}: {args.candidate} {key} = {value} (limit {limit})")
         failures += value > limit
+    for bound in args.min_extra:
+        key, _, limit_text = bound.partition("=")
+        if not limit_text:
+            raise SystemExit(f"--min-extra needs KEY=VALUE, got {bound!r}")
+        limit = float(limit_text)
+        value = extra_of(report, args.candidate, key)
+        verdict = "OK" if value >= limit else "FAIL"
+        print(f"{verdict}: {args.candidate} {key} = {value} (floor {limit})")
+        failures += value < limit
     for key in args.zero_extra:
         value = extra_of(report, args.candidate, key)
         verdict = "OK" if value == 0 else "FAIL"
@@ -145,6 +167,14 @@ def main(argv: list[str] | None = None) -> int:
         "extra_info mode, which ignores --baseline/--tolerance",
     )
     parser.add_argument(
+        "--min-extra",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="require a candidate extra_info metric to be at least this "
+        "value (repeatable); enables extra_info mode like --max-extra",
+    )
+    parser.add_argument(
         "--zero-extra",
         action="append",
         default=[],
@@ -154,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     report = json.loads(Path(args.report).read_text())
-    if args.max_extra or args.zero_extra:
+    if args.max_extra or args.min_extra or args.zero_extra:
         return check_extras(report, args)
     baseline = median_of(report, args.baseline)
     candidate = median_of(report, args.candidate)

@@ -20,6 +20,18 @@ Subcommands::
         meta-index, and answer a combined query written in the query
         language of :mod:`repro.library.parser`.
 
+    repro ann-build --seed S --metaindex META.json [--cells C] [--ann-seed R]
+        Embed every indexed shot (histogram + moments + shape, schema
+        v1), build the IVF ANN index and persist it into the snapshot's
+        checksummed ``ann_*`` tables (validated by ``repro fsck``).
+
+    repro search --seed S --metaindex META.json --like VIDEO[:START:STOP]
+        Query by example: embed a clip of the named plan (optionally
+        degraded with --noise/--brightness/--truncate), retrieve its
+        nearest indexed shots from the ANN index, and — with --query —
+        fuse them with the text/concept ranking by weighted late
+        fusion (--w-text/--w-ann).
+
     repro demo --seed S
         The motivating query of the paper, end to end (indexes the
         qualifying videos on the fly).
@@ -141,6 +153,69 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument("--seed", type=int, default=7, help="dataset seed (must match index run)")
     query_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
     query_cmd.add_argument("text", help='query, e.g. \'SCENES WHERE event = net_play\'')
+
+    ann_build_cmd = sub.add_parser(
+        "ann-build", help="build the query-by-example ANN index into a saved meta-index"
+    )
+    ann_build_cmd.add_argument(
+        "--seed", type=int, default=7, help="dataset seed (must match index run)"
+    )
+    ann_build_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+    ann_build_cmd.add_argument(
+        "--out", default=None, help="output snapshot path (default: --metaindex)"
+    )
+    ann_build_cmd.add_argument("--cells", type=int, default=8, help="IVF cells (k-means centroids)")
+    ann_build_cmd.add_argument(
+        "--ann-seed", type=int, default=0, help="k-means initialization seed"
+    )
+    ann_build_cmd.add_argument("--samples", type=int, default=3, help="frames sampled per shot")
+
+    search_cmd = sub.add_parser(
+        "search", help="query by example against a saved meta-index (ANN + late fusion)"
+    )
+    search_cmd.add_argument(
+        "--seed", type=int, default=7, help="dataset seed (must match index run)"
+    )
+    search_cmd.add_argument("--metaindex", required=True, help="meta-index JSON path")
+    search_cmd.add_argument(
+        "--like",
+        required=True,
+        help="example clip as VIDEO[:START:STOP] (a planned video name plus "
+        "an optional frame range)",
+    )
+    search_cmd.add_argument(
+        "--query",
+        default=None,
+        help="optional text/concept query to fuse with, e.g. 'SCENES WHERE event = net_play'",
+    )
+    search_cmd.add_argument("--w-text", type=float, default=0.5, help="late-fusion text weight")
+    search_cmd.add_argument("--w-ann", type=float, default=0.5, help="late-fusion ANN weight")
+    search_cmd.add_argument("--k", type=int, default=10, help="nearest shots retrieved")
+    search_cmd.add_argument(
+        "--nprobe", type=int, default=None, help="IVF cells probed (default: all)"
+    )
+    search_cmd.add_argument(
+        "--cells", type=int, default=8, help="IVF cells when building on the fly"
+    )
+    search_cmd.add_argument(
+        "--ann-seed", type=int, default=0, help="k-means seed when building on the fly"
+    )
+    search_cmd.add_argument("--top", type=int, default=20, help="result scenes printed")
+    search_cmd.add_argument(
+        "--noise", type=float, default=0.0, help="Gaussian noise sigma applied to the query clip"
+    )
+    search_cmd.add_argument(
+        "--brightness", type=float, default=0.0, help="brightness shift applied to the query clip"
+    )
+    search_cmd.add_argument(
+        "--truncate",
+        type=float,
+        default=1.0,
+        help="fraction of the query clip kept (truncated query robustness)",
+    )
+    search_cmd.add_argument(
+        "--degrade-seed", type=int, default=0, help="rng seed of the query degradations"
+    )
 
     demo_cmd = sub.add_parser("demo", help="run the paper's motivating query end to end")
     demo_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
@@ -519,6 +594,122 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _parse_like(spec: str) -> tuple[str, int | None, int | None]:
+    """Split a ``VIDEO[:START:STOP]`` example-clip spec."""
+    parts = spec.rsplit(":", 2)
+    if len(parts) == 3 and parts[1].isdigit() and parts[2].isdigit():
+        return parts[0], int(parts[1]), int(parts[2])
+    return spec, None, None
+
+
+def _materialise_query_clip(dataset, args) -> list:
+    """The (possibly degraded) example frames named by ``--like``."""
+    import numpy as np
+
+    from repro.video.noise import add_gaussian_noise
+
+    name, start, stop = _parse_like(args.like)
+    plans = {plan.name: plan for plan in dataset.video_plans}
+    if name not in plans:
+        raise SystemExit(f"no planned video named {name!r} (seed {args.seed})")
+    clip, _truth = plans[name].materialise()
+    start = 0 if start is None else max(0, start)
+    stop = len(clip) if stop is None else min(stop, len(clip))
+    frames = [clip[i] for i in range(start, stop)]
+    if not frames:
+        raise SystemExit(f"--like range [{start},{stop}) selects no frames")
+    if args.truncate < 1.0:
+        frames = frames[: max(1, int(len(frames) * args.truncate))]
+    rng = np.random.default_rng(args.degrade_seed)
+    if args.noise > 0.0:
+        frames = [add_gaussian_noise(f, args.noise, rng) for f in frames]
+    if args.brightness != 0.0:
+        frames = [
+            np.clip(f.astype(np.float64) + args.brightness, 0, 255).astype(f.dtype)
+            for f in frames
+        ]
+    return frames
+
+
+def _restore_engine_with_ann(args):
+    """An engine restored from ``--metaindex``, ANN adopted or built."""
+    from repro.dataset import build_australian_open
+    from repro.ir.ann import has_ann_tables, load_ann_from_catalog
+    from repro.library import DigitalLibraryEngine
+    from repro.library.persistence import catalog_to_model
+    from repro.storage.persist import load_catalog
+
+    dataset = build_australian_open(seed=args.seed)
+    engine = DigitalLibraryEngine(dataset)
+    catalog = load_catalog(args.metaindex)
+    restored = engine.indexer.restore(catalog_to_model(catalog))
+    print(f"restored {restored} indexed video(s)")
+    if has_ann_tables(catalog):
+        index, meta = load_ann_from_catalog(catalog)
+        engine.adopt_ann(index, meta)
+        print(f"ann: adopted snapshot index ({index.n_vectors} vectors, {index.n_cells} cells)")
+    else:
+        index = engine.build_ann_index(n_cells=args.cells, seed=args.ann_seed)
+        print(f"ann: built on the fly ({index.n_vectors} vectors, {index.n_cells} cells)")
+    return dataset, engine
+
+
+def _cmd_ann_build(args) -> int:
+    from repro.dataset import build_australian_open
+    from repro.library import DigitalLibraryEngine
+    from repro.library.persistence import load_model_with_state, save_model
+
+    dataset = build_australian_open(seed=args.seed)
+    engine = DigitalLibraryEngine(dataset)
+    model, runner_state = load_model_with_state(args.metaindex)
+    restored = engine.indexer.restore(model)
+    print(f"restored {restored} indexed video(s)")
+    index = engine.build_ann_index(
+        n_cells=args.cells, seed=args.ann_seed, samples=args.samples
+    )
+    out = args.out or args.metaindex
+    save_model(
+        engine.indexer.model, out, runner_state=runner_state,
+        ann=(index, engine.ann_meta),
+    )
+    print(
+        f"wrote {out}: {index.n_vectors} shot vectors in {index.n_cells} cells "
+        f"(dim {index.dim})"
+    )
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.ir.ann import AnnSnapshotError
+    from repro.library import parse_query
+
+    try:
+        dataset, engine = _restore_engine_with_ann(args)
+    except AnnSnapshotError as exc:
+        print(f"search: corrupt ANN snapshot — {exc}")
+        return 1
+    frames = _materialise_query_clip(dataset, args)
+    query = parse_query(args.query) if args.query else None
+    results = engine.search_like(
+        frames,
+        query=query,
+        weights=(args.w_text, args.w_ann),
+        k=args.k,
+        nprobe=args.nprobe,
+        top_n=args.top,
+    )
+    if not results:
+        print("no scenes found")
+        return 1
+    for scene in results:
+        players = ", ".join(scene.players) if scene.players else "-"
+        print(
+            f"{scene.video_name}  frames [{scene.start},{scene.stop})  "
+            f"{scene.event_label or 'ann match'}  score={scene.score:.3f}  {players}"
+        )
+    return 0
+
+
 def _cmd_demo(args) -> int:
     from repro.dataset import build_australian_open
     from repro.library import DigitalLibraryEngine, LibraryQuery
@@ -619,6 +810,24 @@ def _cmd_fsck(args) -> int:
             problems.append(f"previous snapshot: {prev_report.error}")
     elif not current_report.ok:
         problems.append("no previous generation to fall back to")
+
+    if current_report.ok or (prev.exists() and verify_snapshot(prev).ok):
+        from repro.ir.ann import AnnSnapshotError, has_ann_tables, load_ann_from_catalog
+
+        try:
+            catalog = load_catalog(args.metaindex)
+        except (ValueError, FileNotFoundError):
+            catalog = None
+        if catalog is not None and has_ann_tables(catalog):
+            try:
+                index, _meta = load_ann_from_catalog(catalog)
+                print(
+                    f"ann: OK ({index.n_vectors} vectors, {index.n_cells} cells, "
+                    f"checksums ok)"
+                )
+            except AnnSnapshotError as exc:
+                print(f"ann: CORRUPT — {exc}")
+                problems.append(f"ann snapshot: {exc}")
 
     journal_path = Path(args.journal or default_journal_path(args.metaindex))
     if journal_path.exists():
@@ -1421,6 +1630,8 @@ _COMMANDS = {
     "figure1": _cmd_figure1,
     "index": _cmd_index,
     "query": _cmd_query,
+    "ann-build": _cmd_ann_build,
+    "search": _cmd_search,
     "demo": _cmd_demo,
     "export-mpeg7": _cmd_export_mpeg7,
     "build-site": _cmd_build_site,

@@ -19,7 +19,11 @@ fragmentation:
 - :mod:`repro.ir.topn` — horizontally fragmented index with
   early-terminating top-N evaluation (the Blok et al. optimization),
 - :mod:`repro.ir.reference` — the seed's per-posting loops, kept as the
-  byte-identical semantic anchor of the packed engine.
+  byte-identical semantic anchor of the packed engine,
+- :mod:`repro.ir.ann` — query-by-example: shot feature vectors and the
+  IVF ANN index over them (packed cells, pooled distance buffers),
+- :mod:`repro.ir.ann_reference` — the exact brute-force scorer kept as
+  the ANN index's differential oracle.
 """
 
 from repro.ir.tokenizer import tokenize, normalize_terms
@@ -30,11 +34,15 @@ from repro.ir.inverted_index import InvertedIndex, Posting
 from repro.ir.packed import Bitmap, PackedPostings, ScorePool
 from repro.ir.ranking import tf_idf_score, bm25_score, RankedHit
 from repro.ir.topn import FragmentedIndex, TopNResult
+from repro.ir.ann import AnnIndex, AnnSnapshotError, ShotVectorizer
 
 __all__ = [
+    "AnnIndex",
+    "AnnSnapshotError",
     "Bitmap",
     "PackedPostings",
     "ScorePool",
+    "ShotVectorizer",
     "tokenize",
     "normalize_terms",
     "STOPWORDS",

@@ -16,6 +16,10 @@ that only sees page text (the E7/E10 comparison point).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+import numpy as np
+
 from repro.budget import DeadlineExceeded, QueryBudget
 from repro.dataset.build import TournamentDataset
 from repro.grammar.fde import FeatureDetectorEngine
@@ -56,6 +60,13 @@ class DigitalLibraryEngine:
         self.text_index = InvertedIndex(dataset.pages)
         self.fragmented_index = FragmentedIndex(self.text_index, n_fragments=n_fragments)
         self._text_generation = 0
+        #: Query-by-example state: the IVF index over shot feature
+        #: vectors, its per-ann-id provenance rows, and the vectorizer
+        #: that embeds query clips.  Built by :meth:`build_ann_index`
+        #: or adopted from a snapshot via :meth:`adopt_ann`.
+        self.ann_index = None
+        self.ann_meta: list[dict] = []
+        self.ann_vectorizer = None
         #: Chaos-injection hook fired at every stage entry (see
         #: :class:`repro.faults.QueryFaultInjector`); ``None`` in
         #: production.
@@ -593,6 +604,163 @@ class DigitalLibraryEngine:
             write_ppm(clip[frame], path)
             paths.append(path)
         return paths
+
+    # ------------------------------------------------------------------ #
+    # Query by example (ANN over shot feature vectors)
+    # ------------------------------------------------------------------ #
+
+    def build_ann_index(self, n_cells: int = 8, seed: int = 0, samples: int = 3):
+        """Embed every indexed shot and build the IVF ANN index.
+
+        Each indexed video's plan is re-materialised (deterministic, the
+        same path :meth:`export_scene_keyframes` uses) and every shot is
+        embedded by :class:`~repro.ir.ann.ShotVectorizer`.  The k-means
+        quantizer is seeded from *seed* through an explicit generator,
+        so the build is reproducible regardless of worker count or call
+        order.  Returns the built :class:`~repro.ir.ann.AnnIndex`.
+        """
+        from repro.ir.ann import AnnIndex, ShotVectorizer
+
+        vectorizer = ShotVectorizer(samples=samples)
+        model = self.indexer.model
+        vectors: list[np.ndarray] = []
+        meta: list[dict] = []
+        for record in sorted(self.indexer.indexed.values(), key=lambda r: r.video_id):
+            video = model.video(record.video_id)
+            clip, _truth = record.plan.materialise()
+            for shot in model.shots_of(record.video_id):
+                stop = min(shot.stop, len(clip))
+                if stop <= shot.start:
+                    continue
+                vectors.append(vectorizer.vectorize_clip(clip, shot.start, stop))
+                meta.append(
+                    {
+                        "shot_id": str(shot.shot_id),
+                        "video_name": video.name,
+                        "start": int(shot.start),
+                        "stop": int(stop),
+                        "category": shot.category,
+                    }
+                )
+        array = (
+            np.stack(vectors) if vectors else np.zeros((0, vectorizer.dim), dtype=np.float64)
+        )
+        rng = np.random.default_rng(seed) if vectors else None
+        self.ann_index = AnnIndex.build(array, n_cells=n_cells, rng=rng)
+        self.ann_meta = meta
+        self.ann_vectorizer = vectorizer
+        return self.ann_index
+
+    def adopt_ann(self, index, meta: list[dict], samples: int = 3) -> None:
+        """Install an ANN index restored from a catalog snapshot."""
+        from repro.ir.ann import ShotVectorizer
+
+        self.ann_index = index
+        self.ann_meta = list(meta)
+        self.ann_vectorizer = ShotVectorizer(samples=samples)
+
+    def search_like(
+        self,
+        clip=None,
+        *,
+        query: LibraryQuery | None = None,
+        query_vector: np.ndarray | None = None,
+        weights: tuple[float, float] = (0.5, 0.5),
+        k: int = 10,
+        nprobe: int | None = None,
+        trace: QueryTrace | None = None,
+        budget: QueryBudget | None = None,
+        top_n: int = 20,
+    ) -> list[SceneResult]:
+        """Query by example, optionally fused with a text/concept query.
+
+        The example *clip* (possibly noisy or truncated) is embedded by
+        the same vectorizer that indexed the corpus, the ANN index
+        returns its *k* nearest shots over *nprobe* cells, and the shot
+        distances become similarities ``1 / (1 + d)``.  With a *query*,
+        the ANN evidence is fused with :meth:`search`'s ranking by
+        weighted late fusion (Yu et al.):
+
+        ``score = w_text * text_score + w_ann * best_shot_similarity``
+
+        per video, where a video found only by ANN contributes its best
+        hit shot as the scene.  Weights ``(1.0, 0.0)`` return the text ranking
+        *exactly* (same objects, same scores); ``(0.0, 1.0)`` — or no
+        *query* — is pure ANN ranking.  Stages ``ann_query``,
+        ``ann_search`` and ``rank_fuse`` are traced and budget-checked
+        like every other stage, so ANN respects deadlines and shows up
+        in per-stage stats.
+        """
+        w_text, w_ann = float(weights[0]), float(weights[1])
+        if w_text < 0.0 or w_ann < 0.0 or (w_text == 0.0 and w_ann == 0.0):
+            raise ValueError(f"fusion weights must be >= 0 and not both zero: {weights}")
+        if trace is None:
+            trace = QueryTrace()
+        if w_ann == 0.0:
+            if query is None:
+                raise ValueError("weights give all mass to text but no query was passed")
+            return self.search(query, trace=trace, budget=budget)
+        if self.ann_index is None or self.ann_vectorizer is None:
+            raise RuntimeError("call build_ann_index() or adopt_ann() before search_like()")
+        if clip is None and query_vector is None:
+            raise ValueError("pass an example clip or a precomputed query_vector")
+
+        results: list[SceneResult] = []
+        try:
+            if query_vector is None:
+                with trace.stage("ann_query"):
+                    self._enter_stage("ann_query", budget)
+                    query_vector = self.ann_vectorizer.vectorize_clip(clip)
+
+            with trace.stage("ann_search"):
+                self._enter_stage("ann_search", budget)
+                ids, distances = self.ann_index.search(
+                    query_vector, k=k, nprobe=nprobe, budget=budget
+                )
+
+            # Best similarity per video, plus each hit shot's provenance.
+            similarities = 1.0 / (1.0 + distances)
+            video_best: dict[str, float] = {}
+            hits: list[tuple[dict, float]] = []
+            for ann_id, similarity in zip(ids.tolist(), similarities.tolist()):
+                row = self.ann_meta[ann_id]
+                hits.append((row, similarity))
+                name = row["video_name"]
+                if similarity > video_best.get(name, -1.0):
+                    video_best[name] = similarity
+
+            text_results: list[SceneResult] = []
+            if query is not None and w_text > 0.0:
+                text_results = self.search(query, trace=trace, budget=budget)
+
+            with trace.stage("rank_fuse"):
+                self._enter_stage("rank_fuse", budget)
+                text_videos = {r.video_name for r in text_results}
+                for r in text_results:
+                    fused = w_text * r.score + w_ann * video_best.get(r.video_name, 0.0)
+                    results.append(replace(r, score=fused))
+                seen: set[str] = set()
+                for row, similarity in hits:
+                    name = row["video_name"]
+                    if name in text_videos or name in seen:
+                        continue
+                    seen.add(name)
+                    results.append(
+                        SceneResult(
+                            video_name=name,
+                            start=int(row["start"]),
+                            stop=int(row["stop"]),
+                            event_label=None,
+                            match_title=self._match_title_of(name),
+                            players=(),
+                            score=w_ann * similarity,
+                        )
+                    )
+                return _ranked(results, top_n)
+        except DeadlineExceeded as exc:
+            if exc.partial is None:
+                exc.partial = _ranked(results, top_n)
+            raise
 
     # ------------------------------------------------------------------ #
     # The keyword baseline

@@ -22,6 +22,7 @@ __all__ = [
     "catalog_to_runner_state",
     "save_model",
     "load_model",
+    "load_model_with_ann",
     "load_model_with_state",
     "RUNNER_STATE_TABLE",
 ]
@@ -268,7 +269,10 @@ def catalog_to_runner_state(catalog: Catalog) -> dict | None:
 
 
 def save_model(
-    model: CobraModel, path: str | Path, runner_state: dict | None = None
+    model: CobraModel,
+    path: str | Path,
+    runner_state: dict | None = None,
+    ann: tuple | None = None,
 ) -> None:
     """Atomically snapshot a meta-index (plus optional runner state).
 
@@ -280,16 +284,41 @@ def save_model(
             :meth:`~repro.grammar.runtime.DetectorRunner.export_state`
             output, persisted in the ``runner_state`` table so detector
             quarantine survives restarts.
+        ann: optional ``(AnnIndex, shot_meta)`` pair, persisted as the
+            checksummed ``ann_*`` tables (see :mod:`repro.ir.ann`) so
+            the query-by-example index rides the same snapshot and is
+            validated by ``repro fsck``.
     """
     catalog = model_to_catalog(model)
     if runner_state is not None:
         runner_state_to_catalog(runner_state, catalog)
+    if ann is not None:
+        from repro.ir.ann import export_ann_to_catalog
+
+        index, shot_meta = ann
+        export_ann_to_catalog(index, shot_meta, catalog)
     save_catalog(catalog, path)
 
 
 def load_model(path: str | Path) -> CobraModel:
     """Load a meta-index saved by :func:`save_model`."""
     return catalog_to_model(load_catalog(path))
+
+
+def load_model_with_ann(path: str | Path):
+    """Load a meta-index plus its ANN snapshot, if one was saved.
+
+    Returns ``(model, ann)`` where ``ann`` is the ``(AnnIndex,
+    shot_meta)`` pair or ``None`` when the snapshot carries no ANN
+    tables.  Raises :class:`repro.ir.ann.AnnSnapshotError` when the
+    tables exist but fail validation — corruption is a typed error,
+    never a silently wrong index.
+    """
+    from repro.ir.ann import has_ann_tables, load_ann_from_catalog
+
+    catalog = load_catalog(path)
+    ann = load_ann_from_catalog(catalog) if has_ann_tables(catalog) else None
+    return catalog_to_model(catalog), ann
 
 
 def load_model_with_state(path: str | Path) -> tuple[CobraModel, dict | None]:

@@ -81,6 +81,9 @@ STAGES = (
     "scene_scan",
     "sequence_match",
     "rank_merge",
+    "ann_query",
+    "ann_search",
+    "rank_fuse",
 )
 
 

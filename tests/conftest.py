@@ -19,6 +19,32 @@ def rng():
 
 
 @pytest.fixture(scope="session")
+def make_rng():
+    """Factory for explicit per-test generators: ``make_rng(seed)``.
+
+    The one seam through which tests construct random state — no test
+    (and no library code) touches module-level RandomState.
+    """
+    return np.random.default_rng
+
+
+@pytest.fixture(scope="session")
+def random_frame(make_rng):
+    """Factory for deterministic random test images.
+
+    ``random_frame(seed, height, width)`` is an RGB uint8 frame;
+    ``channels=0`` gives a greyscale one.  Centralising the
+    construction keeps ad-hoc ``default_rng`` calls out of the suites.
+    """
+
+    def make(seed: int = 0, height: int = 16, width: int = 16, channels: int = 3):
+        shape = (height, width) if channels == 0 else (height, width, channels)
+        return make_rng(seed).integers(0, 256, size=shape).astype(np.uint8)
+
+    return make
+
+
+@pytest.fixture(scope="session")
 def broadcast():
     """A 12-shot broadcast with ~30% gradual transitions, plus its truth."""
     generator = BroadcastGenerator(BroadcastConfig(gradual_fraction=0.3), seed=42)

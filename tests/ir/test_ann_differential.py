@@ -1,0 +1,155 @@
+"""Differential suite: the IVF index against the brute-force oracle.
+
+Mirrors the packed-postings differential suite: hypothesis generates
+random feature sets and the IVF index must agree with
+:func:`repro.ir.ann_reference.brute_force_search` — byte-identical ids
+*and* distances when ``nprobe`` covers every cell, never-wrong
+distances and gate-level recall below that.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.ann import AnnIndex
+from repro.ir.ann_reference import brute_force_search, recall_at_k, replicate_vectors
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def normalized(rows: np.ndarray) -> np.ndarray:
+    norms = np.sqrt((rows * rows).sum(axis=1, keepdims=True))
+    norms[norms == 0.0] = 1.0
+    return rows / norms
+
+
+def random_corpus(seed: int, n: int, dim: int) -> np.ndarray:
+    return normalized(np.random.default_rng(seed).normal(size=(n, dim)))
+
+
+def random_query(seed: int, dim: int) -> np.ndarray:
+    return normalized(np.random.default_rng(seed).normal(size=(1, dim)))[0]
+
+
+class TestFullCoverageExactness:
+    @given(
+        n=st.integers(1, 48),
+        dim=st.integers(3, 12),
+        n_cells=st.integers(1, 8),
+        seed=SEEDS,
+        query_seed=SEEDS,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nprobe_spanning_all_cells_equals_oracle(self, n, dim, n_cells, seed, query_seed):
+        corpus = random_corpus(seed, n, dim)
+        query = random_query(query_seed, dim)
+        index = AnnIndex.build(corpus, n_cells=n_cells, rng=np.random.default_rng(seed))
+        got_ids, got_distances = index.search(query, k=10, nprobe=index.n_cells)
+        want_ids, want_distances = brute_force_search(corpus, query, 10)
+        assert np.array_equal(got_ids, want_ids)
+        # Same floats, not approximately: both paths square and sum the
+        # same float64 elements, so the arrays must match bit-for-bit.
+        assert np.array_equal(got_distances, want_distances)
+
+    @given(
+        n=st.integers(1, 48),
+        dim=st.integers(3, 12),
+        n_cells=st.integers(1, 8),
+        seed=SEEDS,
+        query_seed=SEEDS,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recall_at_10_meets_gate_at_nprobe_cells(self, n, dim, n_cells, seed, query_seed):
+        corpus = random_corpus(seed, n, dim)
+        query = random_query(query_seed, dim)
+        index = AnnIndex.build(corpus, n_cells=n_cells, rng=np.random.default_rng(seed))
+        got_ids, _ = index.search(query, k=10, nprobe=index.n_cells)
+        want_ids, _ = brute_force_search(corpus, query, 10)
+        assert recall_at_k(got_ids, want_ids, 10) >= 0.9
+
+
+class TestPartialCoverageSoundness:
+    @given(
+        n=st.integers(4, 64),
+        dim=st.integers(3, 10),
+        n_cells=st.integers(2, 8),
+        nprobe=st.integers(1, 8),
+        seed=SEEDS,
+        query_seed=SEEDS,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_approximate_but_never_wrong(self, n, dim, n_cells, nprobe, seed, query_seed):
+        """Partial probes may miss neighbours but never invent distances."""
+        corpus = random_corpus(seed, n, dim)
+        query = random_query(query_seed, dim)
+        index = AnnIndex.build(corpus, n_cells=n_cells, rng=np.random.default_rng(seed))
+        got_ids, got_distances = index.search(query, k=10, nprobe=nprobe)
+        exact_ids, exact_distances = brute_force_search(corpus, query, n)
+        exact = dict(zip(exact_ids.tolist(), exact_distances.tolist()))
+        # Unique ids, each carrying its exact distance.
+        assert len(set(got_ids.tolist())) == len(got_ids)
+        for ann_id, distance in zip(got_ids.tolist(), got_distances.tolist()):
+            assert exact[ann_id] == distance
+        # Sorted by (distance, id) — the lexsort tie rule.
+        keys = list(zip(got_distances.tolist(), got_ids.tolist()))
+        assert keys == sorted(keys)
+
+
+class TestTieOrder:
+    @given(
+        bases=st.integers(1, 6),
+        copies=st.integers(2, 5),
+        dim=st.integers(3, 8),
+        seed=SEEDS,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_vectors_break_ties_by_id(self, bases, copies, dim, seed):
+        base = random_corpus(seed, bases, dim)
+        corpus = np.ascontiguousarray(np.repeat(base, copies, axis=0))
+        index = AnnIndex.build(corpus, n_cells=bases, rng=np.random.default_rng(seed))
+        ids, distances = index.search(base[0], k=len(corpus), nprobe=index.n_cells)
+        # Within every group of equal distances, ids ascend (lexsort).
+        for value in np.unique(distances):
+            group = ids[distances == value]
+            assert (np.diff(group) > 0).all() if group.size > 1 else True
+        # And the oracle agrees exactly.
+        want_ids, want_distances = brute_force_search(corpus, base[0], len(corpus))
+        assert np.array_equal(ids, want_ids)
+        assert np.array_equal(distances, want_distances)
+
+
+class TestEdgeCases:
+    def test_empty_index_matches_oracle(self):
+        corpus = np.zeros((0, 8))
+        index = AnnIndex.build(corpus)
+        got = index.search(np.zeros(8), k=5)
+        want = brute_force_search(corpus, np.zeros(8), 5)
+        assert got[0].size == 0 and want[0].size == 0
+
+    def test_single_shot_corpus(self, make_rng):
+        corpus = random_corpus(5, 1, 8)
+        index = AnnIndex.build(corpus, n_cells=4, rng=make_rng(0))
+        query = random_query(6, 8)
+        got_ids, got_distances = index.search(query, k=3)
+        want_ids, want_distances = brute_force_search(corpus, query, 3)
+        assert np.array_equal(got_ids, want_ids)
+        assert np.array_equal(got_distances, want_distances)
+
+    def test_oracle_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            brute_force_search(np.zeros((2, 3)), np.zeros(3), 0)
+
+    def test_replicated_corpus_scales(self, make_rng):
+        corpus = random_corpus(9, 10, 6)
+        scaled = replicate_vectors(corpus, 5, make_rng(1))
+        assert scaled.shape == (50, 6)
+        # Replicas are near-duplicates, not exact ones.
+        assert not np.array_equal(scaled[:10], scaled[10:20])
+        norms = np.sqrt((scaled * scaled).sum(axis=1))
+        assert np.allclose(norms, 1.0)
+
+    def test_recall_helper_bounds(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+        assert recall_at_k([4, 5, 6], [1, 2, 3], 3) == 0.0
+        assert recall_at_k([], [], 10) == 1.0

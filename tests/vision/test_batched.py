@@ -42,9 +42,9 @@ from repro.vision.stats import frame_statistics, frame_statistics_batch
 
 
 @pytest.fixture(scope="module")
-def clip() -> np.ndarray:
+def clip(make_rng) -> np.ndarray:
     """(N, H, W, 3) uint8 frames; N is odd so blocks end ragged."""
-    rng = np.random.default_rng(42)
+    rng = make_rng(42)
     n, h, w = 2 * FRAME_BLOCK + 1, 24, 32
     frames = rng.integers(0, 256, size=(n, h, w, 3), dtype=np.uint8)
     frames[1] = 0  # flat black: degenerate histograms, zero spread

@@ -7,9 +7,8 @@ from repro.vision.io import read_pgm, read_ppm, write_pgm, write_ppm
 
 
 class TestPpm:
-    def test_round_trip(self, tmp_path):
-        rng = np.random.default_rng(0)
-        image = rng.integers(0, 256, size=(12, 17, 3)).astype(np.uint8)
+    def test_round_trip(self, tmp_path, random_frame):
+        image = random_frame(0, 12, 17)
         path = tmp_path / "frame.ppm"
         write_ppm(image, path)
         assert np.array_equal(read_ppm(path), image)
@@ -44,9 +43,8 @@ class TestPpm:
 
 
 class TestPgm:
-    def test_round_trip(self, tmp_path):
-        rng = np.random.default_rng(1)
-        image = rng.integers(0, 256, size=(9, 5)).astype(np.uint8)
+    def test_round_trip(self, tmp_path, random_frame):
+        image = random_frame(1, 9, 5, channels=0)
         path = tmp_path / "frame.pgm"
         write_pgm(image, path)
         assert np.array_equal(read_pgm(path), image)

@@ -40,9 +40,8 @@ class TestSkinMask:
         strict = SkinColorModel(r_min=230)
         assert not strict.mask(solid((224, 172, 120))).any()
 
-    def test_ratio_bounds(self):
-        rng = np.random.default_rng(0)
-        frame = rng.integers(0, 256, size=(20, 20, 3)).astype(np.uint8)
+    def test_ratio_bounds(self, random_frame):
+        frame = random_frame(0, 20, 20)
         assert 0.0 <= skin_ratio(frame) <= 1.0
 
     def test_mask_shape(self):

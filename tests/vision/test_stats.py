@@ -27,9 +27,8 @@ class TestEntropy:
         rgb = np.zeros((4, 4, 3), dtype=np.uint8)
         assert frame_entropy(rgb) == pytest.approx(0.0)
 
-    def test_noise_raises_entropy(self):
-        rng = np.random.default_rng(0)
-        noisy = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+    def test_noise_raises_entropy(self, random_frame):
+        noisy = random_frame(0, 32, 32, channels=0)
         assert frame_entropy(noisy) > frame_entropy(solid(7))
 
 
@@ -47,9 +46,8 @@ class TestMeanVariance:
 
 
 class TestFrameStatistics:
-    def test_matches_individual_functions(self):
-        rng = np.random.default_rng(1)
-        frame = rng.integers(0, 256, size=(16, 16, 3)).astype(np.uint8)
+    def test_matches_individual_functions(self, random_frame):
+        frame = random_frame(1, 16, 16)
         stats = frame_statistics(frame)
         assert stats["entropy"] == pytest.approx(frame_entropy(frame))
         assert stats["mean"] == pytest.approx(frame_mean(frame))
