@@ -113,6 +113,40 @@ def test_e13_journal_crash_points_keep_replayable_prefix(tmp_path):
     )
 
 
+def test_e13_chunk_journal_crash_points(tmp_path):
+    """Chunk-append records obey the same torn-write contract: a crash
+    anywhere in a ``chunk_commit`` append keeps the committed prefix
+    replayable and reports the in-flight chunk as a recoverable orphan."""
+    rows = []
+    for point in JOURNAL_POINTS:
+        journal = IndexingJournal(tmp_path / f"chunk-{point}.jsonl")
+        journal.chunk_begin("s", 1, 0, 24)
+        journal.chunk_commit("s", 1, watermark=24, frames=24, shots=1, generation=1)
+        journal.chunk_begin("s", 2, 24, 48)
+        with CrashPoint(point):
+            try:
+                journal.chunk_commit(
+                    "s", 2, watermark=48, frames=48, shots=2, generation=2
+                )
+            except SimulatedCrash:
+                pass
+        dropped = journal.recover()
+        report = journal.verify()
+        committed = [int(r["seq"]) for r in report.chunk_commits.get("s", [])]
+        orphans = report.orphan_chunks.get("s", [])
+        rows.append([point, len(report.records), dropped, committed, orphans])
+        assert committed[:1] == [1]  # the committed prefix always survives
+        assert 1 not in orphans
+        # The in-flight chunk either landed (crash after the append) or
+        # is reported as an orphan whose frames resume replays.
+        assert committed == [1, 2] or orphans == [2]
+    print_table(
+        "E13: chunk-append journal crash matrix",
+        ["crash point", "records kept", "bytes dropped", "committed seqs", "orphans"],
+        rows,
+    )
+
+
 def test_e13_resume_savings(benchmark, tmp_path_factory):
     """Resume re-indexes only the uncommitted tail of a crashed batch."""
     tmp = tmp_path_factory.mktemp("e13_resume")

@@ -70,6 +70,25 @@ approximate shot retrieval to its quality bar — recall at the serving
     python benchmarks/check_regression.py bench.json \\
         --candidate test_e19_ann_search \\
         --min-extra recall_at_10=0.9 --zero-extra fused_mismatches
+
+The E20 entries gate streaming ingest's crash-safety and freshness
+claims: chunk-append must end byte-identical to batch indexing, a kill
+at every chunk-commit and snapshot crash point must resume to the same
+bytes (zero lost or duplicated shots), and a paced feed under
+concurrent readers must hold its p95 frame-arrival -> queryable latency
+inside the SLO with zero sheds, quarantines or reader errors::
+
+    python benchmarks/check_regression.py bench.json \\
+        --candidate test_e20_streamed_batch_identity \\
+        --zero-extra identity_mismatch
+    python benchmarks/check_regression.py bench.json \\
+        --candidate test_e20_kill_matrix \\
+        --min-extra kill_scenarios=10 --zero-extra kill_failures
+    python benchmarks/check_regression.py bench.json \\
+        --candidate test_e20_freshness_soak \\
+        --max-extra freshness_p95_ms=2000 \\
+        --zero-extra reader_errors --zero-extra lag_sheds \\
+        --zero-extra quarantined --zero-extra identity_mismatch
 """
 
 from __future__ import annotations

@@ -58,13 +58,43 @@ Subcommands::
     repro fsck --metaindex META.json
         Verify snapshot generations (checksum, format, column shape)
         and journal consistency; exits non-zero with a readable report
-        when anything is corrupt.
+        when anything is corrupt.  Streaming chunk records are
+        deep-checked against the snapshot: per-stream commit seqs must
+        increase (gaps only where an orphaned chunk_begin explains
+        them), watermarks must be monotone, generations must increase,
+        and a chunk_commit ahead of the snapshot's resume state is
+        fatal; orphaned chunk_begin tails are reported as recoverable.
+        An ANN index built at an older generation than the journal's
+        last chunk commit is flagged stale (warning — ``search`` labels
+        such results ``ann_stale`` rather than hiding them).
+
+    repro stream --seed S --videos N --out META.json [--chunk-frames F]
+        Crash-safe chunk-append ingest: replay the first N planned
+        videos as live streams through the bounded-queue ingestor.
+        Every chunk lands as a journal chunk_begin/chunk_commit pair
+        around an atomic snapshot delta, so a kill at any point resumes
+        at the last committed chunk (``--resume``) with no lost or
+        duplicated shots.  Prints the per-stream health table: chunks,
+        shots, watermark, lag sheds and frame-arrival -> queryable
+        freshness percentiles against the declared SLO.
+
+    repro stream --soak --seconds S [--fault-mode M]
+        Streaming chaos soak: concurrent reader threads query the
+        service while the feeds are sabotaged (delayed / torn /
+        duplicated chunks) and one mid-stream kill is simulated and
+        recovered; asserts zero lost or duplicated shots (the final
+        catalog must be byte-identical to a batch-indexed control),
+        every degradation labeled, p95 freshness within the SLO and no
+        reader errors, exiting non-zero on any violation.
 
     repro query-stats --seed S --metaindex META.json "QUERY" ["QUERY"...]
         Serve the given queries (each --repeat times) through the
         cached query-serving layer and print the QueryStats report:
         per-stage timers, cache hit/miss/eviction counters and
-        postings-processed accounting.
+        postings-processed accounting.  With --shards N the queries go
+        through shard workers instead; adding --chunk-frames F ingests
+        the videos via the streaming chunk-append path first, so the
+        report includes per-shard freshness percentiles.
 
     repro serve-bench --seed S --videos N --threads T --requests R
         Query-serving driver: index N videos, then measure cold
@@ -265,6 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per shard when --shards is used",
     )
     stats_query_cmd.add_argument(
+        "--chunk-frames",
+        type=int,
+        default=None,
+        help="with --shards: ingest the videos through the streaming "
+        "chunk-append path in F-frame chunks (reports per-shard "
+        "freshness percentiles)",
+    )
+    stats_query_cmd.add_argument(
         "--repeat", type=int, default=3, help="times each query is served"
     )
     stats_query_cmd.add_argument(
@@ -443,7 +481,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes per shard when --shards is used",
     )
+    health_cmd.add_argument(
+        "--chunk-frames",
+        type=int,
+        default=None,
+        help="with --shards: ingest through the streaming chunk-append "
+        "path in F-frame chunks before probing (reports per-shard "
+        "freshness percentiles)",
+    )
     add_policy_options(health_cmd, default_policy="skip_subtree")
+
+    stream_cmd = sub.add_parser(
+        "stream",
+        help="crash-safe chunk-append streaming ingest (journaled, resumable)",
+    )
+    stream_cmd.add_argument("--seed", type=int, default=7, help="dataset seed")
+    stream_cmd.add_argument(
+        "--videos", type=int, default=2, help="planned videos replayed as streams"
+    )
+    stream_cmd.add_argument(
+        "--out", default=None, help="snapshot path (required without --soak)"
+    )
+    stream_cmd.add_argument(
+        "--journal",
+        default=None,
+        help="indexing journal path (default: <out>.journal)",
+    )
+    stream_cmd.add_argument(
+        "--chunk-frames", type=int, default=24, help="frames per ingest chunk"
+    )
+    stream_cmd.add_argument(
+        "--queue-chunks",
+        type=int,
+        default=8,
+        help="bounded per-stream queue depth (overflow sheds oldest, labeled)",
+    )
+    stream_cmd.add_argument(
+        "--slo-ms",
+        type=float,
+        default=2000.0,
+        help="declared p95 frame-arrival -> queryable freshness SLO in ms",
+    )
+    stream_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the last good snapshot and resume interrupted "
+        "streams from their committed watermark",
+    )
+    stream_cmd.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the streaming chaos soak (readers + chunk faults + "
+        "mid-stream kill drill) instead of a plain ingest",
+    )
+    stream_cmd.add_argument(
+        "--seconds", type=float, default=8.0, help="soak duration budget in seconds"
+    )
+    stream_cmd.add_argument(
+        "--readers", type=int, default=2, help="concurrent reader threads in the soak"
+    )
+    stream_cmd.add_argument(
+        "--fault-mode",
+        choices=("delay", "torn", "duplicate", "none"),
+        default="torn",
+        help="chunk-feed sabotage the soak applies",
+    )
+    stream_cmd.add_argument(
+        "--fault-delay-ms",
+        type=float,
+        default=20.0,
+        help="delay per sabotaged chunk in ms (delay mode)",
+    )
+    stream_cmd.add_argument(
+        "--kill-point",
+        default="chunk-pre-commit",
+        help="crash point of the soak's mid-stream kill drill",
+    )
 
     profile_cmd = sub.add_parser(
         "profile",
@@ -774,6 +887,111 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _verify_chunk_records(report, metaindex) -> tuple[list[str], list[str]]:
+    """Deep-check streaming chunk records against the snapshot.
+
+    Returns ``(problems, lines)``: fatal inconsistencies (a committed
+    chunk the snapshot does not cover, regressed watermarks, unexplained
+    seq gaps) and human-readable report lines.  Orphaned ``chunk_begin``
+    tails are *recoverable* — they appear in the lines, never in the
+    problems.  Generation is a per-process counter, so a non-increasing
+    generation across commits marks a crash-resume epoch boundary
+    (reported as "N resume(s)"), not a fault.
+    """
+    from repro.library.persistence import catalog_to_model, load_stream_state
+    from repro.storage.persist import load_catalog
+
+    problems: list[str] = []
+    lines: list[str] = []
+    if not report.chunk_commits and not report.orphan_chunks:
+        return problems, lines
+    try:
+        states = load_stream_state(metaindex)
+        names = {v.name for v in catalog_to_model(load_catalog(metaindex)).videos}
+    except (ValueError, FileNotFoundError):
+        states, names = {}, None
+
+    for stream in sorted(report.chunk_commits):
+        commits = report.chunk_commits[stream]
+        orphans = set(report.orphan_chunks.get(stream, []))
+        last_seq = last_watermark = last_generation = None
+        restarts = 0
+        for record in commits:
+            seq = int(record["seq"])
+            watermark = int(record["watermark"])
+            generation = int(record["generation"])
+            if last_seq is not None:
+                if seq <= last_seq:
+                    problems.append(
+                        f"stream {stream!r}: chunk seq {seq} not increasing "
+                        f"after {last_seq}"
+                    )
+                else:
+                    # A committed-seq gap is legal only when the missing
+                    # seqs died in flight (crash between snapshot save
+                    # and commit append) and left begin records behind.
+                    unexplained = [
+                        s for s in range(last_seq + 1, seq) if s not in orphans
+                    ]
+                    if unexplained:
+                        problems.append(
+                            f"stream {stream!r}: committed seq jumps "
+                            f"{last_seq}->{seq} with no begin record for "
+                            f"seq(s) {unexplained}"
+                        )
+                if watermark < last_watermark:
+                    problems.append(
+                        f"stream {stream!r}: watermark regressed "
+                        f"{last_watermark}->{watermark} at seq {seq}"
+                    )
+                if generation <= last_generation:
+                    # The generation counter is per process, so a
+                    # non-increasing generation across a seq boundary is
+                    # the signature of a crash-resume restart (the new
+                    # epoch's counter starts over and may land at or
+                    # below the old one).
+                    restarts += 1
+            last_seq, last_watermark, last_generation = seq, watermark, generation
+
+        line = (
+            f"  stream {stream}: {len(commits)} committed chunk(s), "
+            f"watermark {last_watermark}"
+        )
+        if restarts:
+            line += f", {restarts} resume(s)"
+        state = states.get(stream)
+        if state is not None:
+            if int(state["watermark"]) < last_watermark:
+                # chunk_commit promises the snapshot covers everything
+                # below its watermark; a resume state behind that lost
+                # committed frames.
+                problems.append(
+                    f"stream {stream!r}: snapshot resume state (watermark "
+                    f"{state['watermark']}) is behind the last committed "
+                    f"chunk (watermark {last_watermark})"
+                )
+            line += f", in flight (resumes at {state['watermark']})"
+        elif names is not None and stream not in names:
+            problems.append(
+                f"stream {stream!r}: committed chunks but the snapshot has "
+                "neither its video nor its resume state"
+            )
+        else:
+            line += ", finalised"
+        lines.append(line)
+
+    for stream in sorted(report.orphan_chunks):
+        if stream not in report.chunk_commits:
+            lines.append(f"  stream {stream}: no committed chunks yet")
+        seqs = report.orphan_chunks[stream]
+        lines.append(
+            f"  stream {stream}: orphaned chunk_begin seq(s) "
+            f"{', '.join(map(str, seqs))} — in flight at a crash; "
+            "recoverable, resume replays from the snapshot watermark"
+        )
+    return problems, lines
+
+
 def _cmd_fsck(args) -> int:
     from pathlib import Path
 
@@ -811,6 +1029,7 @@ def _cmd_fsck(args) -> int:
     elif not current_report.ok:
         problems.append("no previous generation to fall back to")
 
+    ann_generation = None
     if current_report.ok or (prev.exists() and verify_snapshot(prev).ok):
         from repro.ir.ann import AnnSnapshotError, has_ann_tables, load_ann_from_catalog
 
@@ -825,6 +1044,7 @@ def _cmd_fsck(args) -> int:
                     f"ann: OK ({index.n_vectors} vectors, {index.n_cells} cells, "
                     f"checksums ok)"
                 )
+                ann_generation = index.generation
             except AnnSnapshotError as exc:
                 print(f"ann: CORRUPT — {exc}")
                 problems.append(f"ann snapshot: {exc}")
@@ -859,6 +1079,25 @@ def _cmd_fsck(args) -> int:
                 print(f"cross-check: committed but not in snapshot: {', '.join(missing)}")
         except (ValueError, FileNotFoundError):
             pass  # already reported above
+        chunk_problems, chunk_lines = _verify_chunk_records(report, args.metaindex)
+        for chunk_line in chunk_lines:
+            print(chunk_line)
+        problems.extend(chunk_problems)
+        if ann_generation is not None and ann_generation >= 0:
+            last_gen = max(
+                (
+                    int(record["generation"])
+                    for records in report.chunk_commits.values()
+                    for record in records
+                ),
+                default=None,
+            )
+            if last_gen is not None and last_gen > ann_generation:
+                print(
+                    f"ann: STALE — built at generation {ann_generation}, chunk "
+                    f"commits reach generation {last_gen}; search labels such "
+                    "results ann_stale (rebuild with 'repro ann-build')"
+                )
     else:
         print(f"{journal_path.name}: no journal")
 
@@ -868,6 +1107,408 @@ def _cmd_fsck(args) -> int:
             print(f"  - {problem}")
         return 1
     print("fsck: clean")
+    return 0
+
+
+def _stream_health_lines(health) -> list[str]:
+    """Readable per-stream rows from :meth:`StreamIngestor.health`."""
+    lines = []
+    for name, row in health.items():
+        p95 = row.freshness.get("p95")
+        fresh = (
+            f"p95 freshness {p95 * 1e3:.1f} ms (slo {row.freshness_slo * 1e3:.0f} ms)"
+            if p95 is not None
+            else "no freshness samples"
+        )
+        flags = []
+        if row.lag_sheds:
+            flags.append(f"lag_sheds={row.lag_sheds} ({row.shed_frames} frames)")
+        if row.duplicates_dropped:
+            flags.append(f"duplicates_dropped={row.duplicates_dropped}")
+        if row.degraded_freshness:
+            flags.append("degraded_freshness")
+        if row.last_error:
+            flags.append(f"error: {row.last_error}")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  {name}: {row.state}, {row.chunks_committed} chunk(s), "
+            f"{row.shots} shot(s), watermark {row.watermark}, {fresh}{suffix}"
+        )
+    return lines
+
+
+def _feed_streams(ingestor, feeds, mangle=None) -> set:
+    """Round-robin chunk feeds into the ingestor with flow control.
+
+    The producer paces on :meth:`StreamIngestor.backlog` so a healthy
+    run never sheds; *mangle* (a ``StreamFaultState.mangle``) sabotages
+    each chunk on the way in.  Returns the streams whose offer was
+    refused (quarantined or closed mid-feed).
+    """
+    import time
+
+    refused = set()
+    active = dict(feeds)
+    while active:
+        for name in list(active):
+            chunk = next(active[name], None)
+            if chunk is None:
+                del active[name]
+                continue
+            parts = mangle(chunk) if mangle is not None else [chunk]
+            for part in parts:
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    if ingestor.health()[name].state != "live":
+                        break  # quarantined/done: offer below will refuse
+                    if ingestor.backlog(name) < ingestor.config.queue_chunks - 1:
+                        break
+                    time.sleep(0.005)
+                if not ingestor.offer(part):
+                    refused.add(name)
+                    del active[name]
+                    break
+    return refused
+
+
+def _cmd_stream(args) -> int:
+    if args.soak:
+        return _stream_soak(args)
+    if args.out is None:
+        print("stream: --out is required without --soak")
+        return 2
+    import time
+
+    from repro.dataset import build_australian_open
+    from repro.library import DigitalLibraryEngine, LibrarySearchService
+    from repro.library.indexing import default_journal_path
+    from repro.library.service import format_query_stats
+    from repro.storage.journal import IndexingJournal
+    from repro.streaming import StreamConfig, iter_chunks
+
+    dataset = build_australian_open(seed=args.seed)
+    engine = DigitalLibraryEngine(dataset)
+    service = LibrarySearchService(engine)
+    journal = IndexingJournal(args.journal or default_journal_path(args.out))
+    config = StreamConfig(
+        queue_chunks=args.queue_chunks, freshness_slo=args.slo_ms / 1e3
+    )
+
+    in_flight: set[str] = set()
+    if args.resume:
+        try:
+            restored = engine.indexer.restore_snapshot(args.out)
+        except FileNotFoundError:
+            pass  # nothing saved yet: resume degenerates to a fresh run
+        else:
+            in_flight = set(engine.indexer.stream_states)
+            print(
+                f"resume: restored {restored} video(s), "
+                f"{len(in_flight)} stream(s) in flight"
+            )
+    ingestor = service.ingestor(path=args.out, journal=journal, config=config)
+
+    plans = [
+        plan
+        for plan in dataset.video_plans[: args.videos]
+        if plan.name in in_flight or plan.name not in engine.indexer.indexed
+    ]
+    if not plans:
+        print("nothing to stream (all videos committed)")
+        return 0
+    feeds = {}
+    for plan in plans:
+        resume = plan.name in in_flight
+        ingestor.open_stream(plan, resume=resume)
+        start = (
+            int(engine.indexer.stream_states[plan.name]["watermark"]) if resume else 0
+        )
+        clip, _truth = plan.materialise()
+        feeds[plan.name] = iter_chunks(
+            clip, args.chunk_frames, stream=plan.name, start=start,
+            clock=time.monotonic,
+        )
+        print(
+            f"stream {plan.name}: {len(clip)} frames in "
+            f"{args.chunk_frames}-frame chunks"
+            + (f", resuming at frame {start}" if resume else "")
+        )
+    refused = _feed_streams(ingestor, feeds)
+    drained = ingestor.drain()
+    health = ingestor.health()
+    for line in _stream_health_lines(health):
+        print(line)
+    counts = engine.indexer.model.counts()
+    print(
+        f"saved {args.out}: {counts['raw']} videos, {counts['feature']} shots, "
+        f"{counts['object']} objects, {counts['event']} events"
+    )
+    print()
+    print(format_query_stats(service.stats()))
+    quarantined = sorted(
+        name for name, row in health.items() if row.state == "quarantined"
+    )
+    if quarantined or refused or not drained:
+        print(
+            f"stream: trouble — quarantined {quarantined or '-'}, "
+            f"refused {sorted(refused) or '-'}, drained {drained}"
+        )
+        return 1
+    return 0
+
+
+def _stream_soak(args) -> int:
+    """Streaming chaos soak: chunk faults + readers + a kill drill.
+
+    Invariants asserted (exit 1 on any violation): chaos streams finish,
+    every shed/gap is labeled ``degraded_freshness``, duplicated chunks
+    dedupe instead of double-indexing, p95 freshness stays within the
+    SLO, concurrent readers never error, the killed stream resumes from
+    its committed watermark, and the final snapshot is byte-identical
+    to a batch-indexed control (zero lost or duplicated shots).
+    """
+    import tempfile
+    import threading
+    import time
+    from pathlib import Path
+
+    from repro.dataset import build_australian_open
+    from repro.faults import StreamFaultPlan
+    from repro.library import DigitalLibraryEngine, LibrarySearchService, parse_query
+    from repro.storage.journal import IndexingJournal
+    from repro.streaming import StreamConfig, iter_chunks
+
+    violations: list[str] = []
+    deadline = time.monotonic() + max(args.seconds, 1.0)
+
+    with tempfile.TemporaryDirectory(prefix="repro-stream-soak-") as tmp:
+        streamed_path = Path(tmp) / "streamed.json"
+        batch_path = Path(tmp) / "batch.json"
+
+        # The identity oracle: the same videos, batch-indexed.
+        control = DigitalLibraryEngine(build_australian_open(seed=args.seed))
+        control.indexer.index_checkpointed(
+            batch_path,
+            journal=IndexingJournal(Path(tmp) / "batch.journal"),
+            limit=args.videos,
+        )
+
+        dataset = build_australian_open(seed=args.seed)
+        engine = DigitalLibraryEngine(dataset)
+        service = LibrarySearchService(engine)
+        journal = IndexingJournal(Path(tmp) / "streamed.journal")
+        config = StreamConfig(
+            queue_chunks=args.queue_chunks, freshness_slo=args.slo_ms / 1e3
+        )
+        ingestor = service.ingestor(path=streamed_path, journal=journal, config=config)
+
+        plans = dataset.video_plans[: args.videos]
+        victim = plans[-1]
+        chaos_plans = plans[:-1]
+        chaos = None
+        if args.fault_mode != "none":
+            chaos = {
+                "delay": StreamFaultPlan.late(args.fault_delay_ms / 1e3),
+                "torn": StreamFaultPlan.torn(),
+                "duplicate": StreamFaultPlan.duplicated(),
+            }[args.fault_mode].state()
+
+        stop = threading.Event()
+        reader_errors: list[str] = []
+        served = [0]
+
+        def read_loop():
+            parsed = [
+                parse_query("SCENES WHERE event = net_play"),
+                parse_query("SCENES WHERE player.handedness = left"),
+            ]
+            i = 0
+            while not stop.is_set():
+                try:
+                    service.search(parsed[i % len(parsed)])
+                except Exception as exc:  # noqa: BLE001 — any reader error fails the soak
+                    reader_errors.append(f"{type(exc).__name__}: {exc}")
+                    return
+                served[0] += 1
+                i += 1
+                time.sleep(0.002)
+
+        reader_threads = [
+            threading.Thread(target=read_loop, daemon=True)
+            for _ in range(max(args.readers, 1))
+        ]
+        for thread in reader_threads:
+            thread.start()
+
+        # Chaos phase: concurrent sabotaged streams.  The first chunk of
+        # each stream lands in plan order so video rows match the batch
+        # control (the identity gate compares snapshot bytes).
+        feeds = {}
+        for plan in chaos_plans:
+            ingestor.open_stream(plan)
+            clip, _truth = plan.materialise()
+            feeds[plan.name] = iter_chunks(
+                clip, args.chunk_frames, stream=plan.name, clock=time.monotonic
+            )
+            first = next(feeds[plan.name])
+            for part in chaos.mangle(first) if chaos is not None else [first]:
+                ingestor.offer(part)
+            while (
+                plan.name not in engine.indexer.indexed
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+        refused = _feed_streams(
+            ingestor, feeds, mangle=chaos.mangle if chaos is not None else None
+        )
+        for plan in chaos_plans:
+            budget = max(5.0, deadline - time.monotonic())
+            if not ingestor.close_stream(plan.name, timeout=budget):
+                violations.append(f"stream {plan.name}: failed to drain")
+        if refused:
+            violations.append(f"chaos feed refused for {sorted(refused)}")
+
+        # Kill drill: sabotage the last stream with a simulated crash at
+        # the chosen commit-protocol point, mid-stream.  The consumer
+        # thread dies where it stood — expected, so its traceback is
+        # silenced here.
+        from repro.storage.crashpoints import SimulatedCrash
+
+        clip, _truth = victim.materialise()
+        kill = StreamFaultPlan.killed(
+            point=args.kill_point, stream=victim.name, after=1
+        )
+        default_hook = threading.excepthook
+
+        def quiet_hook(hook_args):
+            if not issubclass(hook_args.exc_type, SimulatedCrash):
+                default_hook(hook_args)
+
+        threading.excepthook = quiet_hook
+        try:
+            with kill.state() as killer:
+                ingestor.open_stream(victim)
+                _feed_streams(
+                    ingestor,
+                    {
+                        victim.name: iter_chunks(
+                            clip, args.chunk_frames, stream=victim.name,
+                            clock=time.monotonic,
+                        )
+                    },
+                    mangle=killer.mangle,
+                )
+                waited = time.monotonic()
+                while (
+                    ingestor.health()[victim.name].state == "live"
+                    and time.monotonic() - waited < 30.0
+                ):
+                    time.sleep(0.01)
+        finally:
+            threading.excepthook = default_hook
+        stop.set()
+        for thread in reader_threads:
+            thread.join(timeout=5.0)
+
+        health = ingestor.health()
+        victim_row = health[victim.name]
+        if victim_row.state != "quarantined":
+            violations.append(
+                f"kill drill: victim ended {victim_row.state!r}, expected quarantined"
+            )
+
+        # Recovery: a fresh "process" restores the snapshot and resumes
+        # the killed stream from its committed watermark.
+        engine2 = DigitalLibraryEngine(build_australian_open(seed=args.seed))
+        service2 = LibrarySearchService(engine2)
+        engine2.indexer.restore_snapshot(streamed_path)
+        states = dict(engine2.indexer.stream_states)
+        recovered_row = None
+        if victim.name not in states:
+            violations.append("recovery: snapshot lost the killed stream's resume state")
+        else:
+            ingestor2 = service2.ingestor(
+                path=streamed_path, journal=journal, config=config
+            )
+            ingestor2.open_stream(victim, resume=True)
+            start = int(states[victim.name]["watermark"])
+            _feed_streams(
+                ingestor2,
+                {
+                    victim.name: iter_chunks(
+                        clip, args.chunk_frames, stream=victim.name,
+                        start=start, clock=time.monotonic,
+                    )
+                },
+            )
+            if not ingestor2.drain():
+                violations.append("recovery: resumed stream failed to drain")
+            recovered_row = ingestor2.health()[victim.name]
+            if recovered_row.state != "done":
+                violations.append(
+                    f"recovery: resumed stream ended {recovered_row.state!r} "
+                    f"({recovered_row.last_error})"
+                )
+
+        # Invariants over the chaos streams.
+        for name, row in health.items():
+            if name == victim.name:
+                continue
+            if row.state != "done":
+                violations.append(
+                    f"stream {name}: ended {row.state!r} ({row.last_error})"
+                )
+            if (row.lag_sheds or row.shed_frames) and not row.degraded_freshness:
+                violations.append(f"stream {name}: sheds without a degraded label")
+            if row.lag_sheds:
+                violations.append(
+                    f"stream {name}: paced feed still shed {row.lag_sheds} chunk(s)"
+                )
+            p95 = row.freshness.get("p95")
+            if p95 is not None and p95 > config.freshness_slo:
+                violations.append(
+                    f"stream {name}: p95 freshness {p95 * 1e3:.1f} ms over the "
+                    f"{config.freshness_slo * 1e3:.0f} ms SLO"
+                )
+        if args.fault_mode == "duplicate" and chaos_plans:
+            if not any(
+                row.duplicates_dropped
+                for name, row in health.items()
+                if name != victim.name
+            ):
+                violations.append("duplicate faults injected but nothing deduped")
+        if reader_errors:
+            violations.append(
+                f"readers: {len(reader_errors)} error(s), first: {reader_errors[0]}"
+            )
+
+        # The zero-lost/zero-duplicated-shots gate: after chaos + kill +
+        # resume, the streamed snapshot must match the batch control
+        # byte for byte.
+        if streamed_path.read_bytes() != batch_path.read_bytes():
+            violations.append(
+                "identity: final streamed snapshot differs from the batch control"
+            )
+
+        print(
+            f"soak: {len(chaos_plans)} chaos stream(s) [{args.fault_mode}], "
+            f"kill drill on {victim.name} at {args.kill_point}, "
+            f"{served[0]} queries by {len(reader_threads)} reader(s)"
+        )
+        for line in _stream_health_lines(health):
+            print(line)
+        if recovered_row is not None:
+            for line in _stream_health_lines({victim.name: recovered_row}):
+                print(f"  (recovered){line}")
+        if not violations:
+            print("identity: final snapshot byte-identical to the batch control")
+
+    if violations:
+        print(f"soak: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("soak: all invariants held")
     return 0
 
 
@@ -917,7 +1558,15 @@ def _sharded_query_stats(args) -> int:
     names = [plan.name for plan in dataset.video_plans[: args.videos]]
     config = ShardingConfig(n_shards=args.shards, replication=args.replicas)
     queries = [parse_query(text) for text in args.queries]
-    with ShardedSearchService(names, seed=args.seed, config=config) as service:
+    chunked = getattr(args, "chunk_frames", None)
+    initial = [] if chunked else names
+    with ShardedSearchService(initial, seed=args.seed, config=config) as service:
+        if chunked:
+            result = service.stream_videos(names, chunk_frames=chunked)
+            status = "ok" if result.ok else "PARTIAL"
+            print(
+                f"streamed {len(names)} video(s) in {chunked}-frame chunks: {status}"
+            )
         for text, query in zip(args.queries, queries):
             for _ in range(max(args.repeat, 1)):
                 served = service.search(query)
@@ -1458,7 +2107,15 @@ def _sharded_health(args) -> int:
     dataset = build_australian_open(seed=args.seed)
     names = [plan.name for plan in dataset.video_plans[: args.videos]]
     config = ShardingConfig(n_shards=args.shards, replication=args.replicas)
-    with ShardedSearchService(names, seed=args.seed, config=config) as service:
+    chunked = getattr(args, "chunk_frames", None)
+    initial = [] if chunked else names
+    with ShardedSearchService(initial, seed=args.seed, config=config) as service:
+        if chunked:
+            result = service.stream_videos(names, chunk_frames=chunked)
+            status = "ok" if result.ok else "PARTIAL"
+            print(
+                f"streamed {len(names)} video(s) in {chunked}-frame chunks: {status}"
+            )
         for query in _query_mix():
             service.search(query)
         stats = service.stats()
@@ -1640,6 +2297,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "serve-sharded": _cmd_serve_sharded,
     "fsck": _cmd_fsck,
+    "stream": _cmd_stream,
     "health": _cmd_health,
     "faults": _cmd_faults,
     "profile": _cmd_profile,

@@ -197,6 +197,19 @@ class CobraModel:
         self._videos[video_id] = video
         return video
 
+    def set_video_frames(self, video_id: int, n_frames: int) -> Video:
+        """Update a video's frame count (streaming ingest grows it).
+
+        Entities are immutable records, so the raw-layer entry is
+        replaced in place; dict order (and hence catalog row order) is
+        preserved.
+        """
+        if video_id not in self._videos:
+            raise KeyError(f"unknown video id {video_id}")
+        video = replace(self._videos[video_id], n_frames=n_frames)
+        self._videos[video_id] = video
+        return video
+
     @property
     def degraded_videos(self) -> list[Video]:
         """Videos committed with incomplete meta-data, by id."""

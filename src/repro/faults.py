@@ -47,6 +47,19 @@ boundary into :mod:`repro.library.sharding` workers at spawn time.
 :class:`ShardFaultState` is the worker-side delivery counter.  The E17
 benchmark and the ``repro serve-sharded --soak`` harness use these to
 provoke partial coverage, hedged fan-out and quarantine/recovery.
+
+Live streaming ingest adds a fifth: *the chunk feed itself* misbehaving.
+:class:`StreamFaultSpec` / :class:`StreamFaultPlan` describe per-stream
+feed faults — a chunk arriving late (``delay``), torn into fragments
+(``torn``), re-delivered (``duplicate``), or the consumer dying
+mid-commit (``kill``, which arms one of the :data:`STREAM_POINTS` crash
+points so the next chunk commit raises :class:`SimulatedCrash`).
+:class:`StreamFaultState` sits between the producer and
+``StreamIngestor.offer``/``StreamSession.push_chunk``: call
+:meth:`StreamFaultState.mangle` on each chunk and deliver what it
+returns.  The E20 benchmark and ``repro stream --soak`` use these to
+prove exactly-once resume, offset dedupe and the freshness SLO under
+feed chaos.
 """
 
 from __future__ import annotations
@@ -61,6 +74,7 @@ from repro.grammar.runtime import TransientDetectorError
 from repro.storage.crashpoints import (  # noqa: F401 — re-exported harness
     JOURNAL_POINTS,
     SNAPSHOT_POINTS,
+    STREAM_POINTS,
     WRITE_POINTS,
     CrashPoint,
     SimulatedCrash,
@@ -78,10 +92,15 @@ __all__ = [
     "ShardFaultPlan",
     "ShardFaultState",
     "SHARD_FAULT_MODES",
+    "StreamFaultSpec",
+    "StreamFaultPlan",
+    "StreamFaultState",
+    "STREAM_FAULT_MODES",
     "CrashPoint",
     "SimulatedCrash",
     "SNAPSHOT_POINTS",
     "JOURNAL_POINTS",
+    "STREAM_POINTS",
     "WRITE_POINTS",
 ]
 
@@ -758,3 +777,196 @@ class ShardFaultState:
             if chosen is not None:
                 self.delivered += 1
             return chosen
+
+
+# ---------------------------------------------------------------------- #
+# Stream-level chaos: late, torn, duplicated chunks and mid-commit kills
+# ---------------------------------------------------------------------- #
+
+#: The stream fault modes :class:`StreamFaultSpec` accepts.
+STREAM_FAULT_MODES = ("delay", "torn", "duplicate", "kill")
+
+
+@dataclass(frozen=True)
+class StreamFaultSpec:
+    """One injected chunk-feed fault, delivered at chunk delivery.
+
+    Attributes:
+        stream: the stream the fault applies to (``None`` = every
+            stream).
+        mode: ``"delay"`` (sleep before delivering — arrival-to-
+            queryable freshness suffers), ``"torn"`` (deliver the chunk
+            as two half-size fragments, only the second carrying the
+            original ``final`` flag), ``"duplicate"`` (deliver the chunk
+            twice — offset dedupe must drop the copy), or ``"kill"``
+            (arm :attr:`point` for one trip, so the *consumer* dies
+            mid-commit with :class:`SimulatedCrash` and recovery resumes
+            from the last committed chunk).
+        after: skip the first *after* matching chunk deliveries.
+        times: deliveries before the feed behaves again (``None`` =
+            every matching delivery, forever).
+        delay_seconds: sleep duration for ``mode="delay"``.
+        point: the crash point ``"kill"`` arms — one of
+            :data:`STREAM_POINTS` (or any :data:`WRITE_POINTS` entry).
+    """
+
+    stream: str | None = None
+    mode: str = "delay"
+    after: int = 0
+    times: int | None = 1
+    delay_seconds: float = 0.0
+    point: str = "chunk-pre-commit"
+
+    def __post_init__(self) -> None:
+        if self.mode not in STREAM_FAULT_MODES:
+            raise ValueError(
+                f"mode must be one of {STREAM_FAULT_MODES}, got {self.mode!r}"
+            )
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        if self.mode == "kill" and self.point not in WRITE_POINTS:
+            raise ValueError(f"unknown crash point {self.point!r}; see WRITE_POINTS")
+
+    def matches(self, stream: str) -> bool:
+        return self.stream is None or self.stream == stream
+
+
+@dataclass(frozen=True)
+class StreamFaultPlan:
+    """An ordered set of :class:`StreamFaultSpec` for one chunk feed."""
+
+    specs: tuple[StreamFaultSpec, ...] = ()
+
+    @classmethod
+    def late(
+        cls, seconds: float, stream: str | None = None, times: int | None = None,
+        after: int = 0,
+    ) -> "StreamFaultPlan":
+        """Delay matching chunk deliveries by *seconds* each."""
+        return cls(specs=(StreamFaultSpec(
+            stream=stream, mode="delay", delay_seconds=seconds, times=times,
+            after=after,
+        ),))
+
+    @classmethod
+    def torn(
+        cls, stream: str | None = None, times: int | None = None, after: int = 0
+    ) -> "StreamFaultPlan":
+        """Tear matching chunks into two fragments."""
+        return cls(specs=(StreamFaultSpec(
+            stream=stream, mode="torn", times=times, after=after,
+        ),))
+
+    @classmethod
+    def duplicated(
+        cls, stream: str | None = None, times: int | None = None, after: int = 0
+    ) -> "StreamFaultPlan":
+        """Re-deliver matching chunks (exactly-once must dedupe them)."""
+        return cls(specs=(StreamFaultSpec(
+            stream=stream, mode="duplicate", times=times, after=after,
+        ),))
+
+    @classmethod
+    def killed(
+        cls, point: str = "chunk-pre-commit", stream: str | None = None,
+        after: int = 0,
+    ) -> "StreamFaultPlan":
+        """Kill the consumer at *point* during one matching chunk's commit."""
+        return cls(specs=(StreamFaultSpec(
+            stream=stream, mode="kill", point=point, times=1, after=after,
+        ),))
+
+    def extend(self, other: "StreamFaultPlan") -> "StreamFaultPlan":
+        return StreamFaultPlan(specs=self.specs + other.specs)
+
+    def state(self, sleep=time.sleep) -> "StreamFaultState":
+        return StreamFaultState(self, sleep=sleep)
+
+
+class StreamFaultState:
+    """Delivers a :class:`StreamFaultPlan` into a chunk feed.
+
+    The producer routes every chunk through :meth:`mangle` and offers
+    whatever comes back, in order.  Thread-safe; ``kill`` delivery arms
+    the spec's crash point for exactly one trip (the armed point stays
+    active until it fires or :meth:`disarm` runs).
+    """
+
+    def __init__(self, plan: StreamFaultPlan, sleep=time.sleep):
+        self.plan = plan
+        self._sleep = sleep
+        self._seen: dict[int, int] = {}
+        self._fired: dict[int, int] = {}
+        self._armed: list[CrashPoint] = []
+        self._lock = threading.Lock()
+        self.log: list[InjectionEvent] = []
+
+    @property
+    def injected(self) -> int:
+        return len(self.log)
+
+    def _next_fault(self, stream: str) -> StreamFaultSpec | None:
+        with self._lock:
+            chosen: StreamFaultSpec | None = None
+            for index, spec in enumerate(self.plan.specs):
+                if not spec.matches(stream):
+                    continue
+                seen = self._seen.get(index, 0)
+                self._seen[index] = seen + 1
+                if chosen is not None:
+                    continue
+                if seen < spec.after:
+                    continue
+                fired = self._fired.get(index, 0)
+                if spec.times is not None and fired >= spec.times:
+                    continue
+                self._fired[index] = fired + 1
+                chosen = spec
+            return chosen
+
+    def mangle(self, chunk) -> list:
+        """The chunks to actually deliver in place of *chunk*."""
+        from dataclasses import replace as _replace
+
+        spec = self._next_fault(chunk.stream)
+        if spec is None:
+            return [chunk]
+        with self._lock:
+            self.log.append(InjectionEvent("stream", chunk.stream, spec.mode))
+        if spec.mode == "delay":
+            self._sleep(spec.delay_seconds)
+            return [chunk]
+        if spec.mode == "duplicate":
+            return [chunk, chunk]
+        if spec.mode == "torn":
+            if len(chunk) < 2:
+                return [chunk]
+            half = len(chunk) // 2
+            head = _replace(chunk, frames=chunk.frames[:half], final=False)
+            tail = _replace(
+                chunk, frames=chunk.frames[half:], start=chunk.start + half
+            )
+            return [head, tail]
+        # kill: the *consumer* dies inside the commit protocol.
+        armed = CrashPoint(spec.point, times=1)
+        armed.__enter__()
+        with self._lock:
+            self._armed.append(armed)
+        return [chunk]
+
+    def disarm(self) -> None:
+        """Drop any kill points still armed (test/soak teardown)."""
+        with self._lock:
+            armed, self._armed = self._armed, []
+        for point in armed:
+            point.__exit__(None, None, None)
+
+    def __enter__(self) -> "StreamFaultState":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.disarm()

@@ -39,7 +39,15 @@ from repro.tracking.segmentation import court_bounds
 from repro.tracking.tracker import PlayerTracker, Track
 from repro.video.shots import ShotCategory
 
-__all__ = ["TENNIS_FEATURE_GRAMMAR", "TrackedPlayer", "build_tennis_fde"]
+__all__ = [
+    "TENNIS_FEATURE_GRAMMAR",
+    "TrackedPlayer",
+    "build_tennis_fde",
+    "shot_features_dict",
+    "track_shot_player",
+    "player_shape_summary",
+    "detect_player_events",
+]
 
 TENNIS_FEATURE_GRAMMAR = """
 FEATURE GRAMMAR tennis ;
@@ -73,6 +81,104 @@ class TrackedPlayer:
     zones: CourtZones | None
 
 
+def shot_features_dict(shot: DetectedShot) -> dict[str, float]:
+    """The feature-layer attribute dict stored for a detected shot."""
+    return {
+        "court_coverage": shot.features.court_coverage,
+        "skin_ratio": shot.features.skin_ratio,
+        "entropy": shot.features.entropy,
+        "mean": shot.features.mean,
+        "variance": shot.features.variance,
+    }
+
+
+def track_shot_player(
+    model: CobraModel,
+    frames,
+    shot: DetectedShot,
+    shot_id: int,
+    tracker: PlayerTracker,
+    far_tracker: PlayerTracker | None = None,
+) -> TrackedPlayer:
+    """Track the player(s) of one tennis shot and register the objects.
+
+    Shared by the batch ``tennis`` detector and the streaming session so
+    both produce byte-identical object-layer entities: near player first
+    (the ``player`` object drives events), then the optional far player.
+    """
+    track = tracker.track(frames)
+    color_model = CourtColorModel.estimate(frames[0])
+    bounds = court_bounds(frames[0], color_model)
+    zones = CourtZones.from_court_bounds(bounds) if bounds else None
+    obj = model.add_object(
+        shot_id,
+        label="player",
+        trajectory=track.positions,
+    )
+    if far_tracker is not None:
+        far_track = far_tracker.track(frames)
+        model.add_object(
+            shot_id,
+            label="player_far",
+            trajectory=far_track.positions,
+        )
+    return TrackedPlayer(
+        shot=shot,
+        shot_id=shot_id,
+        object_id=obj.object_id,
+        track=track,
+        zones=zones,
+    )
+
+
+def player_shape_summary(player: TrackedPlayer) -> dict:
+    """Aggregate shape statistics of one tracked player."""
+    observations = [
+        p.observation for p in player.track.points if p.observation is not None
+    ]
+    if observations:
+        areas = [o.shape.area for o in observations]
+        colors = np.array([o.dominant_color for o in observations])
+        return {
+            "object_id": player.object_id,
+            "mean_area": float(np.mean(areas)),
+            "mean_eccentricity": float(
+                np.mean([o.shape.eccentricity for o in observations])
+            ),
+            "mean_aspect_ratio": float(
+                np.mean([o.shape.aspect_ratio for o in observations])
+            ),
+            "dominant_color": tuple(colors.mean(axis=0)),
+        }
+    return {
+        "object_id": player.object_id,
+        "mean_area": 0.0,
+        "mean_eccentricity": 0.0,
+        "mean_aspect_ratio": 0.0,
+        "dominant_color": (0.0, 0.0, 0.0),
+    }
+
+
+def detect_player_events(model: CobraModel, player: TrackedPlayer, grammar) -> list:
+    """Run the event grammar over one player's trajectory and register
+    the resulting event-layer entities."""
+    if player.zones is None:
+        return []
+    detector = GrammarEventDetector(grammar, player.zones)
+    events = []
+    for detected in detector.detect(player.track.positions):
+        event = model.add_event(
+            player.shot_id,
+            label=detected.label,
+            start=player.shot.start + detected.start,
+            stop=player.shot.start + detected.stop,
+            confidence=detected.confidence,
+            object_id=player.object_id,
+        )
+        events.append(event)
+    return events
+
+
 def _segment_impl(segmenter: SegmentDetector):
     """Build the segment detector: clip -> classified shots + ShotRecords."""
 
@@ -87,13 +193,7 @@ def _segment_impl(segmenter: SegmentDetector):
                 start=shot.start,
                 stop=shot.stop,
                 category=shot.category,
-                features={
-                    "court_coverage": shot.features.court_coverage,
-                    "skin_ratio": shot.features.skin_ratio,
-                    "entropy": shot.features.entropy,
-                    "mean": shot.features.mean,
-                    "variance": shot.features.variance,
-                },
+                features=shot_features_dict(shot),
             )
             records.append((shot, record.shot_id))
         context.tokens["shot"] = records
@@ -117,29 +217,9 @@ def _tennis_impl(tracker: PlayerTracker, far_tracker: PlayerTracker | None = Non
             if shot.category != ShotCategory.TENNIS:
                 continue
             frames = [clip[i] for i in range(shot.start, shot.stop)]
-            track = tracker.track(frames)
-            color_model = CourtColorModel.estimate(frames[0])
-            bounds = court_bounds(frames[0], color_model)
-            zones = CourtZones.from_court_bounds(bounds) if bounds else None
-            obj = context.model.add_object(
-                shot_id,
-                label="player",
-                trajectory=track.positions,
-            )
-            if far_tracker is not None:
-                far_track = far_tracker.track(frames)
-                context.model.add_object(
-                    shot_id,
-                    label="player_far",
-                    trajectory=far_track.positions,
-                )
             players.append(
-                TrackedPlayer(
-                    shot=shot,
-                    shot_id=shot_id,
-                    object_id=obj.object_id,
-                    track=track,
-                    zones=zones,
+                track_shot_player(
+                    context.model, frames, shot, shot_id, tracker, far_tracker
                 )
             )
         context.tokens["player"] = players
@@ -151,35 +231,9 @@ def _shape_impl():
     """Build the shape detector: aggregate per-track shape statistics."""
 
     def run(context: IndexingContext) -> None:
-        shapes = []
-        for player in context.require("player"):
-            observations = [
-                p.observation for p in player.track.points if p.observation is not None
-            ]
-            if observations:
-                areas = [o.shape.area for o in observations]
-                colors = np.array([o.dominant_color for o in observations])
-                summary = {
-                    "object_id": player.object_id,
-                    "mean_area": float(np.mean(areas)),
-                    "mean_eccentricity": float(
-                        np.mean([o.shape.eccentricity for o in observations])
-                    ),
-                    "mean_aspect_ratio": float(
-                        np.mean([o.shape.aspect_ratio for o in observations])
-                    ),
-                    "dominant_color": tuple(colors.mean(axis=0)),
-                }
-            else:
-                summary = {
-                    "object_id": player.object_id,
-                    "mean_area": 0.0,
-                    "mean_eccentricity": 0.0,
-                    "mean_aspect_ratio": 0.0,
-                    "dominant_color": (0.0, 0.0, 0.0),
-                }
-            shapes.append(summary)
-        context.tokens["shape"] = shapes
+        context.tokens["shape"] = [
+            player_shape_summary(player) for player in context.require("player")
+        ]
 
     return run
 
@@ -192,19 +246,7 @@ def _rules_impl(concept_grammar=None):
         context.model.clear_events_of_video(context.video_id)
         events = []
         for player in context.require("player"):
-            if player.zones is None:
-                continue
-            detector = GrammarEventDetector(grammar, player.zones)
-            for detected in detector.detect(player.track.positions):
-                event = context.model.add_event(
-                    player.shot_id,
-                    label=detected.label,
-                    start=player.shot.start + detected.start,
-                    stop=player.shot.start + detected.stop,
-                    confidence=detected.confidence,
-                    object_id=player.object_id,
-                )
-                events.append(event)
+            events.extend(detect_player_events(context.model, player, grammar))
         context.tokens["event"] = events
 
     return run

@@ -228,12 +228,18 @@ class AnnIndex:
             ascending within each cell (the packed-postings idiom).
         vectors: ``(n_vectors, dim)`` float64 — row *i* is the vector
             of ann id *i*; kept for exact re-ranking of candidates.
+        generation: the catalog index generation the vectors were drawn
+            from (``-1`` = untagged, e.g. a pre-generation snapshot).
+            Streaming ingest commits shots without rebuilding the ANN
+            index, so serving compares this against the live generation
+            to label results ``ann_stale``.
     """
 
     centroids: np.ndarray
     cell_offsets: np.ndarray
     cell_members: np.ndarray
     vectors: np.ndarray
+    generation: int = -1
 
     @property
     def n_vectors(self) -> int:
@@ -254,11 +260,14 @@ class AnnIndex:
         n_cells: int = 8,
         rng: np.random.Generator | None = None,
         n_iters: int = 25,
+        generation: int = -1,
     ) -> AnnIndex:
         """Quantize *vectors* into at most *n_cells* inverted cells.
 
         *rng* is mandatory for a non-empty build — k-means
         initialization must come from an explicit generator.
+        *generation* tags the index with the catalog generation it was
+        built against (staleness labeling).
         """
         vectors = np.ascontiguousarray(np.asarray(vectors, dtype=np.float64))
         if vectors.ndim != 2:
@@ -270,6 +279,7 @@ class AnnIndex:
                 cell_offsets=np.zeros(1, dtype=np.int64),
                 cell_members=np.zeros(0, dtype=np.int64),
                 vectors=vectors,
+                generation=generation,
             )
         if rng is None:
             raise TypeError("AnnIndex.build requires an explicit numpy Generator rng")
@@ -284,6 +294,7 @@ class AnnIndex:
             cell_offsets=offsets,
             cell_members=members,
             vectors=vectors,
+            generation=generation,
         )
 
     def search(
@@ -410,6 +421,7 @@ def export_ann_to_catalog(
         ("dim", index.dim),
         ("n_cells", index.n_cells),
         ("n_vectors", index.n_vectors),
+        ("generation", index.generation),
     ):
         meta.append({"key": key, "value": str(value)})
     blobs = catalog.create_table(
@@ -477,7 +489,8 @@ def load_ann_from_catalog(catalog, prefix: str = "ann") -> tuple[AnnIndex, list[
         if name not in blob_rows:
             raise AnnSnapshotError(f"ANN snapshot is missing blob {name!r}")
         arrays[name] = _decode_array(blob_rows[name], name)
-    index = AnnIndex(**arrays)
+    # Older snapshots predate the generation tag; stay loadable as -1.
+    index = AnnIndex(**arrays, generation=int(meta.get("generation", -1)))
     if index.n_vectors != int(meta["n_vectors"]) or index.n_cells != int(meta["n_cells"]):
         raise AnnSnapshotError("ANN snapshot metadata disagrees with decoded arrays")
     if (

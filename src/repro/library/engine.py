@@ -646,18 +646,40 @@ class DigitalLibraryEngine:
             np.stack(vectors) if vectors else np.zeros((0, vectorizer.dim), dtype=np.float64)
         )
         rng = np.random.default_rng(seed) if vectors else None
-        self.ann_index = AnnIndex.build(array, n_cells=n_cells, rng=rng)
+        self.ann_index = AnnIndex.build(
+            array, n_cells=n_cells, rng=rng, generation=self.generation
+        )
         self.ann_meta = meta
         self.ann_vectorizer = vectorizer
         return self.ann_index
 
     def adopt_ann(self, index, meta: list[dict], samples: int = 3) -> None:
-        """Install an ANN index restored from a catalog snapshot."""
+        """Install an ANN index restored from a catalog snapshot.
+
+        The index keeps the generation tag it was built at; if the
+        catalog has moved past it (e.g. streaming commits landed since
+        the snapshot), :attr:`ann_stale` turns true and query-by-example
+        results are labeled accordingly.
+        """
         from repro.ir.ann import ShotVectorizer
 
         self.ann_index = index
         self.ann_meta = list(meta)
         self.ann_vectorizer = ShotVectorizer(samples=samples)
+
+    @property
+    def ann_stale(self) -> bool:
+        """The ANN index predates the current catalog generation.
+
+        Shots committed since the build (batch or streaming) are missing
+        from the candidate pool; ``search_like`` labels its results
+        ``ann_stale`` and ``repro fsck`` reports the drift.  An untagged
+        index (generation ``-1``, pre-tag snapshots) counts as stale
+        only when the catalog has any generation at all.
+        """
+        if self.ann_index is None:
+            return False
+        return self.ann_index.generation < self.generation
 
     def search_like(
         self,
@@ -735,10 +757,11 @@ class DigitalLibraryEngine:
 
             with trace.stage("rank_fuse"):
                 self._enter_stage("rank_fuse", budget)
+                stale = self.ann_stale
                 text_videos = {r.video_name for r in text_results}
                 for r in text_results:
                     fused = w_text * r.score + w_ann * video_best.get(r.video_name, 0.0)
-                    results.append(replace(r, score=fused))
+                    results.append(replace(r, score=fused, ann_stale=stale))
                 seen: set[str] = set()
                 for row, similarity in hits:
                     name = row["video_name"]
@@ -754,6 +777,7 @@ class DigitalLibraryEngine:
                             match_title=self._match_title_of(name),
                             players=(),
                             score=w_ann * similarity,
+                            ann_stale=stale,
                         )
                     )
                 return _ranked(results, top_n)

@@ -20,7 +20,11 @@ from repro.dataset.build import TournamentDataset
 from repro.grammar.fde import FeatureDetectorEngine
 from repro.grammar.runtime import IndexingHealthReport
 from repro.grammar.tennis import build_tennis_fde
-from repro.library.persistence import load_model_with_state, save_model
+from repro.library.persistence import (
+    load_model_with_state,
+    load_stream_state,
+    save_model,
+)
 from repro.storage.catalog import Catalog
 from repro.storage.journal import IndexingJournal
 from repro.video.ground_truth import GroundTruth
@@ -67,9 +71,15 @@ class LibraryIndexer:
         self.fde = fde or build_tennis_fde()
         self.indexed: dict[str, IndexedVideo] = {}
         #: Monotone commit counter: +1 per registered video, +1 per
-        #: restored snapshot.  The query-serving layer keys its result
-        #: cache on it (see :mod:`repro.library.service`).
+        #: restored snapshot, +1 per streamed chunk commit.  The
+        #: query-serving layer keys its result cache on it (see
+        #: :mod:`repro.library.service`).
         self.generation = 0
+        #: In-flight streaming resume rows, stream name -> state dict
+        #: (see :mod:`repro.streaming.session`); persisted into every
+        #: chunk snapshot so a crash can resume *all* live streams.
+        self.stream_states: dict[str, dict] = {}
+        self._stream_webspace: dict[str, object] = {}
 
     @property
     def model(self) -> CobraModel:
@@ -118,6 +128,79 @@ class LibraryIndexer:
         self.generation += 1
         return record
 
+    def register_streamed_video(self, plan: VideoPlan, video_id: int) -> IndexedVideo:
+        """Library-side bookkeeping for a stream's first chunk commit.
+
+        Mirrors :meth:`_register_video` for the chunk-append path: the
+        webspace Video starts at 0 frames (grown at finalise) and the
+        generation is *not* bumped here — every chunk commit bumps it.
+        """
+        video_obj = self.dataset.instance.create("Video", name=plan.name, n_frames=0)
+        match_obj = self.dataset.match_objects[plan.match_title]
+        self.dataset.instance.link("recorded_in", match_obj, video_obj)
+        self._stream_webspace[plan.name] = video_obj
+        record = IndexedVideo(plan=plan, video_id=video_id, truth=None, n_frames=0)
+        self.indexed[plan.name] = record
+        return record
+
+    def webspace_video(self, name: str):
+        """The webspace Video object created for a streamed ingest."""
+        return self._stream_webspace.get(name)
+
+    def stream_plan(
+        self,
+        plan: VideoPlan,
+        *,
+        chunk_frames: int,
+        path: str | Path | None = None,
+        journal: IndexingJournal | None = None,
+        commit_lock=None,
+        segmenter=None,
+        resume: bool = False,
+        clock=None,
+        on_commit=None,
+    ) -> IndexedVideo:
+        """Replay one plan's clip through the chunk-append ingest path.
+
+        Materialises the clip and feeds it chunk by chunk through a
+        :class:`~repro.streaming.session.StreamSession`: per chunk, the
+        journal tails a ``chunk_begin``/``chunk_commit`` pair around an
+        atomic snapshot save and the generation bumps, so readers see
+        the stream's shots as they finalise and a kill resumes at the
+        last committed chunk.  With ``resume=True`` the session
+        continues from the snapshot's ``stream_state`` row, re-feeding
+        frames from the committed watermark.  *clock* (monotonic)
+        timestamps chunk arrival for the freshness metric; *on_commit*
+        receives every :class:`~repro.streaming.session.ChunkCommit`.
+        """
+        from repro.streaming.chunker import iter_chunks
+        from repro.streaming.session import StreamSession
+
+        extra = {} if clock is None else {"clock": clock}
+        clip, truth = plan.materialise()
+        if resume:
+            session = StreamSession.resume(
+                self, plan, path, journal=journal,
+                segmenter=segmenter, commit_lock=commit_lock, **extra,
+            )
+        else:
+            if plan.name in self.indexed:
+                raise ValueError(f"video {plan.name!r} already indexed")
+            session = StreamSession(
+                self, plan, path=path, journal=journal,
+                segmenter=segmenter, commit_lock=commit_lock, **extra,
+            )
+        for chunk in iter_chunks(
+            clip, chunk_frames, stream=plan.name, start=session.next_frame,
+            clock=clock,
+        ):
+            commit = session.push_chunk(chunk)
+            if on_commit is not None and commit is not None:
+                on_commit(commit)
+        record = self.indexed[plan.name]
+        record.truth = truth
+        return record
+
     def commit_staged_plan(self, plan: VideoPlan, clip, truth, staged) -> IndexedVideo:
         """Commit one staged detector pass and register its video.
 
@@ -138,6 +221,7 @@ class LibraryIndexer:
         resume: bool = False,
         workers: int = 1,
         commit_lock=None,
+        chunk_frames: int | None = None,
     ) -> list[IndexedVideo]:
         """Index the dataset's video plans (optionally only the first *limit*).
 
@@ -171,6 +255,14 @@ class LibraryIndexer:
                 and journal writes).  The query-serving layer passes its
                 write lock here so concurrent readers only ever observe
                 whole-video commits.
+            chunk_frames: route each video through the chunk-append
+                ingest path instead of one atomic batch: frames feed a
+                :class:`~repro.streaming.session.StreamSession` in
+                *chunk_frames*-sized chunks and the generation bumps
+                per chunk, so readers see a video's early shots while
+                its tail is still indexing.  Memory-only (per-chunk
+                snapshots need :meth:`index_checkpointed`); the final
+                meta-index is byte-identical to a batch run.
 
         Returns:
             The videos indexed *by this call* (skipped ones excluded).
@@ -184,6 +276,10 @@ class LibraryIndexer:
             if plan.name not in skip and not (resume and plan.name in self.indexed)
         ]
         lock = commit_lock if commit_lock is not None else nullcontext
+        if chunk_frames is not None:
+            return self._index_all_chunked(
+                todo, journal, checkpoint, lock, commit_lock, chunk_frames
+            )
         if workers <= 1 or len(todo) <= 1:
             records: list[IndexedVideo] = []
             for plan in todo:
@@ -199,6 +295,38 @@ class LibraryIndexer:
                 records.append(record)
             return records
         return self._index_all_parallel(todo, journal, checkpoint, workers, lock)
+
+    def _index_all_chunked(
+        self,
+        todo: list[VideoPlan],
+        journal: IndexingJournal | None,
+        checkpoint,
+        lock,
+        commit_lock,
+        chunk_frames: int,
+    ) -> list[IndexedVideo]:
+        """Chunk-append variant of the batch loop (memory-only commits).
+
+        The video-level journal protocol is preserved — ``begin`` before
+        the first chunk, *checkpoint* then ``commit`` after the last —
+        so resume-by-video semantics and snapshot bytes match a batch
+        run; in between, every chunk commit bumps the generation under
+        *commit_lock* so concurrent readers see partial videos."""
+        records: list[IndexedVideo] = []
+        for plan in todo:
+            with lock():
+                if journal is not None:
+                    journal.begin(plan.name)
+            record = self.stream_plan(
+                plan, chunk_frames=chunk_frames, commit_lock=commit_lock
+            )
+            with lock():
+                if checkpoint is not None:
+                    checkpoint()
+                if journal is not None:
+                    journal.commit(plan.name, degraded=False)
+            records.append(record)
+        return records
 
     def _stage_plan(self, plan: VideoPlan):
         """Worker-thread half of one video: materialise + stage."""
@@ -252,6 +380,7 @@ class LibraryIndexer:
         resume: bool = False,
         workers: int = 1,
         commit_lock=None,
+        chunk_frames: int | None = None,
     ) -> list[IndexedVideo]:
         """Checkpointed (and resumable) batch indexing.
 
@@ -276,6 +405,14 @@ class LibraryIndexer:
             commit_lock: per-video commit lock factory (see
                 :meth:`index_all`); the query-serving layer uses it to
                 land commits atomically between queries.
+            chunk_frames: chunk-append mode — each video streams through
+                a :class:`~repro.streaming.session.StreamSession` in
+                *chunk_frames*-sized chunks, with a journal
+                ``chunk_begin``/``chunk_commit`` pair and an atomic
+                snapshot per chunk.  A kill mid-video resumes at the
+                last committed chunk (the snapshot's ``stream_state``
+                row), not at the video boundary; the final snapshot is
+                byte-identical to a batch run over the same frames.
 
         Returns:
             The videos indexed by this call (resumed batches return
@@ -297,17 +434,67 @@ class LibraryIndexer:
         def checkpoint() -> None:
             save_model(self.model, path, runner_state=self.fde.runner.export_state())
 
-        records = self.index_all(
-            limit=limit,
-            journal=journal,
-            checkpoint=checkpoint,
-            skip=committed,
-            resume=resume,
-            workers=workers,
-            commit_lock=commit_lock,
-        )
+        if chunk_frames is not None:
+            records = self._index_checkpointed_chunked(
+                path, journal, limit, resume, commit_lock, chunk_frames, committed
+            )
+        else:
+            records = self.index_all(
+                limit=limit,
+                journal=journal,
+                checkpoint=checkpoint,
+                skip=committed,
+                resume=resume,
+                workers=workers,
+                commit_lock=commit_lock,
+            )
         if not records and not path.exists():
             checkpoint()  # an empty batch still leaves a loadable snapshot
+        return records
+
+    def _index_checkpointed_chunked(
+        self,
+        path: Path,
+        journal: IndexingJournal,
+        limit: int | None,
+        resume: bool,
+        commit_lock,
+        chunk_frames: int,
+        committed: set[str],
+    ) -> list[IndexedVideo]:
+        """Chunk-append checkpointing: per-chunk snapshots and journal
+        records inside each video's ``begin``/``commit`` bracket.
+
+        On resume, a video with a ``stream_state`` row in the restored
+        snapshot continues from its committed watermark; videos with a
+        journalled commit are skipped; the rest stream from scratch.
+        """
+        plans = self.dataset.video_plans
+        if limit is not None:
+            plans = plans[:limit]
+        states = load_stream_state(path) if (resume and path.exists()) else {}
+        lock = commit_lock if commit_lock is not None else nullcontext
+        records: list[IndexedVideo] = []
+        for plan in plans:
+            if plan.name in committed:
+                continue
+            in_flight = resume and plan.name in states and plan.name in self.indexed
+            if resume and plan.name in self.indexed and not in_flight:
+                continue
+            if not in_flight:
+                with lock():
+                    journal.begin(plan.name)
+            record = self.stream_plan(
+                plan,
+                chunk_frames=chunk_frames,
+                path=path,
+                journal=journal,
+                commit_lock=commit_lock,
+                resume=in_flight,
+            )
+            with lock():
+                journal.commit(plan.name, degraded=False)
+            records.append(record)
         return records
 
     def restore_snapshot(self, path: str | Path) -> int:
@@ -319,6 +506,10 @@ class LibraryIndexer:
         model, runner_state = load_model_with_state(path)
         restored = self.restore(model)
         self.fde.restore_runner_state(runner_state)
+        # Adopt any in-flight stream rows so the next chunk snapshot —
+        # from whichever stream commits first — preserves the others'
+        # resume state.
+        self.stream_states = load_stream_state(path)
         return restored
 
     def health_reports(self) -> list[IndexingHealthReport]:

@@ -20,16 +20,26 @@ __all__ = [
     "catalog_to_model",
     "runner_state_to_catalog",
     "catalog_to_runner_state",
+    "stream_state_to_catalog",
+    "catalog_to_stream_state",
     "save_model",
     "load_model",
     "load_model_with_ann",
     "load_model_with_state",
+    "load_stream_state",
     "RUNNER_STATE_TABLE",
+    "STREAM_STATE_TABLE",
 ]
 
 #: Table holding persisted :class:`~repro.grammar.runtime.DetectorRunner`
 #: quarantine state, stored next to the meta-index tables.
 RUNNER_STATE_TABLE = "runner_state"
+
+#: Table holding in-flight streaming-ingest resume state, one row per
+#: live stream.  Finished streams drop their row, so a snapshot of a
+#: fully-ingested library carries no ``stream_state`` table and is
+#: byte-identical to a batch-indexed one.
+STREAM_STATE_TABLE = "stream_state"
 
 
 def model_to_catalog(model: CobraModel) -> Catalog:
@@ -268,11 +278,58 @@ def catalog_to_runner_state(catalog: Catalog) -> dict | None:
     return {"consecutive_failures": failures, "quarantined_version": versions}
 
 
+def stream_state_to_catalog(states: list[dict], catalog: Catalog) -> None:
+    """Materialise in-flight streaming resume state as a table.
+
+    Each row is a :meth:`~repro.streaming.session.StreamSession.export_state`
+    dict: the stream name, last committed chunk ``seq``, the exactly-once
+    ``watermark`` (re-feed frames from here), the boundary-scan
+    ``scan_base`` (raw boundary events before it are already committed
+    and must be suppressed on resume), and cumulative frame/shot totals.
+    """
+    table = catalog.create_table(
+        STREAM_STATE_TABLE,
+        {
+            "stream": "str",
+            "seq": "int",
+            "watermark": "int",
+            "scan_base": "int",
+            "frames": "int",
+            "shots": "int",
+        },
+    )
+    for state in states:
+        table.append(
+            {
+                "stream": state["stream"],
+                "seq": int(state["seq"]),
+                "watermark": int(state["watermark"]),
+                "scan_base": int(state["scan_base"]),
+                "frames": int(state["frames"]),
+                "shots": int(state["shots"]),
+            }
+        )
+
+
+def catalog_to_stream_state(catalog: Catalog) -> dict[str, dict]:
+    """Rebuild stream resume state, keyed by stream name (empty when the
+    snapshot has no in-flight streams)."""
+    if STREAM_STATE_TABLE not in catalog:
+        return {}
+    return {row["stream"]: dict(row) for row in catalog.table(STREAM_STATE_TABLE).scan()}
+
+
+def load_stream_state(path: str | Path) -> dict[str, dict]:
+    """Read the in-flight stream table of a snapshot file."""
+    return catalog_to_stream_state(load_catalog(path))
+
+
 def save_model(
     model: CobraModel,
     path: str | Path,
     runner_state: dict | None = None,
     ann: tuple | None = None,
+    stream_state: list[dict] | None = None,
 ) -> None:
     """Atomically snapshot a meta-index (plus optional runner state).
 
@@ -288,6 +345,9 @@ def save_model(
             checksummed ``ann_*`` tables (see :mod:`repro.ir.ann`) so
             the query-by-example index rides the same snapshot and is
             validated by ``repro fsck``.
+        stream_state: in-flight streaming resume rows (see
+            :func:`stream_state_to_catalog`); omitted when empty so
+            finished ingests leave batch-identical snapshots.
     """
     catalog = model_to_catalog(model)
     if runner_state is not None:
@@ -297,6 +357,8 @@ def save_model(
 
         index, shot_meta = ann
         export_ann_to_catalog(index, shot_meta, catalog)
+    if stream_state:
+        stream_state_to_catalog(stream_state, catalog)
     save_catalog(catalog, path)
 
 

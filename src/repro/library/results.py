@@ -28,6 +28,11 @@ class SceneResult:
         match_title: the match the video records.
         players: names of the (query-matching) players in the match.
         score: fused relevance score (higher is better).
+        ann_stale: the result came from an ANN index built at an older
+            generation than the catalog serving it — scenes committed
+            since the build (e.g. by live streaming ingest) are absent
+            from the candidate pool.  Labeled, never silent; rebuild or
+            ``adopt_ann`` clears it.
     """
 
     video_name: str
@@ -37,6 +42,7 @@ class SceneResult:
     match_title: str
     players: tuple[str, ...] = ()
     score: float = 1.0
+    ann_stale: bool = False
 
     @property
     def length(self) -> int:

@@ -201,6 +201,11 @@ class QueryStats:
             and lifetime trip count (resilient services only).
         admission: :class:`AdmissionController` snapshot (resilient
             services only).
+        streams: per-stream ingest rows from an attached
+            :class:`~repro.streaming.ingest.StreamIngestor` — chunk and
+            shot progress, lag-shed counts, ``degraded_freshness`` and
+            the frame-arrival -> queryable freshness percentiles against
+            the declared SLO.
     """
 
     queries: int = 0
@@ -222,6 +227,7 @@ class QueryStats:
     breaker_states: dict[str, str] = field(default_factory=dict)
     breaker_trips: dict[str, int] = field(default_factory=dict)
     admission: dict[str, object] = field(default_factory=dict)
+    streams: dict[str, dict] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -279,6 +285,25 @@ def format_query_stats(stats: QueryStats) -> str:
         for stage in sorted(stats.breaker_states):
             trips = stats.breaker_trips.get(stage, 0)
             lines.append(f"  {stage:<16}{stats.breaker_states[stage]} ({trips} trips)")
+    if stats.streams:
+        lines.append("streams:")
+        width = max(len(name) for name in stats.streams) + 2
+        for name in sorted(stats.streams):
+            row = stats.streams[name]
+            p95 = row.get("freshness_p95_ms")
+            slo = row.get("freshness_slo_ms")
+            fresh = "-" if p95 is None else f"p95 {p95:.1f} ms / slo {slo:.0f} ms"
+            flags = []
+            if row.get("degraded_freshness"):
+                flags.append("degraded_freshness")
+            if row.get("lag_sheds"):
+                flags.append(f"lag_sheds={row['lag_sheds']}")
+            suffix = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(
+                f"  {name:<{width}}{row.get('state', '?'):<12}"
+                f"chunks {row.get('chunks', 0):<5}shots {row.get('shots', 0):<5}"
+                f"{fresh}{suffix}"
+            )
     return "\n".join(lines)
 
 
@@ -559,6 +584,7 @@ class LibrarySearchService:
         else:
             self._admission = None
             self._breakers = {}
+        self._stream_provider = None
 
     # ------------------------------------------------------------------ #
     # Serving
@@ -895,6 +921,44 @@ class LibrarySearchService:
             self.engine.refresh_text_index()
 
     # ------------------------------------------------------------------ #
+    # Streaming ingest
+    # ------------------------------------------------------------------ #
+
+    def stream_plan(self, plan, *, chunk_frames: int = 32, **kwargs):
+        """Chunk-append one video plan with per-chunk commit locking.
+
+        Delegates to :meth:`LibraryIndexer.stream_plan`, passing the
+        service's write lock as the ``commit_lock`` — every chunk's
+        commit (shots, snapshot, generation bump) lands atomically
+        between queries, so readers see chunk-granular freshness instead
+        of waiting for the whole video.
+        """
+        return self.engine.indexer.stream_plan(
+            plan, chunk_frames=chunk_frames, commit_lock=self._rw.write, **kwargs
+        )
+
+    def ingestor(self, *, path=None, journal=None, config=None):
+        """Build a :class:`~repro.streaming.ingest.StreamIngestor` wired
+        to this service (chunk commits under the write lock, per-stream
+        freshness surfaced in :meth:`stats`/``repro query-stats``)."""
+        from repro.streaming.ingest import StreamIngestor
+
+        ingestor = StreamIngestor(
+            self.engine.indexer,
+            path=path,
+            journal=journal,
+            config=config,
+            commit_lock=self._rw.write,
+        )
+        self.attach_streams(ingestor.stats_payload)
+        return ingestor
+
+    def attach_streams(self, provider) -> None:
+        """Register a zero-argument callable returning per-stream rows
+        (``StreamIngestor.stats_payload``) to merge into :meth:`stats`."""
+        self._stream_provider = provider
+
+    # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
 
@@ -952,6 +1016,8 @@ class LibrarySearchService:
             stats.breaker_trips[stage] = breaker.trips
         if self._admission is not None:
             stats.admission = self._admission.snapshot()
+        if self._stream_provider is not None:
+            stats.streams = self._stream_provider()
         return stats
 
     def reset_stats(self) -> None:

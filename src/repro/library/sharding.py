@@ -332,6 +332,9 @@ class ShardedStats:
         generations: current known generation vector.
         fanout: request-latency percentiles (seconds).
         shards: per-group health rows (with per-replica sub-rows).
+        stream_freshness: per-shard chunk-commit freshness from the last
+            :meth:`ShardedSearchService.stream_videos` batch — chunk
+            count plus frame-arrival -> queryable percentiles (seconds).
     """
 
     queries: int = 0
@@ -347,6 +350,7 @@ class ShardedStats:
     generations: tuple[int, ...] = ()
     fanout: dict[str, float] = field(default_factory=dict)
     shards: list[ShardHealth] = field(default_factory=list)
+    stream_freshness: dict[int, dict] = field(default_factory=dict)
 
 
 def format_sharded_stats(stats: ShardedStats) -> str:
@@ -394,6 +398,13 @@ def format_sharded_stats(stats: ShardedStats) -> str:
                     f"{rep.hedges} hedges, {rep.failovers} failovers, "
                     f"{rep.restarts} restarts{rep_latency}"
                 )
+    if stats.stream_freshness:
+        lines.append("stream freshness (last chunked batch):")
+        for sid in sorted(stats.stream_freshness):
+            row = stats.stream_freshness[sid]
+            p95 = row.get("p95")
+            rendered = "-" if p95 is None else f"p95 {p95 * 1e3:.2f} ms"
+            lines.append(f"  [{sid}] {row.get('chunks', 0)} chunk(s), {rendered}")
     return "\n".join(lines)
 
 
@@ -581,6 +592,54 @@ def _shard_worker_main(
                 }
             )
 
+    def handle_index_chunked(req_id: int, batch: list[str], chunk_frames: int) -> None:
+        """Chunk-append a batch of plans; generations bump per chunk.
+
+        Each video streams through the service's chunk-append path
+        (memory-only on workers — durability is the coordinator's
+        concern), so concurrent queries on this replica see shots at
+        chunk granularity.  The reply carries per-chunk freshness
+        percentiles for the coordinator's stream stats.
+        """
+        from repro.library.stats import LatencyReservoir
+
+        reservoir = LatencyReservoir()
+        chunks = 0
+
+        def on_commit(commit) -> None:
+            nonlocal chunks
+            chunks += 1
+            if commit.freshness_seconds is not None:
+                reservoir.add(commit.freshness_seconds)
+
+        try:
+            for name in batch:
+                service.stream_plan(
+                    engine.indexer.plan_named(name),
+                    chunk_frames=chunk_frames,
+                    clock=time.monotonic,
+                    on_commit=on_commit,
+                )
+            reply(
+                {
+                    "kind": "result",
+                    "req_id": req_id,
+                    "status": "ok",
+                    "generation": service.generation,
+                    "chunks": chunks,
+                    "freshness": reservoir.summary(),
+                }
+            )
+        except Exception as exc:  # noqa: BLE001
+            reply(
+                {
+                    "kind": "result",
+                    "req_id": req_id,
+                    "status": "error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            )
+
     pool = ThreadPoolExecutor(
         max_workers=worker_threads, thread_name_prefix=f"shard-{shard}r{replica}"
     )
@@ -615,6 +674,9 @@ def _shard_worker_main(
             elif kind == "index_batch":
                 _, req_id, batch = command
                 pool.submit(handle_index, req_id, batch)
+            elif kind == "index_chunked":
+                _, req_id, batch, chunk_frames = command
+                pool.submit(handle_index_chunked, req_id, batch, chunk_frames)
             elif kind == "shutdown":
                 break
     finally:
@@ -854,6 +916,7 @@ class ShardedSearchService:
         self._stale_served = 0
         self._rejected = 0
         self._fanout_reservoir = LatencyReservoir(capacity=1024)
+        self._stream_freshness: dict[int, dict] = {}  # shard -> last chunked-commit stats
 
         slices = assign_shards(list(video_names), self.config.n_shards)
         self.groups = [
@@ -1543,7 +1606,28 @@ class ShardedSearchService:
             )
         return shard_id
 
-    def index_videos(self, names: list[str], timeout: float = 600.0) -> BatchIndexResult:
+    def stream_videos(
+        self, names: list[str], chunk_frames: int = 32, timeout: float = 600.0
+    ) -> BatchIndexResult:
+        """Chunk-append a batch of videos; generations bump per chunk.
+
+        The scatter/barrier discipline of :meth:`index_videos`, but each
+        home replica ingests its slice through the streaming path — so
+        queries racing the write observe the stream's shots at chunk
+        granularity rather than all-at-once, and the workers report
+        frame-arrival -> queryable freshness percentiles that surface in
+        :meth:`stats` (``stream freshness`` rows in
+        ``repro health``/``repro query-stats``).
+        """
+        return self.index_videos(names, timeout=timeout, chunk_frames=chunk_frames)
+
+    def index_videos(
+        self,
+        names: list[str],
+        timeout: float = 600.0,
+        *,
+        chunk_frames: int | None = None,
+    ) -> BatchIndexResult:
         """Index a batch; every live replica of each home shard commits it.
 
         The batch is striped across shards with :func:`assign_shards`
@@ -1561,6 +1645,10 @@ class ShardedSearchService:
         (``committed`` with the new generation, ``failed``, or
         ``down``), so a timeout cannot raise away the shards that did
         commit.  Callers needing all-or-nothing check ``result.ok``.
+
+        With *chunk_frames* set (see :meth:`stream_videos`) the slices
+        go down the workers' chunk-append path instead of the batch
+        path.
         """
         if not names:
             return BatchIndexResult(assignments={}, outcomes={})
@@ -1596,7 +1684,11 @@ class ShardedSearchService:
                     for replica in live:
                         req_id = self._register(gather, (sid, replica.index), replica)
                         req_ids.append(req_id)
-                        if not replica.send(("index_batch", req_id, list(batch))):
+                        if chunk_frames is not None:
+                            command = ("index_chunked", req_id, list(batch), chunk_frames)
+                        else:
+                            command = ("index_batch", req_id, list(batch))
+                        if not replica.send(command):
                             self._unregister(req_id)
                             gather.deliver(
                                 (sid, replica.index),
@@ -1624,6 +1716,11 @@ class ShardedSearchService:
                     if payload is not None and payload.get("status") == "ok":
                         replica.generation = payload["generation"]
                         committed.append(replica.index)
+                        if chunk_frames is not None and "freshness" in payload:
+                            self._stream_freshness[sid] = {
+                                "chunks": payload.get("chunks", 0),
+                                **(payload.get("freshness") or {}),
+                            }
                         continue
                     failures = gather.failures.get((sid, replica.index), [])
                     message = failures[0].get("message") if failures else None
@@ -1693,6 +1790,9 @@ class ShardedSearchService:
                 restarts=sum(r.restarts for r in replicas),
                 generations=self.generations,
                 fanout=self._fanout_reservoir.summary(),
+                stream_freshness={
+                    sid: dict(row) for sid, row in self._stream_freshness.items()
+                },
             )
         order = {"closed": 0, "half_open": 1, "open": 2}
         for group in self.groups:

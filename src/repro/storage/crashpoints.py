@@ -24,6 +24,7 @@ __all__ = [
     "armed_points",
     "SNAPSHOT_POINTS",
     "JOURNAL_POINTS",
+    "STREAM_POINTS",
     "WRITE_POINTS",
 ]
 
@@ -45,8 +46,20 @@ JOURNAL_POINTS = (
     "journal-post-append",
 )
 
+#: Crash points in the streaming chunk-commit path, in execution order.
+#: A chunk lands as journal ``chunk_begin`` → model mutation → snapshot
+#: save → journal ``chunk_commit`` → generation bump; these points sit
+#: between those steps so the kill matrix can die at every edge.
+STREAM_POINTS = (
+    "chunk-post-begin",
+    "chunk-pre-snapshot",
+    "chunk-pre-commit",
+    "chunk-pre-generation",
+    "chunk-post-generation",
+)
+
 #: Every named crash point in the storage write path (the test matrix).
-WRITE_POINTS = SNAPSHOT_POINTS + JOURNAL_POINTS
+WRITE_POINTS = SNAPSHOT_POINTS + JOURNAL_POINTS + STREAM_POINTS
 
 _armed: dict[str, list[int]] = {}  # point -> [skips remaining, trips remaining (-1 = forever)]
 

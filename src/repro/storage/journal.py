@@ -10,7 +10,14 @@ Every record is one JSON object per line (``journal.jsonl`` style):
   the snapshot *before* appending the commit record, so a commit is a
   promise the data survives);
 - ``{"op": "note", ...}`` — free-form annotations (e.g. a snapshot
-  marker).
+  marker);
+- ``{"op": "chunk_begin", "stream": name, "seq": n, ...}`` /
+  ``{"op": "chunk_commit", "stream": name, "seq": n, "watermark": w,
+  "generation": g, ...}`` — streaming chunk-append progress.  A
+  ``chunk_commit`` is written *after* the chunk's snapshot save, so it
+  promises the snapshot holds every shot up to ``watermark``.  Chunk
+  records carry a ``stream`` key (not ``video``) so they never perturb
+  the video-level committed/interrupted sets.
 
 Appends are flushed and fsynced, so after a crash the journal is intact
 up to at most one torn final line.  :meth:`IndexingJournal.replay`
@@ -54,6 +61,11 @@ class JournalReport:
             (unrecoverable damage).
         committed: video name -> degraded flag, from commit records.
         interrupted: videos with a begin but no commit, in begin order.
+        chunk_commits: stream name -> chunk_commit records, in order.
+        orphan_chunks: stream name -> seqs of chunk_begin records with
+            no matching chunk_commit (in flight at a crash; recoverable,
+            the snapshot's stream_state is the authoritative resume
+            point).
     """
 
     path: Path
@@ -62,6 +74,8 @@ class JournalReport:
     corrupt_lines: list[int] = field(default_factory=list)
     committed: dict[str, bool] = field(default_factory=dict)
     interrupted: list[str] = field(default_factory=list)
+    chunk_commits: dict[str, list[dict]] = field(default_factory=dict)
+    orphan_chunks: dict[str, list[int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -116,6 +130,40 @@ class IndexingJournal:
     def note(self, **fields) -> None:
         """Append a free-form annotation record."""
         self.append({"op": "note", **fields})
+
+    def chunk_begin(self, stream: str, seq: int, start: int, stop: int) -> None:
+        """Record that chunk *seq* of *stream* (frames [start, stop)) is
+        being applied."""
+        self.append(
+            {"op": "chunk_begin", "stream": stream, "seq": seq, "start": start, "stop": stop}
+        )
+
+    def chunk_commit(
+        self,
+        stream: str,
+        seq: int,
+        watermark: int,
+        frames: int,
+        shots: int,
+        generation: int,
+    ) -> None:
+        """Record that chunk *seq* of *stream* is durably snapshotted.
+
+        ``watermark`` is the exactly-once resume point (frames below it
+        are in the snapshot), ``frames``/``shots`` are cumulative stream
+        totals and ``generation`` the post-commit indexer generation.
+        """
+        self.append(
+            {
+                "op": "chunk_commit",
+                "stream": stream,
+                "seq": seq,
+                "watermark": watermark,
+                "frames": frames,
+                "shots": shots,
+                "generation": generation,
+            }
+        )
 
     def clear(self) -> None:
         """Start a fresh journal (a new from-scratch indexing run)."""
@@ -191,6 +239,7 @@ class IndexingJournal:
         if lines and lines[-1] == b"":
             lines.pop()
         begun: list[str] = []
+        chunk_begun: dict[str, list[int]] = {}
         for number, line in enumerate(lines, start=1):
             try:
                 record = json.loads(line.decode("utf-8"))
@@ -206,5 +255,14 @@ class IndexingJournal:
                 begun.append(record["video"])
             elif record["op"] == "commit":
                 report.committed[record["video"]] = bool(record.get("degraded", False))
+            elif record["op"] == "chunk_begin":
+                chunk_begun.setdefault(record["stream"], []).append(int(record["seq"]))
+            elif record["op"] == "chunk_commit":
+                report.chunk_commits.setdefault(record["stream"], []).append(record)
         report.interrupted = [v for v in begun if v not in report.committed]
+        for stream, seqs in chunk_begun.items():
+            done = {int(r["seq"]) for r in report.chunk_commits.get(stream, [])}
+            orphans = [s for s in seqs if s not in done]
+            if orphans:
+                report.orphan_chunks[stream] = orphans
         return report

@@ -1,0 +1,109 @@
+"""Frame chunks: the unit of streaming ingest.
+
+A live broadcast arrives as a sequence of bounded :class:`FrameChunk`
+batches.  Chunks carry their absolute frame offset, so the ingest path
+is idempotent by construction: a re-delivered (duplicated) chunk or the
+overlapping half of a torn chunk is recognised by offset and dropped,
+and after a crash the producer simply re-offers frames from the last
+committed watermark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["FrameChunk", "iter_chunks"]
+
+
+@dataclass(frozen=True)
+class FrameChunk:
+    """One bounded batch of consecutive frames of a stream.
+
+    Attributes:
+        stream: stream (video) name.
+        seq: producer-side sequence number (informational; the session
+            keys exactly-once on frame offsets, not seqs).
+        start: absolute index of ``frames[0]`` in the stream.
+        frames: the RGB frames, oldest first.
+        fps: nominal frame rate of the stream.
+        final: True on the last chunk — the session finalises the tail
+            shot and drops its resume state.
+        arrived_at: producer timestamp (monotonic clock) used for the
+            frame-arrival -> queryable freshness metric; ``None`` when
+            the producer does not track it.
+    """
+
+    stream: str
+    seq: int
+    start: int
+    frames: tuple
+    fps: float = 25.0
+    final: bool = False
+    arrived_at: float | None = None
+
+    @property
+    def stop(self) -> int:
+        """One past the absolute index of the last frame."""
+        return self.start + len(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def tail_from(self, start: int) -> "FrameChunk":
+        """The suffix of this chunk from absolute frame *start* on."""
+        if start <= self.start:
+            return self
+        return replace(self, start=start, frames=self.frames[start - self.start :])
+
+
+def iter_chunks(
+    clip: Sequence[np.ndarray],
+    chunk_frames: int,
+    stream: str = "stream",
+    start: int = 0,
+    fps: float | None = None,
+    clock=None,
+) -> Iterator[FrameChunk]:
+    """Cut a materialised clip into :class:`FrameChunk` batches.
+
+    This is the replay producer used by batch-over-chunk indexing, the
+    benchmarks and the CLI: it re-feeds a clip as if it had streamed.
+
+    Args:
+        clip: the full clip (a :class:`~repro.video.frames.VideoClip`
+            or frame sequence).
+        chunk_frames: frames per chunk (the last chunk may be shorter).
+        stream: stream name stamped on each chunk.
+        start: first absolute frame to emit (resume replay from a
+            committed watermark).
+        fps: frame rate override; defaults to ``clip.fps`` or 25.
+        clock: zero-argument monotonic clock for ``arrived_at`` stamps;
+            ``None`` leaves chunks unstamped.
+    """
+    if chunk_frames < 1:
+        raise ValueError(f"chunk_frames must be >= 1, got {chunk_frames}")
+    total = len(clip)
+    rate = fps if fps is not None else float(getattr(clip, "fps", 25.0))
+    seq = 0
+    for offset in range(start, total, chunk_frames):
+        stop = min(offset + chunk_frames, total)
+        yield FrameChunk(
+            stream=stream,
+            seq=seq,
+            start=offset,
+            frames=tuple(clip[i] for i in range(offset, stop)),
+            fps=rate,
+            final=stop == total,
+            arrived_at=clock() if clock is not None else None,
+        )
+        seq += 1
+    if start >= total and total > 0:
+        # Resuming past the end: emit one empty final marker so the
+        # session still finalises.
+        yield FrameChunk(
+            stream=stream, seq=0, start=total, frames=(), fps=rate, final=True,
+            arrived_at=clock() if clock is not None else None,
+        )

@@ -1,0 +1,341 @@
+"""One stream's crash-safe chunk-append ingest session.
+
+:class:`StreamSession` applies :class:`~repro.streaming.chunker.FrameChunk`
+batches of one stream to a :class:`~repro.library.indexing.LibraryIndexer`.
+Each accepted chunk lands with the commit protocol::
+
+    journal chunk_begin          (intent)
+    detect + mutate meta-index   (in memory only)
+    atomic snapshot save         (model + runner state + stream_state)
+    journal chunk_commit         (promise: snapshot holds the chunk)
+    generation += 1              (readers see the new shots)
+
+A kill between any two steps loses at most in-memory work: on restart
+the snapshot's ``stream_state`` row names the exactly-once resume point
+(``watermark``), the producer re-feeds frames from there, and offset
+deduplication drops anything re-delivered below it — no lost and no
+duplicated shots, proved per crash point by the E20 kill matrix.
+
+Detector work per chunk reuses the batch pipeline's own helpers
+(:func:`~repro.grammar.tennis.track_shot_player`,
+:func:`~repro.grammar.tennis.detect_player_events`) in batch order, so
+a stream ingested without interference produces a final snapshot
+byte-identical to ``index_checkpointed`` over the same frames.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+from repro.core.defaults import tennis_grammar
+from repro.grammar.tennis import (
+    detect_player_events,
+    shot_features_dict,
+    track_shot_player,
+)
+from repro.library.persistence import load_stream_state, save_model
+from repro.library.stats import LatencyReservoir
+from repro.storage.crashpoints import trip
+from repro.streaming.chunker import FrameChunk
+from repro.streaming.segmenter import StreamingSegmenter
+from repro.tracking.tracker import PlayerTracker
+from repro.video.shots import ShotCategory
+
+__all__ = ["StreamSession", "ChunkCommit", "StreamGapError"]
+
+
+class StreamGapError(RuntimeError):
+    """A chunk arrived beyond the next expected frame (frames missing).
+
+    Raised by :meth:`StreamSession.push_chunk`; the ingestor handles it
+    by force-finalising the tail at the last ingested frame and
+    restarting the boundary state past the gap (a labeled
+    ``degraded_freshness`` shed, never a silent hole in a shot).
+    """
+
+    def __init__(self, stream: str, expected: int, got: int):
+        super().__init__(
+            f"stream {stream!r}: expected frame {expected}, chunk starts at {got}"
+        )
+        self.stream = stream
+        self.expected = expected
+        self.got = got
+
+
+@dataclass(frozen=True)
+class ChunkCommit:
+    """Outcome of one committed chunk."""
+
+    stream: str
+    seq: int
+    accepted_frames: int
+    deduped_frames: int
+    new_shots: int
+    watermark: int
+    generation: int
+    final: bool
+    freshness_seconds: float | None = None
+
+
+class StreamSession:
+    """Chunk-append one stream into a library indexer.
+
+    Args:
+        indexer: the :class:`~repro.library.indexing.LibraryIndexer`.
+        plan: the stream's video plan (names the stream and its match).
+        path: snapshot path; ``None`` runs memory-only (no durability —
+            shard workers rebuild from scratch and use this mode).
+        journal: indexing journal for chunk records (requires *path*).
+        segmenter: batch segment detector to mirror (defaults to the
+            FDE's twin-comparison configuration).
+        tracker / far_tracker: player trackers (defaults match
+            ``build_tennis_fde``; pass the engine's own to mirror a
+            customised pipeline).
+        grammar: COBRA event grammar (defaults to ``tennis_grammar()``).
+        commit_lock: zero-argument context-manager factory entered
+            around every chunk's shared-state mutation (the serving
+            layer passes its write lock).
+        clock: monotonic clock for freshness sampling.
+
+    Use :meth:`resume` to continue an interrupted session from a
+    restored snapshot.
+    """
+
+    def __init__(
+        self,
+        indexer,
+        plan,
+        *,
+        path=None,
+        journal=None,
+        segmenter=None,
+        tracker: PlayerTracker | None = None,
+        far_tracker: PlayerTracker | None = None,
+        grammar=None,
+        commit_lock=None,
+        clock=time.monotonic,
+        _resume_state: dict | None = None,
+    ):
+        if journal is not None and path is None:
+            raise ValueError("a journal requires a snapshot path")
+        self.indexer = indexer
+        self.plan = plan
+        self.name = plan.name
+        self.path = path
+        self.journal = journal
+        self.tracker = tracker or PlayerTracker()
+        self.far_tracker = far_tracker
+        self.grammar = grammar or tennis_grammar()
+        self._lock = commit_lock if commit_lock is not None else nullcontext
+        self._clock = clock
+        self.freshness = LatencyReservoir()
+        self.duplicates_dropped = 0
+        self.finalized = False
+        self.degraded = False  # a gap() shed broke batch identity
+
+        if _resume_state is not None:
+            state = _resume_state
+            self.seq = int(state["seq"])
+            self.shots_total = int(state["shots"])
+            self.segmenter = StreamingSegmenter(
+                segmenter,
+                origin=int(state["watermark"]),
+                scan_base=int(state["scan_base"]),
+            )
+            record = indexer.indexed.get(self.name)
+            if record is None:
+                raise ValueError(
+                    f"resume of {self.name!r} needs the restored snapshot's video"
+                )
+            self.video_id = record.video_id
+        else:
+            self.seq = 0
+            self.shots_total = 0
+            self.segmenter = StreamingSegmenter(segmenter)
+            self.video_id: int | None = None
+
+    @classmethod
+    def resume(cls, indexer, plan, path, journal=None, **kwargs) -> "StreamSession":
+        """Continue an interrupted ingest from a restored snapshot.
+
+        The indexer must already hold the snapshot's model (via
+        ``restore_snapshot``); this reads the snapshot's
+        ``stream_state`` row for *plan* and rebuilds the carry-over
+        boundary state.  Re-feed frames from :attr:`next_frame`.
+        """
+        states = load_stream_state(path)
+        state = states.get(plan.name)
+        if state is None:
+            raise ValueError(f"snapshot {path} has no stream state for {plan.name!r}")
+        if journal is not None:
+            journal.recover()
+        return cls(
+            indexer, plan, path=path, journal=journal, _resume_state=state, **kwargs
+        )
+
+    # -- state ---------------------------------------------------------- #
+
+    @property
+    def next_frame(self) -> int:
+        """The next absolute frame index this session will accept."""
+        return self.segmenter.frames_seen
+
+    @property
+    def watermark(self) -> int:
+        """Durably committed resume point (after the last commit)."""
+        return self.segmenter.watermark
+
+    def export_state(self) -> dict:
+        """This session's ``stream_state`` snapshot row."""
+        return {
+            "stream": self.name,
+            "seq": self.seq,
+            "watermark": self.segmenter.watermark,
+            "scan_base": self.segmenter.scan_base,
+            "frames": self.segmenter.frames_seen,
+            "shots": self.shots_total,
+        }
+
+    # -- ingest --------------------------------------------------------- #
+
+    def push_chunk(self, chunk: FrameChunk) -> ChunkCommit | None:
+        """Apply one chunk; returns the commit, or ``None`` when the
+        chunk was entirely duplicate (idempotent redelivery)."""
+        if self.finalized:
+            raise RuntimeError(f"stream {self.name!r} already finalised")
+        if chunk.stream != self.name:
+            raise ValueError(f"chunk for {chunk.stream!r} offered to {self.name!r}")
+        expected = self.next_frame
+        if chunk.start > expected:
+            raise StreamGapError(self.name, expected, chunk.start)
+        accepted = chunk.tail_from(expected)
+        deduped = len(chunk) - len(accepted)
+        self.duplicates_dropped += deduped
+        if not accepted.frames and not chunk.final:
+            return None
+
+        self.seq += 1
+        if self.journal is not None:
+            self.journal.chunk_begin(self.name, self.seq, accepted.start, accepted.stop)
+        trip("chunk-post-begin")
+
+        emitted = self.segmenter.push(accepted.frames)
+        if chunk.final:
+            emitted.extend(self.segmenter.finalize())
+
+        with self._lock():
+            self._ensure_video(chunk.fps)
+            new_shots = 0
+            for shot, frames in emitted:
+                self._commit_shot(shot, frames)
+                new_shots += 1
+            self.shots_total += new_shots
+            total = self.segmenter.frames_seen
+            watermark = self.segmenter.watermark
+            self.indexer.model.set_video_frames(
+                self.video_id, total if chunk.final else watermark
+            )
+            trip("chunk-pre-snapshot")
+            if self.path is not None:
+                self._save_snapshot(final=chunk.final)
+            trip("chunk-pre-commit")
+            generation = self.indexer.generation + 1
+            if self.journal is not None:
+                self.journal.chunk_commit(
+                    self.name,
+                    self.seq,
+                    watermark=watermark,
+                    frames=total,
+                    shots=self.shots_total,
+                    generation=generation,
+                )
+            trip("chunk-pre-generation")
+            self.indexer.generation = generation
+            trip("chunk-post-generation")
+
+        freshness = None
+        if chunk.arrived_at is not None:
+            freshness = max(0.0, self._clock() - chunk.arrived_at)
+            self.freshness.add(freshness)
+        if chunk.final:
+            self._finish(total)
+        return ChunkCommit(
+            stream=self.name,
+            seq=self.seq,
+            accepted_frames=len(accepted),
+            deduped_frames=deduped,
+            new_shots=new_shots,
+            watermark=self.segmenter.watermark,
+            generation=self.indexer.generation,
+            final=chunk.final,
+            freshness_seconds=freshness,
+        )
+
+    def record_gap(self, new_start: int) -> int:
+        """Shed recovery: finalise the tail at the last ingested frame
+        and restart past the dropped frames.  Returns the number of
+        tail shots flushed.  The stream is marked degraded."""
+        emitted = self.segmenter.gap(new_start)
+        with self._lock():
+            if emitted:
+                self._ensure_video(self.plan_fps())
+                for shot, frames in emitted:
+                    self._commit_shot(shot, frames)
+                self.shots_total += len(emitted)
+        self.degraded = True
+        return len(emitted)
+
+    def plan_fps(self) -> float:
+        return float(getattr(self.plan, "fps", 25.0))
+
+    # -- internals ------------------------------------------------------ #
+
+    def _ensure_video(self, fps: float) -> None:
+        if self.video_id is not None:
+            return
+        video = self.indexer.model.add_video(self.name, fps=fps, n_frames=0)
+        self.video_id = video.video_id
+        self.indexer.register_streamed_video(self.plan, video.video_id)
+
+    def _commit_shot(self, shot, frames) -> None:
+        """Register one finalised shot in batch detector order:
+        shot record, player objects, then events."""
+        model = self.indexer.model
+        record = model.add_shot(
+            self.video_id,
+            start=shot.start,
+            stop=shot.stop,
+            category=shot.category,
+            features=shot_features_dict(shot),
+        )
+        if shot.category != ShotCategory.TENNIS:
+            return
+        player = track_shot_player(
+            model, frames, shot, record.shot_id, self.tracker, self.far_tracker
+        )
+        detect_player_events(model, player, self.grammar)
+
+    def _save_snapshot(self, final: bool) -> None:
+        states = self.indexer.stream_states
+        if final:
+            states.pop(self.name, None)
+        else:
+            states[self.name] = self.export_state()
+        save_model(
+            self.indexer.model,
+            self.path,
+            runner_state=self.indexer.fde.runner.export_state(),
+            stream_state=[states[name] for name in sorted(states)],
+        )
+
+    def _finish(self, total: int) -> None:
+        self.finalized = True
+        record = self.indexer.indexed.get(self.name)
+        if record is not None:
+            record.n_frames = total
+        self.indexer.stream_states.pop(self.name, None)
+        video_obj = self.indexer.webspace_video(self.name)
+        if video_obj is not None:
+            video_obj.attributes["n_frames"] = total

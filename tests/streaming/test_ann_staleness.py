@@ -1,0 +1,53 @@
+"""ANN staleness: streaming commits mark the ANN index stale."""
+
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.grammar.tennis import build_tennis_fde
+from repro.library import DigitalLibraryEngine
+from repro.streaming import StreamSession, iter_chunks
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dataset = build_australian_open(seed=7, video_shots=4)
+    engine = DigitalLibraryEngine(dataset, fde=build_tennis_fde())
+    engine.index_videos(limit=1)
+    engine.build_ann_index()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def example_clip(engine):
+    clip, _truth = engine.dataset.video_plans[0].materialise()
+    return clip[:40]
+
+
+class TestStaleness:
+    def test_fresh_after_build(self, engine, example_clip):
+        assert not engine.ann_stale
+        results = engine.search_like(example_clip, k=5)
+        assert results
+        assert not any(r.ann_stale for r in results)
+
+    def test_streamed_commits_mark_stale(self, engine, example_clip):
+        plan = engine.dataset.video_plans[1]
+        clip, _truth = plan.materialise()
+        session = StreamSession(engine.indexer, plan)
+        built_at = engine.ann_index.generation
+        for chunk in iter_chunks(clip, 24, stream=plan.name):
+            session.push_chunk(chunk)
+        assert engine.generation > built_at
+        assert engine.ann_stale
+        # search_like still answers, but every result carries the label
+        # instead of silently serving the pre-stream vector set.
+        results = engine.search_like(example_clip, k=5)
+        assert results
+        assert all(r.ann_stale for r in results)
+
+    def test_rebuild_clears_staleness(self, engine, example_clip):
+        engine.build_ann_index()
+        assert not engine.ann_stale
+        results = engine.search_like(example_clip, k=5)
+        assert results
+        assert not any(r.ann_stale for r in results)

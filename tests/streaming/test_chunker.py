@@ -1,0 +1,81 @@
+"""FrameChunk / iter_chunks tests."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import FrameChunk, iter_chunks
+
+
+def _frames(n, start=0):
+    return tuple(np.full((4, 4, 3), start + i, dtype=np.uint8) for i in range(n))
+
+
+class TestFrameChunk:
+    def test_stop_and_len(self):
+        chunk = FrameChunk(stream="s", seq=0, start=10, frames=_frames(5))
+        assert len(chunk) == 5
+        assert chunk.stop == 15
+
+    def test_tail_from_inside(self):
+        chunk = FrameChunk(stream="s", seq=0, start=10, frames=_frames(5))
+        tail = chunk.tail_from(12)
+        assert tail.start == 12
+        assert len(tail) == 3
+        assert tail.stream == "s"
+
+    def test_tail_from_before_start_is_whole_chunk(self):
+        chunk = FrameChunk(stream="s", seq=0, start=10, frames=_frames(5))
+        assert chunk.tail_from(3) is chunk
+
+    def test_tail_from_past_end_is_empty(self):
+        chunk = FrameChunk(stream="s", seq=0, start=10, frames=_frames(5))
+        assert len(chunk.tail_from(99)) == 0
+
+
+class TestIterChunks:
+    def test_covers_every_frame_once(self):
+        clip = list(_frames(50))
+        chunks = list(iter_chunks(clip, 24, stream="s"))
+        assert [c.start for c in chunks] == [0, 24, 48]
+        assert [len(c) for c in chunks] == [24, 24, 2]
+        assert sum(len(c) for c in chunks) == 50
+
+    def test_final_flag_only_on_last(self):
+        clip = list(_frames(50))
+        finals = [c.final for c in iter_chunks(clip, 24)]
+        assert finals == [False, False, True]
+
+    def test_exact_multiple_still_marks_final(self):
+        clip = list(_frames(48))
+        chunks = list(iter_chunks(clip, 24))
+        assert len(chunks) == 2
+        assert chunks[-1].final
+
+    def test_resume_start(self):
+        clip = list(_frames(50))
+        chunks = list(iter_chunks(clip, 24, start=24))
+        assert [c.start for c in chunks] == [24, 48]
+        assert chunks[-1].final
+
+    def test_resume_past_end_emits_empty_final_marker(self):
+        clip = list(_frames(50))
+        chunks = list(iter_chunks(clip, 24, start=50))
+        assert len(chunks) == 1
+        assert chunks[0].final
+        assert len(chunks[0]) == 0
+        assert chunks[0].start == 50
+
+    def test_rejects_zero_chunk_frames(self):
+        with pytest.raises(ValueError):
+            next(iter_chunks(list(_frames(5)), 0))
+
+    def test_clock_stamps_arrival(self):
+        clip = list(_frames(10))
+        ticks = iter([1.0, 2.0])
+        chunks = list(iter_chunks(clip, 5, clock=lambda: next(ticks)))
+        assert [c.arrived_at for c in chunks] == [1.0, 2.0]
+
+    def test_unstamped_without_clock(self):
+        assert all(
+            c.arrived_at is None for c in iter_chunks(list(_frames(10)), 5)
+        )

@@ -1,0 +1,86 @@
+"""CLI streaming ingest: repro stream, fsck chunk checks, resume."""
+
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.storage.crashpoints import CrashPoint, SimulatedCrash
+
+
+@pytest.fixture(scope="module")
+def batch_bytes(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli_batch") / "meta.json"
+    assert main(["index", "--seed", "7", "--videos", "1", "--out", str(path)]) == 0
+    return path.read_bytes()
+
+
+@pytest.fixture
+def quiet_crashes():
+    """Consumer threads die by design in the kill test; mute the traceback."""
+    original = threading.excepthook
+
+    def hook(args):
+        if not issubclass(args.exc_type, SimulatedCrash):
+            original(args)
+
+    threading.excepthook = hook
+    yield
+    threading.excepthook = original
+
+
+class TestStreamCommand:
+    def test_stream_matches_batch_index(self, tmp_path, batch_bytes, capsys):
+        out = tmp_path / "meta.json"
+        journal = tmp_path / "meta.journal"
+        code = main(
+            ["stream", "--seed", "7", "--videos", "1", "--out", str(out),
+             "--journal", str(journal), "--chunk-frames", "24"]
+        )
+        assert code == 0
+        assert out.read_bytes() == batch_bytes
+        text = capsys.readouterr().out
+        assert "done" in text
+
+    def test_fsck_clean_after_stream(self, tmp_path, capsys):
+        out = tmp_path / "meta.json"
+        journal = tmp_path / "meta.journal"
+        assert main(
+            ["stream", "--seed", "7", "--videos", "1", "--out", str(out),
+             "--journal", str(journal), "--chunk-frames", "24"]
+        ) == 0
+        capsys.readouterr()
+        code = main(["fsck", "--metaindex", str(out), "--journal", str(journal)])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "fsck: clean" in text
+        assert "chunk" in text  # the deep chunk check reported the stream
+
+    def test_kill_fsck_resume_roundtrip(
+        self, tmp_path, batch_bytes, capsys, quiet_crashes
+    ):
+        out = tmp_path / "meta.json"
+        journal = tmp_path / "meta.journal"
+        argv = ["stream", "--seed", "7", "--videos", "1", "--out", str(out),
+                "--journal", str(journal), "--chunk-frames", "24"]
+        with CrashPoint("chunk-pre-commit", after=2):
+            assert main(argv) == 1  # consumer died mid-commit -> quarantined
+        capsys.readouterr()
+
+        # fsck: the in-flight chunk is an orphan — recoverable, not fatal.
+        code = main(["fsck", "--metaindex", str(out), "--journal", str(journal)])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "orphaned chunk_begin" in text
+        assert "recoverable" in text
+
+        assert main(argv + ["--resume"]) == 0
+        assert out.read_bytes() == batch_bytes
+
+        # After a resume the journal's generations restart; fsck treats
+        # the epoch boundary as legal, not as a stuck generation.
+        capsys.readouterr()
+        assert main(["fsck", "--metaindex", str(out), "--journal", str(journal)]) == 0
+        text = capsys.readouterr().out
+        assert "fsck: clean" in text
+        assert "resume" in text

@@ -1,0 +1,105 @@
+"""Stream chaos specs: StreamFaultPlan delivery mangling."""
+
+import numpy as np
+import pytest
+
+from repro.faults import StreamFaultPlan, StreamFaultSpec
+from repro.storage.crashpoints import SimulatedCrash, trip
+from repro.streaming import FrameChunk
+
+
+def make_chunk(start=0, n=10, stream="s", final=False):
+    frames = tuple(np.full((4, 4, 3), start + i, dtype=np.uint8) for i in range(n))
+    return FrameChunk(stream=stream, seq=0, start=start, frames=frames, final=final)
+
+
+class TestSpecValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StreamFaultSpec(mode="meteor")
+
+    def test_unknown_kill_point_rejected(self):
+        with pytest.raises(ValueError):
+            StreamFaultSpec(mode="kill", point="not-a-point")
+
+
+class TestMangleModes:
+    def test_clean_passthrough(self):
+        state = StreamFaultPlan().state()
+        chunk = make_chunk()
+        assert state.mangle(chunk) == [chunk]
+        assert state.injected == 0
+
+    def test_delay_sleeps_then_delivers(self):
+        slept = []
+        state = StreamFaultPlan.late(0.25).state(sleep=slept.append)
+        chunk = make_chunk()
+        assert state.mangle(chunk) == [chunk]
+        assert slept == [0.25]
+        assert state.injected == 1
+
+    def test_duplicate_delivers_twice(self):
+        state = StreamFaultPlan.duplicated().state()
+        chunk = make_chunk()
+        assert state.mangle(chunk) == [chunk, chunk]
+
+    def test_torn_fragments_are_contiguous(self):
+        state = StreamFaultPlan.torn().state()
+        chunk = make_chunk(start=24, n=10, final=True)
+        head, tail = state.mangle(chunk)
+        assert head.start == 24 and tail.start == 29
+        assert len(head) + len(tail) == 10
+        assert not head.final  # only the tail carries the final flag
+        assert tail.final
+
+    def test_torn_single_frame_passes_through(self):
+        state = StreamFaultPlan.torn().state()
+        chunk = make_chunk(n=1)
+        assert state.mangle(chunk) == [chunk]
+
+    def test_kill_arms_crash_point_for_one_trip(self):
+        state = StreamFaultPlan.killed(point="chunk-pre-commit").state()
+        chunk = make_chunk()
+        assert state.mangle(chunk) == [chunk]
+        with pytest.raises(SimulatedCrash):
+            trip("chunk-pre-commit")
+        trip("chunk-pre-commit")  # one trip only; now inert
+
+    def test_disarm_clears_pending_kill(self):
+        state = StreamFaultPlan.killed(point="chunk-pre-commit").state()
+        state.mangle(make_chunk())
+        state.disarm()
+        trip("chunk-pre-commit")  # must not raise
+
+
+class TestTargeting:
+    def test_after_skips_early_chunks(self):
+        state = StreamFaultPlan.duplicated(after=1, times=None).state()
+        first, second = make_chunk(start=0), make_chunk(start=10)
+        assert state.mangle(first) == [first]
+        assert state.mangle(second) == [second, second]
+
+    def test_times_bounds_injections(self):
+        state = StreamFaultPlan.duplicated(times=1).state()
+        first, second = make_chunk(start=0), make_chunk(start=10)
+        assert state.mangle(first) == [first, first]
+        assert state.mangle(second) == [second]
+
+    def test_stream_filter(self):
+        state = StreamFaultPlan.duplicated(stream="a").state()
+        other = make_chunk(stream="b")
+        mine = make_chunk(stream="a")
+        assert state.mangle(other) == [other]
+        assert state.mangle(mine) == [mine, mine]
+
+    def test_extend_stacks_plans(self):
+        slept = []
+        plan = StreamFaultPlan.late(0.1, stream="a").extend(
+            StreamFaultPlan.duplicated(stream="b")
+        )
+        state = plan.state(sleep=slept.append)
+        a, b = make_chunk(stream="a"), make_chunk(stream="b")
+        assert state.mangle(a) == [a]
+        assert state.mangle(b) == [b, b]
+        assert slept == [0.1]
+        assert state.injected == 2

@@ -1,0 +1,211 @@
+"""StreamSession: chunk commit protocol, dedupe, crash resume."""
+
+import pytest
+
+from repro.dataset import build_australian_open
+from repro.grammar.tennis import build_tennis_fde
+from repro.library.indexing import LibraryIndexer
+from repro.library.persistence import load_stream_state
+from repro.storage.crashpoints import CrashPoint, SimulatedCrash
+from repro.storage.journal import IndexingJournal
+from repro.streaming import StreamGapError, StreamSession, iter_chunks
+
+CHUNK = 24
+
+
+def make_indexer():
+    dataset = build_australian_open(seed=7, video_shots=4)
+    return LibraryIndexer(dataset, fde=build_tennis_fde())
+
+
+@pytest.fixture(scope="module")
+def plan_and_clip():
+    dataset = build_australian_open(seed=7, video_shots=4)
+    plan = dataset.video_plans[0]
+    clip, _truth = plan.materialise()
+    return plan, clip
+
+
+@pytest.fixture(scope="module")
+def batch_bytes(tmp_path_factory, plan_and_clip):
+    path = tmp_path_factory.mktemp("batch") / "meta.json"
+    make_indexer().index_checkpointed(path, limit=1)
+    return path.read_bytes()
+
+
+def feed(session, clip, start=0):
+    commits = []
+    for chunk in iter_chunks(clip, CHUNK, stream=session.name, start=start):
+        commit = session.push_chunk(chunk)
+        if commit is not None:
+            commits.append(commit)
+    return commits
+
+
+class TestCommitProtocol:
+    def test_streamed_snapshot_matches_batch(self, tmp_path, plan_and_clip, batch_bytes):
+        plan, clip = plan_and_clip
+        path = tmp_path / "meta.json"
+        session = StreamSession(
+            make_indexer(), plan, path=path, journal=IndexingJournal(tmp_path / "j")
+        )
+        commits = feed(session, clip)
+        assert session.finalized
+        assert commits[-1].final
+        assert path.read_bytes() == batch_bytes
+
+    def test_generation_bumps_per_commit(self, tmp_path, plan_and_clip):
+        plan, clip = plan_and_clip
+        indexer = make_indexer()
+        session = StreamSession(indexer, plan, path=tmp_path / "meta.json")
+        commits = feed(session, clip)
+        assert [c.generation for c in commits] == list(
+            range(1, len(commits) + 1)
+        )
+        assert indexer.generation == len(commits)
+
+    def test_stream_state_tracked_then_popped_on_final(self, tmp_path, plan_and_clip):
+        plan, clip = plan_and_clip
+        path = tmp_path / "meta.json"
+        session = StreamSession(make_indexer(), plan, path=path)
+        chunks = list(iter_chunks(clip, CHUNK, stream=plan.name))
+        session.push_chunk(chunks[0])
+        state = load_stream_state(path)[plan.name]
+        assert state["watermark"] == session.watermark
+        assert state["seq"] == 1
+        for chunk in chunks[1:]:
+            session.push_chunk(chunk)
+        assert plan.name not in load_stream_state(path)
+
+    def test_push_after_finalize_rejected(self, tmp_path, plan_and_clip):
+        plan, clip = plan_and_clip
+        session = StreamSession(make_indexer(), plan, path=tmp_path / "meta.json")
+        chunks = list(iter_chunks(clip, CHUNK, stream=plan.name))
+        feed(session, clip)
+        with pytest.raises(RuntimeError):
+            session.push_chunk(chunks[0])
+
+    def test_journal_requires_path(self, tmp_path, plan_and_clip):
+        plan, _clip = plan_and_clip
+        with pytest.raises(ValueError):
+            StreamSession(
+                make_indexer(), plan, journal=IndexingJournal(tmp_path / "j")
+            )
+
+    def test_wrong_stream_rejected(self, plan_and_clip):
+        plan, clip = plan_and_clip
+        session = StreamSession(make_indexer(), plan)
+        chunk = next(iter_chunks(clip, CHUNK, stream="other"))
+        with pytest.raises(ValueError):
+            session.push_chunk(chunk)
+
+
+class TestExactlyOnce:
+    def test_full_duplicate_is_dropped(self, plan_and_clip):
+        plan, clip = plan_and_clip
+        session = StreamSession(make_indexer(), plan)
+        chunk = next(iter_chunks(clip, CHUNK, stream=plan.name))
+        assert session.push_chunk(chunk) is not None
+        assert session.push_chunk(chunk) is None
+        assert session.duplicates_dropped == len(chunk)
+
+    def test_overlapping_redelivery_keeps_only_new_frames(self, plan_and_clip):
+        plan, clip = plan_and_clip
+        session = StreamSession(make_indexer(), plan)
+        chunks = list(iter_chunks(clip, CHUNK, stream=plan.name))
+        session.push_chunk(chunks[0])
+        # Re-deliver frames [12, 36): the first 12 are already ingested.
+        overlap = chunks[0].tail_from(12)
+        merged = type(overlap)(
+            stream=plan.name,
+            seq=1,
+            start=12,
+            frames=overlap.frames + chunks[1].frames[:12],
+            fps=overlap.fps,
+        )
+        commit = session.push_chunk(merged)
+        assert commit.accepted_frames == 12
+        assert commit.deduped_frames == 12
+        assert session.next_frame == 36
+
+    def test_gap_raises(self, plan_and_clip):
+        plan, clip = plan_and_clip
+        session = StreamSession(make_indexer(), plan)
+        chunks = list(iter_chunks(clip, CHUNK, stream=plan.name))
+        session.push_chunk(chunks[0])
+        with pytest.raises(StreamGapError):
+            session.push_chunk(chunks[2])
+        assert not session.degraded
+
+    def test_record_gap_marks_degraded_and_restarts(self, plan_and_clip):
+        plan, clip = plan_and_clip
+        session = StreamSession(make_indexer(), plan)
+        chunks = list(iter_chunks(clip, CHUNK, stream=plan.name))
+        session.push_chunk(chunks[0])
+        session.record_gap(chunks[2].start)
+        assert session.degraded
+        assert session.next_frame == chunks[2].start
+        assert session.push_chunk(chunks[2]) is not None
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize(
+        "point", ["chunk-post-begin", "chunk-pre-snapshot", "chunk-pre-commit",
+                  "chunk-pre-generation", "chunk-post-generation"]
+    )
+    def test_kill_then_resume_is_byte_identical(
+        self, tmp_path, plan_and_clip, batch_bytes, point
+    ):
+        plan, clip = plan_and_clip
+        path = tmp_path / "meta.json"
+        journal_path = tmp_path / "meta.journal"
+        session = StreamSession(
+            make_indexer(), plan, path=path, journal=IndexingJournal(journal_path)
+        )
+        with CrashPoint(point, after=1):
+            with pytest.raises(SimulatedCrash):
+                feed(session, clip)
+        # Recovery: a fresh "process" restores the snapshot and resumes
+        # from the committed watermark.
+        fresh = make_indexer()
+        fresh.restore_snapshot(path)
+        resumed = StreamSession.resume(
+            fresh, plan, path, journal=IndexingJournal(journal_path)
+        )
+        feed(resumed, clip, start=resumed.next_frame)
+        assert resumed.finalized
+        assert path.read_bytes() == batch_bytes
+
+    def test_resume_without_state_row_rejected(self, tmp_path, plan_and_clip, batch_bytes):
+        plan, _clip = plan_and_clip
+        path = tmp_path / "meta.json"
+        path.write_bytes(batch_bytes)  # finalized snapshot: no stream_state
+        indexer = make_indexer()
+        indexer.restore_snapshot(path)
+        with pytest.raises(ValueError):
+            StreamSession.resume(indexer, plan, path)
+
+
+class TestFreshness:
+    def test_arrival_stamps_feed_the_reservoir(self, plan_and_clip):
+        plan, clip = plan_and_clip
+        ticks = [0.0]
+
+        def clock():
+            ticks[0] += 0.010
+            return ticks[0]
+
+        session = StreamSession(make_indexer(), plan, clock=clock)
+        commits = feed_with_clock(session, clip, clock)
+        samples = [c.freshness_seconds for c in commits]
+        assert all(s is not None and s >= 0.0 for s in samples)
+        assert session.freshness.percentile(95) is not None
+
+
+def feed_with_clock(session, clip, clock):
+    commits = []
+    for chunk in iter_chunks(clip, CHUNK, stream=session.name, clock=clock):
+        commit = session.push_chunk(chunk)
+        if commit is not None:
+            commits.append(commit)
+    return commits
